@@ -1,0 +1,138 @@
+//! Design-choice ablations called out in DESIGN.md.
+//!
+//! Each group varies one design knob and reports the modelled or measured
+//! consequence, so the benchmark report doubles as an ablation table:
+//!
+//! * naive multi-pass vs one-pass FlashAttention traffic;
+//! * KIVI residual window length R;
+//! * GEAR low-rank rank ratio;
+//! * H2O eviction budget;
+//! * paged-KV block size (fragmentation/admission trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rkvc_kvcache::{CompressionConfig, GearParams, H2OParams, KiviParams};
+use rkvc_serving::BlockManager;
+use rkvc_tensor::seeded_rng;
+use std::hint::black_box;
+
+fn dep(engine: EngineKind) -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm: LlmSpec::llama2_7b(),
+        engine,
+        tensor_parallel: 1,
+    }
+}
+
+fn ablate_attention_pass_structure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_naive_vs_flash_prefill");
+    g.sample_size(20);
+    for engine in [EngineKind::TrlEager, EngineKind::TrlFlash] {
+        let d = dep(engine);
+        g.bench_function(BenchmarkId::from_parameter(engine.label()), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for len in [1024usize, 2048, 4096] {
+                    acc += d.prefill(&CompressionConfig::Fp16, 1, len).total();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fill_cache(cfg: &CompressionConfig, tokens: usize) -> usize {
+    let mut rng = seeded_rng(7);
+    let mut cache = cfg.build(64);
+    for pos in 0..tokens {
+        let k: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let v: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        cache.append(&k, &v, pos);
+        let n = cache.len();
+        cache.observe_attention(&vec![1.0 / n as f32; n]);
+    }
+    cache.memory_bytes()
+}
+
+fn ablate_kivi_residual(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_kivi_residual_window");
+    g.sample_size(10);
+    for residual in [4usize, 16, 64] {
+        let cfg = CompressionConfig::Kivi(KiviParams {
+            bits: 4,
+            group_size: 8,
+            residual,
+        });
+        g.bench_function(BenchmarkId::from_parameter(residual), |b| {
+            b.iter(|| black_box(fill_cache(&cfg, 192)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_gear_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_gear_rank_ratio");
+    g.sample_size(10);
+    for (name, rank_ratio) in [("r2pct", 0.02f32), ("r10pct", 0.10), ("r25pct", 0.25)] {
+        let cfg = CompressionConfig::Gear(GearParams {
+            bits: 4,
+            outlier_ratio: 0.05,
+            rank_ratio,
+            buffer: 8,
+        });
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(fill_cache(&cfg, 128)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_h2o_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_h2o_budget");
+    g.sample_size(10);
+    for budget in [16usize, 64, 256] {
+        let cfg = CompressionConfig::H2O(H2OParams {
+            heavy: budget / 4,
+            recent: budget - budget / 4,
+        });
+        g.bench_function(BenchmarkId::from_parameter(budget), |b| {
+            b.iter(|| black_box(fill_cache(&cfg, 384)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_block_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_paged_block_size");
+    g.sample_size(20);
+    for block in [8usize, 16, 64, 256] {
+        g.bench_function(BenchmarkId::from_parameter(block), |b| {
+            b.iter(|| {
+                let mut m = BlockManager::new(65536 / block, block);
+                for seq in 0..64u64 {
+                    m.register_seq(seq, 100 + (seq as usize % 300)).unwrap();
+                }
+                for seq in 0..64u64 {
+                    for _ in 0..64 {
+                        let _ = m.append_token(seq);
+                    }
+                }
+                black_box(m.internal_fragmentation_tokens())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_attention_pass_structure,
+    ablate_kivi_residual,
+    ablate_gear_rank,
+    ablate_h2o_budget,
+    ablate_block_size
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench regenerating the Figure 1 quantities: prefill and decode
+//! throughput evaluation per engine and per compression algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rkvc_kvcache::CompressionConfig;
+use std::hint::black_box;
+
+fn dep(engine: EngineKind) -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm: LlmSpec::llama2_7b(),
+        engine,
+        tensor_parallel: 1,
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1ab_engine_decode");
+    g.sample_size(20);
+    for engine in EngineKind::all() {
+        let d = dep(engine);
+        g.bench_function(BenchmarkId::from_parameter(engine.label()), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for batch in [1usize, 4, 8, 16, 32] {
+                    acc += d.decode_throughput(
+                        black_box(&CompressionConfig::Fp16),
+                        black_box(batch),
+                        4096,
+                    );
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let d = dep(EngineKind::LmDeploy);
+    let algos = [
+        ("fp16", CompressionConfig::Fp16),
+        ("kivi4", CompressionConfig::kivi(4)),
+        ("gear4", CompressionConfig::gear(4)),
+        ("h2o512", CompressionConfig::h2o(64, 448)),
+        ("stream512", CompressionConfig::streaming(64, 448)),
+    ];
+    let mut g = c.benchmark_group("fig1el_algo_sweep");
+    g.sample_size(20);
+    for (name, cfg) in algos {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for len in [512usize, 1024, 2048, 4096, 8192] {
+                    acc += d.prefill_throughput(black_box(&cfg), 1, len);
+                    acc += d.decode_throughput(black_box(&cfg), 8, len);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_algorithms);
+criterion_main!(benches);

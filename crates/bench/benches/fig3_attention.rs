@@ -1,0 +1,46 @@
+//! Criterion bench over the Figure 3 quantity: per-algorithm attention-layer
+//! execution-time evaluation across prompt/KV lengths and both stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rkvc_kvcache::CompressionConfig;
+use std::hint::black_box;
+
+fn bench_attention_layer(c: &mut Criterion) {
+    let dep = DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm: LlmSpec::llama2_7b(),
+        engine: EngineKind::LmDeploy,
+        tensor_parallel: 1,
+    };
+    let algos = [
+        ("fp16", CompressionConfig::Fp16),
+        ("kivi4", CompressionConfig::kivi(4)),
+        ("gear4", CompressionConfig::gear(4)),
+        ("h2o512", CompressionConfig::h2o(64, 448)),
+        ("stream512", CompressionConfig::streaming(64, 448)),
+        ("snapkv448", CompressionConfig::snapkv(448)),
+        ("tova512", CompressionConfig::tova(512)),
+        ("quest512", CompressionConfig::quest(16, 32)),
+    ];
+    for decode in [false, true] {
+        let stage = if decode { "decode" } else { "prefill" };
+        let mut g = c.benchmark_group(format!("fig3_attention_{stage}"));
+        g.sample_size(20);
+        for (name, cfg) in &algos {
+            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for len in [512usize, 1024, 2048, 4096, 8192] {
+                        acc += dep.attention_layer_time(black_box(cfg), 1, len, decode);
+                    }
+                    acc
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_attention_layer);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: TinyLM prefill/decode under each compression policy —
+//! the code path behind every accuracy/length experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_model::{GenerateParams, ModelConfig, TinyLm, vocab};
+use std::hint::black_box;
+
+fn copy_prompt(len: usize) -> Vec<usize> {
+    let seq: Vec<usize> = (0..len).map(|i| vocab::CONTENT_START + (i * 3) % 56).collect();
+    let mut p = vec![vocab::BOS];
+    p.extend(&seq);
+    p.push(vocab::EOS_SYM);
+    p.push(seq[0]);
+    p
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let prompt = copy_prompt(12);
+    let algos = [
+        ("fp16", rkvc_kvcache::CompressionConfig::Fp16),
+        ("kivi4", rkvc_workload::scaled_kivi(4)),
+        ("gear4", rkvc_workload::scaled_gear(4)),
+        ("h2o64", rkvc_workload::scaled_h2o(64)),
+        ("stream64", rkvc_workload::scaled_streaming(64)),
+    ];
+    let mut g = c.benchmark_group("tinylm_generate_12tok");
+    g.sample_size(10);
+    for (name, cfg) in algos {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = model.generate(
+                    black_box(&prompt),
+                    &cfg,
+                    &GenerateParams::greedy(16),
+                );
+                black_box(out.response_len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prefill_scaling(c: &mut Criterion) {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let mut g = c.benchmark_group("tinylm_prefill");
+    g.sample_size(10);
+    for len in [32usize, 64, 128] {
+        let prompt = copy_prompt(len.saturating_sub(3).max(4));
+        g.bench_function(BenchmarkId::from_parameter(len), |b| {
+            b.iter(|| {
+                let mut s = model.start_session(&rkvc_kvcache::CompressionConfig::Fp16);
+                black_box(s.prefill(black_box(&prompt)).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_prefill_scaling);
+criterion_main!(benches);

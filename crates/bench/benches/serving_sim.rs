@@ -1,0 +1,71 @@
+//! Criterion bench: serving-simulator throughput (server iterations,
+//! cluster routing) — the substrate behind Figure 5 and Table 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rkvc_kvcache::CompressionConfig;
+use rkvc_serving::{Cluster, OraclePredictor, RoutingPolicy, ServerSim, SimRequest};
+use std::hint::black_box;
+
+fn dep() -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm: LlmSpec::llama2_7b(),
+        engine: EngineKind::LmDeploy,
+        tensor_parallel: 1,
+    }
+}
+
+fn requests(n: usize) -> Vec<SimRequest> {
+    (0..n)
+        .map(|i| {
+            let mut r = SimRequest::new(i as u64, i as f64 * 0.1, 512 + (i % 7) * 128, 64 + (i % 5) * 32);
+            r.response_len_by_server = vec![r.response_len, r.response_len * 5 / 4, r.response_len * 5 / 4, r.response_len * 5 / 4];
+            r
+        })
+        .collect()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_sim_64_requests");
+    g.sample_size(10);
+    for (name, algo) in [
+        ("fp16", CompressionConfig::Fp16),
+        ("stream512", CompressionConfig::streaming(64, 448)),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut s = ServerSim::new(0, dep(), algo, 16);
+                for r in requests(64) {
+                    s.enqueue(r);
+                }
+                black_box(s.run_to_completion().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_4gpu_64_requests");
+    g.sample_size(10);
+    for policy in RoutingPolicy::all() {
+        g.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
+            b.iter(|| {
+                let algo = CompressionConfig::streaming(64, 448);
+                let servers = vec![
+                    ServerSim::new(0, dep(), CompressionConfig::Fp16, 16),
+                    ServerSim::new(1, dep(), algo, 16),
+                    ServerSim::new(2, dep(), algo, 16),
+                    ServerSim::new(3, dep(), algo, 16),
+                ];
+                let done = Cluster::new(servers, policy).run(requests(64), &OraclePredictor);
+                black_box(done.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_server, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Benchmark support crate.
+//!
+//! Hosts the `repro` binary (regenerates every paper table/figure — see
+//! `cargo run -p rkvc-bench --bin repro -- --help`) and the Criterion
+//! benchmark suites under `benches/`:
+//!
+//! * `fig1_throughput` — the Figure 1 cost-model sweeps.
+//! * `fig3_attention` — per-algorithm attention-layer cost evaluation.
+//! * `compression_kernels` — real quantize/dequantize/evict work on the
+//!   cache implementations.
+//! * `model_decode` — TinyLM prefill/decode under each policy.
+//! * `serving_sim` — server and cluster simulation throughput.
+//! * `ablations` — design-choice ablations from DESIGN.md (naive vs flash
+//!   traffic, KIVI residual window, GEAR rank, H2O budget, paged block
+//!   size).
+
+/// The default results directory the `repro` binary writes JSON into.
+pub const RESULTS_DIR: &str = "results";

@@ -1,0 +1,47 @@
+//! Appendices D and G: Mistral-7B negative-sample analysis — Figure 17
+//! (threshold sweep), Figure 18 (task breakdown), Table 11 (negative
+//! benchmark scores), plus Table 10 (Mistral length-predictor accuracy,
+//! Appendix F).
+
+use super::{fig6, fig7, table6, table7, ExperimentResult, RunOptions};
+
+/// Runs the Appendix D/F/G bundle on the GQA (Mistral-family) TinyLM.
+pub fn run(opts: &RunOptions) -> ExperimentResult {
+    let f17 = fig6::run_mistral(opts);
+    let f18 = fig7::run_mistral(opts);
+    let t11 = table7::run_mistral(opts);
+    let t10 = table6::run_mistral(opts);
+
+    let mut tables = Vec::new();
+    tables.extend(f17.tables);
+    tables.extend(f18.tables);
+    tables.extend(t11.tables);
+    tables.extend(t10.tables);
+    let mut notes =
+        vec!["Appendix D/F/G: the Mistral-family results mirror the LLaMA-family ones.".to_owned()];
+    for r in [f17.notes, f18.notes, t11.notes, t10.notes] {
+        notes.extend(r);
+    }
+
+    ExperimentResult {
+        id: "appendix_d".to_owned(),
+        title: "Mistral-7B negative samples and predictors (Figures 17-18, Tables 10-11)"
+            .to_owned(),
+        tables,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_contains_all_four_artifacts() {
+        let r = run(&RunOptions::quick());
+        assert!(r.tables.iter().any(|t| t.title.contains("Fig6")));
+        assert!(r.tables.iter().any(|t| t.title.contains("Fig7")));
+        assert!(r.tables.iter().any(|t| t.title.contains("Table 7")));
+        assert!(r.tables.iter().any(|t| t.title.contains("Table 10")));
+    }
+}

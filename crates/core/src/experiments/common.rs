@@ -1,0 +1,100 @@
+//! Shared fixtures for the experiment modules.
+
+use rand::Rng;
+use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rkvc_kvcache::CompressionConfig;
+use rkvc_model::{GenerateParams, ModelConfig, TinyLm};
+use rkvc_tensor::SeededRng;
+use rkvc_workload::{sample_conversations, ConversationRequest, ShareGptConfig};
+
+/// The paper's primary deployment: LLaMA-7B on one A6000 under LMDeploy.
+pub fn a6000_lmdeploy(llm: LlmSpec) -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm,
+        engine: EngineKind::LmDeploy,
+        tensor_parallel: 1,
+    }
+}
+
+/// The paper-scale algorithm suite for the analytical (GPU cost model)
+/// experiments: K-4, G-4, H2O-512, Stream-512 with the paper's
+/// hyper-parameters.
+pub fn paper_algos() -> Vec<(String, CompressionConfig)> {
+    vec![
+        ("FP16".to_owned(), CompressionConfig::Fp16),
+        ("KIVI-4".to_owned(), CompressionConfig::kivi(4)),
+        ("GEAR-4".to_owned(), CompressionConfig::gear(4)),
+        ("H2O-512".to_owned(), CompressionConfig::h2o(64, 448)),
+        ("Stream-512".to_owned(), CompressionConfig::streaming(64, 448)),
+    ]
+}
+
+/// Shared TinyLM instance (LLaMA-family stand-in, MHA).
+pub fn tiny_llama() -> TinyLm {
+    TinyLm::new(ModelConfig::induction_mha())
+}
+
+/// Shared TinyLM instance (Mistral-family stand-in, GQA).
+pub fn tiny_mistral() -> TinyLm {
+    TinyLm::new(ModelConfig::induction_gqa())
+}
+
+/// Measured generation lengths: runs TinyLM over the requests under one
+/// compression policy and returns `(reference_len, measured_len)` pairs.
+pub fn measure_lengths(
+    model: &TinyLm,
+    requests: &[ConversationRequest],
+    algo: &CompressionConfig,
+    temperature: f32,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    requests
+        .iter()
+        .map(|r| {
+            let params = GenerateParams {
+                // The paper caps generation at 1024; scale to TinyLM.
+                max_new_tokens: (r.reference_response_len * 3).max(24).min(96),
+                temperature,
+                seed: seed.wrapping_add(r.id as u64),
+            };
+            let out = model.generate(&r.prompt, algo, &params);
+            (r.reference_response_len, out.response_len())
+        })
+        .collect()
+}
+
+/// Length multipliers (`measured / reference`) an algorithm induces,
+/// measured on a tiny-scale workload. Used to transfer TinyLM length shifts
+/// onto paper-scale requests.
+pub fn length_multipliers(
+    model: &TinyLm,
+    n: usize,
+    algo: &CompressionConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let reqs = sample_conversations(&ShareGptConfig::tiny_scale(n, seed), 64);
+    measure_lengths(model, &reqs, algo, 1.0, seed)
+        .into_iter()
+        .map(|(r, m)| m.max(1) as f64 / r.max(1) as f64)
+        .collect()
+}
+
+/// Draws one multiplier from a measured distribution.
+pub fn sample_multiplier(multipliers: &[f64], rng: &mut SeededRng) -> f64 {
+    multipliers[rng.gen_range(0..multipliers.len())]
+}
+
+/// Formats a throughput as the figures do.
+pub fn fmt_thr(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Formats milliseconds.
+pub fn fmt_ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}

@@ -1,0 +1,98 @@
+//! Appendix Figures 11-14: tensor-parallelism analysis for LLaMA-7B,
+//! LLaMA-13B, Mistral-7B, and LLaMA-70B — quantization- and sparsity-based
+//! methods under TP in {1, 2, 4} for both stages.
+
+use rkvc_gpu::LlmSpec;
+
+use super::common::{a6000_lmdeploy, fmt_thr, paper_algos};
+use super::{ExperimentResult, RunOptions};
+use crate::report::Table;
+
+/// Runs the TP sweep for one model.
+fn tp_table(llm: LlmSpec, batch: usize, prefill_len: usize, decode_kv: usize) -> Table {
+    let algos = paper_algos();
+    let headers: Vec<&str> = ["stage", "TP"]
+        .into_iter()
+        .chain(algos.iter().map(|(l, _)| l.as_str()))
+        .collect();
+    let mut t = Table::new(
+        format!(
+            "TP analysis ({}), batch={batch}, prefill={prefill_len}, kv={decode_kv}",
+            llm.name
+        ),
+        &headers,
+    );
+    for decode in [false, true] {
+        for tp in [1usize, 2, 4] {
+            let mut dep = a6000_lmdeploy(llm.clone());
+            dep.tensor_parallel = tp;
+            let mut row = vec![
+                if decode { "Decode" } else { "Prefill" }.to_owned(),
+                tp.to_string(),
+            ];
+            for (_, cfg) in &algos {
+                let thr = if decode {
+                    dep.decode_throughput(cfg, batch, decode_kv)
+                } else {
+                    dep.prefill_throughput(cfg, batch, prefill_len)
+                };
+                row.push(fmt_thr(thr));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+/// Runs Figures 11-14.
+pub fn run(_opts: &RunOptions) -> ExperimentResult {
+    let tables = vec![
+        tp_table(LlmSpec::llama2_7b(), 8, 2048, 4096),
+        tp_table(LlmSpec::llama2_13b(), 8, 2048, 4096),
+        tp_table(LlmSpec::mistral_7b(), 8, 2048, 4096),
+        tp_table(LlmSpec::llama2_70b(), 8, 2048, 4096),
+    ];
+    ExperimentResult {
+        id: "fig11_14".to_owned(),
+        title: "Tensor-parallelism analysis across models and algorithms".to_owned(),
+        tables,
+        notes: vec![
+            "Shape targets: TP helps prefill clearly for all methods; decode gains at small \
+             batch are modest; compression's relative advantage narrows as TP rises."
+                .to_owned(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_four_models() {
+        let r = run(&RunOptions::quick());
+        assert_eq!(r.tables.len(), 4);
+        assert!(r.tables[3].title.contains("70B"));
+    }
+
+    #[test]
+    fn prefill_scales_better_with_tp_than_small_batch_decode() {
+        let r = run(&RunOptions::quick());
+        let t = &r.tables[0]; // LLaMA-7B.
+        let v = |row: usize, col: usize| -> f64 { t.rows[row][col].parse().unwrap() };
+        // FP16 column = 2. Prefill rows 0-2, decode rows 3-5.
+        let prefill_gain = v(2, 2) / v(0, 2);
+        let decode_gain = v(5, 2) / v(3, 2);
+        assert!(prefill_gain > 1.5, "prefill tp4/tp1 {prefill_gain}");
+        assert!(decode_gain < prefill_gain, "decode {decode_gain} vs prefill {prefill_gain}");
+    }
+
+    #[test]
+    fn seventy_b_needs_tp_and_gets_it() {
+        let r = run(&RunOptions::quick());
+        let t = &r.tables[3];
+        let tp1: f64 = t.rows[0][2].parse().unwrap();
+        let tp4: f64 = t.rows[2][2].parse().unwrap();
+        assert!(tp4 > 2.0 * tp1, "70B prefill should scale: {tp1} -> {tp4}");
+    }
+}

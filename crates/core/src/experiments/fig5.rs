@@ -1,0 +1,159 @@
+//! Figure 5 (and appendix Figure 16): the CDF of per-request end-to-end
+//! latency under each compression algorithm at batch size 1.
+//!
+//! E2E latency combines two effects the paper insists on separating from
+//! throughput-only evaluation: per-token speed (the cost model) and the
+//! compression-induced response-length shift (measured on TinyLM and
+//! transferred to paper-scale requests as multipliers).
+
+use rand::Rng;
+use rkvc_gpu::LlmSpec;
+use rkvc_kvcache::CompressionConfig;
+use rkvc_model::TinyLm;
+use rkvc_serving::LatencySummary;
+use rkvc_tensor::seeded_rng;
+use rkvc_workload::{sample_conversations, ShareGptConfig};
+
+use super::common::{a6000_lmdeploy, length_multipliers, paper_algos, tiny_llama, tiny_mistral};
+use super::{ExperimentResult, RunOptions};
+use crate::report::Table;
+
+/// Runs the Figure 5 measurement for one TinyLM length model.
+pub fn run_for_model(model: &TinyLm, llm: LlmSpec, id: &str, opts: &RunOptions) -> ExperimentResult {
+    let n_requests = opts.pick(40, 1000);
+    let n_tiny = opts.pick(16, 120);
+    let dep = a6000_lmdeploy(llm);
+    let requests = sample_conversations(&ShareGptConfig::paper_scale(n_requests, opts.seed), 64);
+    let algos = paper_algos();
+
+    let mut summary_table = Table::new(
+        format!("Fig5 E2E latency (s), batch=1 ({id})"),
+        &["algo", "mean", "p50", "p95", "p99"],
+    );
+    // CDF probe points anchored to the FP16 latency distribution so every
+    // algorithm's curve is read at comparable abscissae.
+    let mut probes: Vec<f64> = Vec::new();
+    let mut cdf_table = Table::new(
+        format!("Fig5 E2E latency CDF at FP16-quantile probe points ({id})"),
+        &["algo", "P(<=fp16 p25)", "P(<=fp16 p50)", "P(<=fp16 p75)", "P(<=fp16 p95)"],
+    );
+
+    for (i, (label, cfg)) in algos.iter().enumerate() {
+        // Length multipliers: FP16 keeps reference lengths; compression
+        // algorithms get the measured TinyLM shift distribution (the
+        // matching scaled config by suite position).
+        let multipliers = if matches!(cfg, CompressionConfig::Fp16) {
+            vec![1.0]
+        } else {
+            let scaled = &rkvc_workload::scaled_paper_suite()[i].config;
+            length_multipliers(model, n_tiny, scaled, opts.seed ^ 0xF15)
+        };
+        let mut rng = seeded_rng(opts.seed ^ (i as u64) << 8);
+        let latencies: Vec<f64> = requests
+            .iter()
+            .map(|r| {
+                let m = multipliers[rng.gen_range(0..multipliers.len())];
+                let resp = ((r.reference_response_len as f64 * m).round() as usize)
+                    .clamp(1, 1024);
+                dep.request_latency(cfg, 1, r.prompt_len.min(3500), resp)
+            })
+            .collect();
+        let s = LatencySummary::new(latencies);
+        if probes.is_empty() {
+            // First algorithm in the suite is FP16: anchor the probes.
+            probes = vec![
+                s.percentile(25.0),
+                s.p50(),
+                s.percentile(75.0),
+                s.p95(),
+            ];
+        }
+        summary_table.push_row(vec![
+            label.clone(),
+            format!("{:.2}", s.mean()),
+            format!("{:.2}", s.p50()),
+            format!("{:.2}", s.p95()),
+            format!("{:.2}", s.p99()),
+        ]);
+        let cdf = s.cdf(&probes);
+        cdf_table.push_row(
+            std::iter::once(label.clone())
+                .chain(cdf.iter().map(|p| format!("{p:.3}")))
+                .collect(),
+        );
+    }
+
+    ExperimentResult {
+        id: id.to_owned(),
+        title: "CDF of end-to-end latency under compression".to_owned(),
+        tables: vec![summary_table, cdf_table],
+        notes: vec![
+            "Shape target: compression's E2E gains are muted once length shifts are counted; \
+             GEAR shows the worst tail latency (slowest per-token path + lengthened outputs)."
+                .to_owned(),
+        ],
+    }
+}
+
+/// Runs Figure 5 (LLaMA-family).
+pub fn run(opts: &RunOptions) -> ExperimentResult {
+    run_for_model(&tiny_llama(), LlmSpec::llama2_7b(), "fig5", opts)
+}
+
+/// Runs appendix Figure 16 (Mistral-family).
+pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+    run_for_model(&tiny_mistral(), LlmSpec::mistral_7b(), "fig16", opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_e2e_gains_are_muted_and_gear_gains_nothing() {
+        // Observation 4: once length shifts are counted, the E2E picture is
+        // far less favourable than throughput alone suggests; GEAR in
+        // particular shows no end-to-end win over FP16.
+        let r = run(&RunOptions::quick());
+        let t = &r.tables[0];
+        let stat = |label: &str, col: usize| -> f64 {
+            t.rows
+                .iter()
+                .find(|row| row[0] == label)
+                .unwrap()[col]
+                .parse()
+                .unwrap()
+        };
+        let fp16_mean = stat("FP16", 1);
+        let gear_mean = stat("GEAR-4", 1);
+        assert!(
+            gear_mean > 0.9 * fp16_mean,
+            "GEAR should show no meaningful E2E gain: {gear_mean} vs {fp16_mean}"
+        );
+        // Even the best compressed mean gains far less than the >1.3x
+        // throughput-only expectation at heavy KV.
+        let best = ["KIVI-4", "GEAR-4", "H2O-512", "Stream-512"]
+            .iter()
+            .map(|l| stat(l, 1))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best > fp16_mean / 1.3,
+            "E2E gain {:.2}x should be muted below the throughput headline",
+            fp16_mean / best
+        );
+    }
+
+    #[test]
+    fn cdfs_are_valid_probabilities() {
+        let r = run(&RunOptions::quick());
+        for row in &r.tables[1].rows {
+            let mut last = 0.0;
+            for cell in &row[1..] {
+                let p: f64 = cell.parse().unwrap();
+                assert!((0.0..=1.0).contains(&p));
+                assert!(p >= last, "CDF must be monotone: {row:?}");
+                last = p;
+            }
+        }
+    }
+}

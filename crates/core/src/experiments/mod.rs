@@ -1,0 +1,171 @@
+//! One module per paper table/figure, each regenerating its rows/series.
+//!
+//! Every experiment follows the same contract: `run(&RunOptions) ->
+//! ExperimentResult`, where the result carries renderable [`Table`]s (the
+//! paper's rows/series) plus free-form notes about calibration targets.
+//! `RunOptions::quick()` shrinks sample counts so the whole harness runs in
+//! CI; `RunOptions::paper()` uses the paper's sample sizes.
+
+pub mod appendix_c;
+pub mod appendix_d;
+pub mod common;
+pub mod ext_granularity;
+pub mod ext_quest;
+pub mod ext_task_router;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;
+pub mod fig11_14;
+pub mod table1_2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use serde::Serialize;
+
+use crate::report::Table;
+
+/// Sampling scale for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scale {
+    /// Reduced sample counts for tests/CI (seconds).
+    Quick,
+    /// Paper-scale sample counts (minutes, release mode).
+    Paper,
+}
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RunOptions {
+    /// Sampling scale.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Quick (CI) scale.
+    pub fn quick() -> Self {
+        RunOptions {
+            scale: Scale::Quick,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Paper scale.
+    pub fn paper() -> Self {
+        RunOptions {
+            scale: Scale::Paper,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Picks a sample count by scale.
+    pub fn pick(&self, quick: usize, paper: usize) -> usize {
+        match self.scale {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// The output of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`fig1`, `table3`, ...).
+    pub id: String,
+    /// Paper caption this reproduces.
+    pub title: String,
+    /// Result tables (one per sub-figure/row-group).
+    pub tables: Vec<Table>,
+    /// Calibration/shape notes.
+    pub notes: Vec<String>,
+}
+
+impl std::fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# [{}] {}", self.id, self.title)?;
+        for t in &self.tables {
+            writeln!(f, "{t}")?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All experiment ids in paper order.
+pub fn experiment_ids() -> Vec<&'static str> {
+    vec![
+        "fig1", "fig2", "fig3", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7",
+        "table6", "table7", "table8", "fig8", "fig9", "fig10", "fig11_14", "appendix_c",
+        "appendix_d", "ext_quest", "ext_task_router", "ext_granularity", "table1_2",
+    ]
+}
+
+/// Runs an experiment by id.
+///
+/// Returns `None` for an unknown id.
+pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<ExperimentResult> {
+    Some(match id {
+        "fig1" => fig1::run(opts),
+        "fig2" => fig2::run(opts),
+        "fig3" => fig3::run(opts),
+        "table3" => table3::run(opts),
+        "table4" => table4::run(opts),
+        "table5" => table5::run(opts),
+        "fig4" => fig4::run(opts),
+        "fig5" => fig5::run(opts),
+        "fig6" => fig6::run(opts),
+        "fig7" => fig7::run(opts),
+        "table6" => table6::run(opts),
+        "table7" => table7::run(opts),
+        "table8" => table8::run(opts),
+        "fig8" => fig8::run(opts),
+        "fig9" => fig9::run(opts),
+        "fig10" => fig10::run(opts),
+        "fig11_14" => fig11_14::run(opts),
+        "appendix_c" => appendix_c::run(opts),
+        "appendix_d" => appendix_d::run(opts),
+        "ext_quest" => ext_quest::run(opts),
+        "ext_task_router" => ext_task_router::run(opts),
+        "ext_granularity" => ext_granularity::run(opts),
+        "table1_2" => table1_2::run(opts),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_id_dispatches() {
+        // Smoke-run the cheap, cost-model-only experiments end to end.
+        let opts = RunOptions::quick();
+        for id in ["fig2", "fig3", "table3"] {
+            let result = run_by_id(id, &opts).expect("known id");
+            assert_eq!(result.id, id);
+            assert!(!result.tables.is_empty(), "{id} produced no tables");
+        }
+        assert!(run_by_id("nope", &opts).is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let ids = experiment_ids();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+}

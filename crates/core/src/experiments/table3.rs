@@ -1,0 +1,130 @@
+//! Table 3: relative prefill/decode speedup of each compression algorithm
+//! vs the FP16 baseline across tensor-parallelism degrees.
+
+use rkvc_gpu::LlmSpec;
+use rkvc_kvcache::CompressionConfig;
+
+use super::common::{a6000_lmdeploy, paper_algos};
+use super::{ExperimentResult, RunOptions};
+use crate::report::{fmt_ratio, Table};
+
+/// The Table 3 operating point: batch 4; prompt 2048 for prefill, KV 4096
+/// for decode.
+pub const BATCH: usize = 4;
+/// Prefill prompt length.
+pub const PREFILL_LEN: usize = 2048;
+/// Decode KV length.
+pub const DECODE_KV: usize = 4096;
+
+/// Runs Table 3 for a model spec (re-used by the appendix TP figures).
+pub fn run_for_model(llm: LlmSpec, id: &str) -> ExperimentResult {
+    let algos = paper_algos();
+    let headers: Vec<&str> = ["stage", "TP", "FP16 (tok/s)"]
+        .into_iter()
+        .chain(algos.iter().skip(1).map(|(l, _)| l.as_str()))
+        .collect();
+    let mut t = Table::new(
+        format!("Table 3: relative speedup vs FP16 across TP ({})", llm.name),
+        &headers,
+    );
+
+    for decode in [false, true] {
+        for tp in [1usize, 2, 4] {
+            let mut dep = a6000_lmdeploy(llm.clone());
+            dep.tensor_parallel = tp;
+            let base = if decode {
+                dep.decode_throughput(&CompressionConfig::Fp16, BATCH, DECODE_KV)
+            } else {
+                dep.prefill_throughput(&CompressionConfig::Fp16, BATCH, PREFILL_LEN)
+            };
+            let mut row = vec![
+                if decode { "Decode" } else { "Prefill" }.to_owned(),
+                tp.to_string(),
+                format!("{base:.2}"),
+            ];
+            for (_, cfg) in algos.iter().skip(1) {
+                let thr = if decode {
+                    dep.decode_throughput(cfg, BATCH, DECODE_KV)
+                } else {
+                    dep.prefill_throughput(cfg, BATCH, PREFILL_LEN)
+                };
+                row.push(fmt_ratio(thr / base));
+            }
+            t.push_row(row);
+        }
+    }
+
+    ExperimentResult {
+        id: id.to_owned(),
+        title: "Relative speedup brought by compression in prefill and decoding across TP"
+            .to_owned(),
+        tables: vec![t],
+        notes: vec![
+            "Paper targets (7B): prefill K-4 ~1.06x / G-4 ~0.86x / H2O ~0.58x / Stream ~0.95x \
+             at TP1; decode H2O and Stream ~1.34x at TP1; all speedups shrink as TP grows."
+                .to_owned(),
+        ],
+    }
+}
+
+/// Runs Table 3 (LLaMA-7B).
+pub fn run(_opts: &RunOptions) -> ExperimentResult {
+    run_for_model(LlmSpec::llama2_7b(), "table3")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratios(r: &ExperimentResult, stage: &str, tp: &str) -> Vec<f64> {
+        let t = &r.tables[0];
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == stage && r[1] == tp)
+            .unwrap();
+        row[3..]
+            .iter()
+            .map(|c| c.trim_end_matches('x').parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn prefill_tp1_ordering_matches_paper() {
+        let r = run(&RunOptions::quick());
+        let v = ratios(&r, "Prefill", "1"); // [KIVI, GEAR, H2O, Stream]
+        assert!(v[0] > 0.95, "KIVI prefill {v:?}");
+        assert!(v[1] < 1.0, "GEAR prefill {v:?}");
+        assert!(v[2] < v[1], "H2O below GEAR {v:?}");
+        assert!(v[3] > v[2], "Stream above H2O {v:?}");
+    }
+
+    #[test]
+    fn decode_tp1_sparsity_wins() {
+        let r = run(&RunOptions::quick());
+        let v = ratios(&r, "Decode", "1");
+        assert!(v[3] > 1.1, "Stream decode at heavy KV {v:?}");
+        assert!(v[2] > 1.0, "H2O decode {v:?}");
+    }
+
+    #[test]
+    fn speedups_shrink_with_tp() {
+        let r = run(&RunOptions::quick());
+        let tp1 = ratios(&r, "Decode", "1");
+        let tp4 = ratios(&r, "Decode", "4");
+        // Stream's advantage at TP4 is below its TP1 advantage.
+        assert!(tp4[3] < tp1[3], "tp1 {tp1:?} tp4 {tp4:?}");
+        assert!(tp4[2] < tp1[2]);
+    }
+
+    #[test]
+    fn fp16_absolute_throughput_in_band() {
+        // Paper: 6610 tok/s prefill, ~130 tok/s decode at TP1.
+        let r = run(&RunOptions::quick());
+        let t = &r.tables[0];
+        let prefill: f64 = t.rows[0][2].parse().unwrap();
+        let decode: f64 = t.rows[3][2].parse().unwrap();
+        assert!((3000.0..12000.0).contains(&prefill), "{prefill}");
+        assert!((50.0..300.0).contains(&decode), "{decode}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Table 8: average end-to-end latency of the predictor-driven request
+//! router (§5.4).
+//!
+//! Topology per the paper: four A6000 GPUs serving LLaMA-7B with LMDeploy.
+//! *Baseline* runs the same configuration on all four GPUs with
+//! memory-based load balancing; the three predictor policies run one FP16
+//! GPU plus three compression GPUs and route per prediction.
+
+use rand::Rng;
+use rkvc_gpu::LlmSpec;
+use rkvc_kvcache::CompressionConfig;
+use rkvc_serving::{Cluster, OraclePredictor, RoutingPolicy, ServerSim, SimRequest};
+use rkvc_tensor::seeded_rng;
+use rkvc_workload::{sample_conversations, ConversationRequest, ShareGptConfig};
+
+use super::common::{a6000_lmdeploy, length_multipliers, tiny_llama};
+use super::{ExperimentResult, RunOptions};
+use crate::router::ToolRouter;
+use crate::{LengthDataset, LengthPredictor, ProfileGrid, ThroughputPredictor};
+
+const MAX_BATCH: usize = 16;
+
+/// One column's algorithms: paper label, paper-scale config (cost model),
+/// TinyLM-scaled config (length measurement).
+fn columns() -> Vec<(String, CompressionConfig, CompressionConfig)> {
+    let scaled = rkvc_workload::scaled_paper_suite();
+    vec![
+        (
+            "KIVI".to_owned(),
+            CompressionConfig::kivi(4),
+            scaled[1].config,
+        ),
+        (
+            "GEAR".to_owned(),
+            CompressionConfig::gear(4),
+            scaled[2].config,
+        ),
+        (
+            "H2O".to_owned(),
+            CompressionConfig::h2o(64, 448),
+            scaled[3].config,
+        ),
+        (
+            "Stream".to_owned(),
+            CompressionConfig::streaming(64, 448),
+            scaled[4].config,
+        ),
+    ]
+}
+
+/// Distance from the last demonstration terminator to the prompt end — the
+/// structural property that decides whether an eviction window still covers
+/// the supporting span.
+fn tail_len(c: &ConversationRequest) -> usize {
+    c.prompt
+        .iter()
+        .rposition(|&t| t == rkvc_model::vocab::EOS_SYM)
+        .map(|p| c.prompt.len() - 1 - p)
+        .unwrap_or(c.prompt.len())
+}
+
+/// Builds the request stream with per-server response lengths: index 0 =
+/// FP16 length, 1..4 = compressed length.
+///
+/// Length shifts are synthesized *mechanistically*, mirroring TinyLM's
+/// measured behaviour: a request lengthens under compression when its
+/// supporting span has fallen out of the policy's window
+/// (`tail_len > recent_budget`), by a multiplier drawn from the measured
+/// wander distribution; otherwise the length is (nearly) unchanged. This
+/// coupling to prompt structure is what makes lengths *learnable* — the
+/// premise of the paper's length predictor.
+fn build_requests(
+    conversations: &[ConversationRequest],
+    multipliers: &[f64],
+    recent_budget: Option<usize>,
+    seed: u64,
+) -> Vec<SimRequest> {
+    let mut rng = seeded_rng(seed);
+    // Split the measured multipliers into the benign and wander components.
+    let wander: Vec<f64> = multipliers.iter().copied().filter(|&m| m > 1.25).collect();
+    let benign: Vec<f64> = multipliers.iter().copied().filter(|&m| m <= 1.25).collect();
+    let draw = |pool: &[f64], rng: &mut rkvc_tensor::SeededRng| -> f64 {
+        if pool.is_empty() {
+            1.0
+        } else {
+            pool[rng.gen_range(0..pool.len())]
+        }
+    };
+    conversations
+        .iter()
+        .map(|c| {
+            let fp16_len = c.reference_response_len.clamp(1, 1024);
+            let m = match recent_budget {
+                // Eviction policy: break iff the span is out of the window.
+                Some(budget) if tail_len(c) > budget => draw(&wander, &mut rng),
+                Some(_) => draw(&benign, &mut rng),
+                // Quantization: rare feature-independent flips.
+                None => draw(multipliers, &mut rng),
+            };
+            let comp_len = ((fp16_len as f64 * m).round() as usize).clamp(1, 1024);
+            let mut r = SimRequest::new(
+                c.id as u64,
+                c.arrival_s,
+                c.prompt_len.min(3500),
+                fp16_len,
+            );
+            r.response_len_by_server = vec![fp16_len, comp_len, comp_len, comp_len];
+            r
+        })
+        .collect()
+}
+
+fn mean_e2e(done: &[rkvc_serving::CompletedRequest]) -> f64 {
+    done.iter().map(|c| c.e2e_s).sum::<f64>() / done.len().max(1) as f64
+}
+
+/// Runs Table 8.
+pub fn run(opts: &RunOptions) -> ExperimentResult {
+    let n_requests = opts.pick(40, 1000);
+    let n_tiny = opts.pick(12, 120);
+    let llm = LlmSpec::llama2_7b();
+    let dep = a6000_lmdeploy(llm);
+    let model = tiny_llama();
+    let mut conversations =
+        sample_conversations(&ShareGptConfig::paper_scale(n_requests, opts.seed ^ 0x8a8), 64);
+    // Routing only differentiates under queueing pressure. The paper's
+    // testbed ran at ~0.9 utilization (baseline mean E2E 11.4s at 10 rps);
+    // our modelled A6000s are faster than their measured stack, so the
+    // arrival process is compressed to land in the same utilization regime.
+    let arrival_scale = match opts.scale {
+        super::Scale::Quick => 0.25,
+        super::Scale::Paper => 0.4,
+    };
+    for c in &mut conversations {
+        c.arrival_s *= arrival_scale;
+    }
+
+    let mut t = crate::report::Table::new(
+        "Table 8: average E2E latency (s) of routing policies",
+        &["Policy", "FP16", "KIVI", "GEAR", "H2O", "Stream"],
+    );
+
+    // FP16 column: only the baseline row is defined (the predictor rows mix
+    // FP16 with a compression algorithm).
+    let fp16_requests = build_requests(&conversations, &[1.0], None, opts.seed);
+    let fp16_baseline = {
+        let servers = (0..4)
+            .map(|i| ServerSim::new(i, dep.clone(), CompressionConfig::Fp16, MAX_BATCH))
+            .collect();
+        let done = Cluster::new(servers, RoutingPolicy::LoadBalance)
+            .run(fp16_requests, &OraclePredictor);
+        mean_e2e(&done)
+    };
+
+    let mut rows: Vec<Vec<String>> = RoutingPolicy::all()
+        .iter()
+        .map(|p| {
+            vec![
+                p.label().to_owned(),
+                if matches!(p, RoutingPolicy::LoadBalance) {
+                    format!("{fp16_baseline:.1}")
+                } else {
+                    "-".to_owned()
+                },
+            ]
+        })
+        .collect();
+
+    for (col, (_, paper_cfg, scaled_cfg)) in columns().into_iter().enumerate() {
+        // Measured length shift for this algorithm, applied mechanistically
+        // (eviction budgets break requests whose span fell out of window).
+        let recent_budget = match paper_cfg {
+            CompressionConfig::H2O(p) => Some(p.budget()),
+            CompressionConfig::Streaming(p) => Some(p.recent),
+            _ => None,
+        };
+        let multipliers = length_multipliers(&model, n_tiny, &scaled_cfg, opts.seed ^ 0x88);
+        let requests =
+            build_requests(&conversations, &multipliers, recent_budget, opts.seed ^ col as u64);
+
+        // Length predictor trained on this algorithm's actual per-request
+        // lengths (the deployed tool would be trained on logged serving
+        // data the same way).
+        let predictor_len = {
+            let mut data = LengthDataset::new();
+            for (c, r) in conversations.iter().zip(&requests) {
+                data.push(&c.prompt, r.response_len_on(1).max(1));
+            }
+            LengthPredictor::fit(&data)
+        };
+        let predictor_fp16 = {
+            let mut data = LengthDataset::new();
+            for c in &conversations {
+                data.push(&c.prompt, c.reference_response_len.max(1));
+            }
+            LengthPredictor::fit(&data)
+        };
+
+        // Throughput predictors per server.
+        let grid = ProfileGrid::standard();
+        let thr_predictors = vec![
+            ThroughputPredictor::fit(&dep, &CompressionConfig::Fp16, grid.clone(), 0.05, opts.seed),
+            ThroughputPredictor::fit(&dep, &paper_cfg, grid.clone(), 0.05, opts.seed + 1),
+            ThroughputPredictor::fit(&dep, &paper_cfg, grid.clone(), 0.05, opts.seed + 2),
+            ThroughputPredictor::fit(&dep, &paper_cfg, grid, 0.05, opts.seed + 3),
+        ];
+        let mut router = ToolRouter::new(thr_predictors, Default::default());
+        for c in &conversations {
+            let fp16_pred = predictor_fp16.predict(&c.prompt);
+            let comp_pred = predictor_len.predict(&c.prompt);
+            router.set_predicted_len(c.id as u64, 0, fp16_pred);
+            for s in 1..4 {
+                router.set_predicted_len(c.id as u64, s, comp_pred);
+            }
+        }
+
+        for (row, policy) in RoutingPolicy::all().into_iter().enumerate() {
+            let servers: Vec<ServerSim> = if matches!(policy, RoutingPolicy::LoadBalance) {
+                // Baseline: all four GPUs run the compression algorithm.
+                (0..4)
+                    .map(|i| ServerSim::new(i, dep.clone(), paper_cfg, MAX_BATCH))
+                    .collect()
+            } else {
+                std::iter::once(ServerSim::new(0, dep.clone(), CompressionConfig::Fp16, MAX_BATCH))
+                    .chain((1..4).map(|i| ServerSim::new(i, dep.clone(), paper_cfg, MAX_BATCH)))
+                    .collect()
+            };
+            // Baseline's all-compressed cluster sees compressed lengths on
+            // every server.
+            let mut reqs = requests.clone();
+            if matches!(policy, RoutingPolicy::LoadBalance) {
+                for r in &mut reqs {
+                    let comp = r.response_len_on(1);
+                    r.response_len_by_server = vec![comp; 4];
+                }
+            }
+            let done = Cluster::new(servers, policy).run(reqs, &router);
+            rows[row].push(format!("{:.1}", mean_e2e(&done)));
+        }
+    }
+
+    for row in rows {
+        t.push_row(row);
+    }
+
+    ExperimentResult {
+        id: "table8".to_owned(),
+        title: "Average end-to-end latency of routing methods".to_owned(),
+        tables: vec![t],
+        notes: vec![
+            "Shape targets: w/Throughput beats Baseline; w/Length alone can hurt; w/Both is \
+             best (paper: 1.45-1.80x over Baseline)."
+                .to_owned(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_routing_beats_baseline_everywhere() {
+        let r = run(&RunOptions::quick());
+        let t = &r.tables[0];
+        let row = |label: &str| t.rows.iter().find(|r| r[0] == label).unwrap();
+        let base = row("Baseline");
+        let both = row("w/ Both");
+        for col in 2..6 {
+            let b: f64 = base[col].parse().unwrap();
+            let w: f64 = both[col].parse().unwrap();
+            assert!(
+                w <= b * 1.05,
+                "{}: w/Both {w} should not lose to baseline {b}",
+                t.headers[col]
+            );
+        }
+    }
+
+    #[test]
+    fn fp16_column_only_has_baseline() {
+        let r = run(&RunOptions::quick());
+        let t = &r.tables[0];
+        assert_ne!(t.rows[0][1], "-");
+        assert_eq!(t.rows[1][1], "-");
+    }
+}

@@ -1,0 +1,39 @@
+//! The paper's tool suite and experiment harness.
+//!
+//! This crate is the reproduction's *primary contribution* layer, mirroring
+//! §5 of *"Rethinking Key-Value Cache Compression Techniques for Large
+//! Language Model Serving"* (MLSys 2025):
+//!
+//! * [`ThroughputPredictor`] — Vidur-style: profile the attention operator
+//!   offline over a (stage, batch, length) grid per compression algorithm,
+//!   share all non-attention operators across algorithms, and answer online
+//!   queries by log-space bilinear interpolation (§5.1, Table 6).
+//! * [`LengthPredictor`] — predicts a request's response length from prompt
+//!   features with ridge regression (standing in for the paper's
+//!   BERT/Longformer classifier; §5.2, Tables 6 and 10).
+//! * [`negative`] — Algorithm 1: mine benign samples that turn malign under
+//!   compression, sweep the threshold (Figure 6), break down by task type
+//!   (Figure 7), and score algorithms on the mined benchmark (Tables 7
+//!   and 11).
+//! * [`router`] — the predictor-driven request router (§5.4, Table 8).
+//! * [`experiments`] — one module per paper table/figure that regenerates
+//!   its rows/series from this workspace's substrates.
+
+pub mod experiments;
+pub mod figures;
+mod length_predictor;
+mod linreg;
+pub mod negative;
+pub mod plot;
+mod profiler;
+pub mod report;
+pub mod router;
+pub mod survey;
+pub mod task_predictor;
+mod throughput_predictor;
+
+pub use length_predictor::{LengthDataset, LengthFeatures, LengthPredictor};
+pub use linreg::RidgeRegression;
+pub use profiler::{ProfileGrid, ProfileTable};
+pub use task_predictor::{TaskFeatures, TaskPredictor};
+pub use throughput_predictor::ThroughputPredictor;

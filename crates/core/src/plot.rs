@@ -1,0 +1,473 @@
+//! Minimal SVG figure rendering.
+//!
+//! The paper's evaluation is mostly *figures*; the `repro` binary renders
+//! each experiment's series as standalone SVG files alongside the printed
+//! tables. No plotting dependency: the module writes SVG primitives
+//! directly (axes, ticks, polylines, bars, legends) with a small
+//! colour-blind-safe palette.
+
+use std::fmt::Write as _;
+
+/// A named data series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisScale {
+    /// Linear axis.
+    Linear,
+    /// Base-2 logarithmic axis (natural for batch/length sweeps).
+    Log2,
+}
+
+/// Figure configuration.
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Figure title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: AxisScale,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl PlotOptions {
+    /// Sensible defaults for a 640x400 line chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        PlotOptions {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: AxisScale::Linear,
+            width: 640,
+            height: 400,
+        }
+    }
+
+    /// Switches the x axis to log2.
+    pub fn log2_x(mut self) -> Self {
+        self.x_scale = AxisScale::Log2;
+        self
+    }
+}
+
+/// Colour-blind-safe categorical palette (Okabe-Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 140.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+fn xform(x: f64, scale: AxisScale) -> f64 {
+    match scale {
+        AxisScale::Linear => x,
+        AxisScale::Log2 => x.max(1e-12).log2(),
+    }
+}
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if !(hi > lo) {
+        return vec![lo];
+    }
+    let span = hi - lo;
+    let raw_step = span / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + 1e-9 * span {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders a multi-series line chart as an SVG document.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or every series is empty.
+///
+/// # Examples
+///
+/// ```
+/// use rkvc_core::plot::{line_chart, PlotOptions, Series};
+///
+/// let svg = line_chart(
+///     &[Series::new("fp16", vec![(1.0, 10.0), (2.0, 20.0)])],
+///     &PlotOptions::new("demo", "x", "y"),
+/// );
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// ```
+pub fn line_chart(series: &[Series], opts: &PlotOptions) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .map(|(x, y)| (xform(x, opts.x_scale), y))
+        .collect();
+    assert!(!points.is_empty(), "series hold no points");
+
+    let (mut x_lo, mut x_hi) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+    let (mut y_lo, mut y_hi) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+    if x_hi == x_lo {
+        x_hi += 1.0;
+        x_lo -= 1.0;
+    }
+    if y_hi == y_lo {
+        y_hi += 1.0;
+        y_lo = (y_lo - 1.0).min(0.0);
+    }
+    y_lo = y_lo.min(0.0);
+    y_hi *= 1.05;
+
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = move |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{tx}" y="20" text-anchor="middle" font-size="13" font-weight="bold">{title}</text>"#,
+        tx = MARGIN_L + plot_w / 2.0,
+        title = xml_escape(&opts.title),
+    );
+
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/>"#,
+        l = MARGIN_L,
+        r = MARGIN_L + plot_w,
+        t = MARGIN_T,
+        b = MARGIN_T + plot_h,
+    );
+
+    // Y ticks + gridlines.
+    for tick in nice_ticks(y_lo, y_hi, 5) {
+        let y = sy(tick);
+        let _ = write!(
+            svg,
+            r##"<line x1="{l}" y1="{y:.1}" x2="{r}" y2="{y:.1}" stroke="#dddddd"/><text x="{lx}" y="{ty:.1}" text-anchor="end">{v}</text>"##,
+            l = MARGIN_L,
+            r = MARGIN_L + plot_w,
+            lx = MARGIN_L - 6.0,
+            ty = y + 4.0,
+            v = fmt_tick(tick),
+        );
+    }
+    // X ticks: use the union of series x values (sweeps are discrete).
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.dedup();
+    for &x in xs.iter().take(12) {
+        let px = sx(xform(x, opts.x_scale));
+        let _ = write!(
+            svg,
+            r#"<text x="{px:.1}" y="{ty}" text-anchor="middle">{v}</text>"#,
+            ty = MARGIN_T + plot_h + 16.0,
+            v = fmt_tick(x),
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{cx}" y="{cy}" text-anchor="middle">{xl}</text><text x="16" y="{my}" text-anchor="middle" transform="rotate(-90 16 {my})">{yl}</text>"#,
+        cx = MARGIN_L + plot_w / 2.0,
+        cy = h - 12.0,
+        xl = xml_escape(&opts.x_label),
+        my = MARGIN_T + plot_h / 2.0,
+        yl = xml_escape(&opts.y_label),
+    );
+
+    // Series polylines + legend.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: String = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(xform(x, opts.x_scale)), sy(y)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            svg,
+            r#"<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                sx(xform(x, opts.x_scale)),
+                sy(y),
+            );
+        }
+        let ly = MARGIN_T + 14.0 * i as f64 + 8.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{lx2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}">{label}</text>"#,
+            lx = MARGIN_L + plot_w + 8.0,
+            lx2 = MARGIN_L + plot_w + 26.0,
+            tx = MARGIN_L + plot_w + 30.0,
+            ty = ly + 4.0,
+            label = xml_escape(&s.label),
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders grouped vertical bars (one group per category, one bar per
+/// series) as an SVG document.
+///
+/// # Panics
+///
+/// Panics if `categories` is empty or any series length differs from the
+/// category count.
+pub fn bar_chart(categories: &[String], series: &[Series], opts: &PlotOptions) -> String {
+    assert!(!categories.is_empty(), "need categories");
+    for s in series {
+        assert_eq!(
+            s.points.len(),
+            categories.len(),
+            "series '{}' length mismatch",
+            s.label
+        );
+    }
+    let y_hi = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.05;
+
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let group_w = plot_w / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len() as f64;
+    let sy = move |y: f64| MARGIN_T + (1.0 - y / y_hi) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{tx}" y="20" text-anchor="middle" font-size="13" font-weight="bold">{title}</text>"#,
+        tx = MARGIN_L + plot_w / 2.0,
+        title = xml_escape(&opts.title),
+    );
+    for tick in nice_ticks(0.0, y_hi, 5) {
+        let y = sy(tick);
+        let _ = write!(
+            svg,
+            r##"<line x1="{l}" y1="{y:.1}" x2="{r}" y2="{y:.1}" stroke="#dddddd"/><text x="{lx}" y="{ty:.1}" text-anchor="end">{v}</text>"##,
+            l = MARGIN_L,
+            r = MARGIN_L + plot_w,
+            lx = MARGIN_L - 6.0,
+            ty = y + 4.0,
+            v = fmt_tick(tick),
+        );
+    }
+    for (ci, cat) in categories.iter().enumerate() {
+        let gx = MARGIN_L + group_w * ci as f64 + group_w * 0.1;
+        for (si, s) in series.iter().enumerate() {
+            let v = s.points[ci].1;
+            let color = PALETTE[si % PALETTE.len()];
+            let y = sy(v);
+            let _ = write!(
+                svg,
+                r#"<rect x="{x:.1}" y="{y:.1}" width="{bw:.1}" height="{bh:.1}" fill="{color}"/>"#,
+                x = gx + bar_w * si as f64,
+                bw = bar_w.max(1.0),
+                bh = (MARGIN_T + plot_h - y).max(0.0),
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="{cx:.1}" y="{cy}" text-anchor="middle">{cat}</text>"#,
+            cx = MARGIN_L + group_w * (ci as f64 + 0.5),
+            cy = MARGIN_T + plot_h + 16.0,
+            cat = xml_escape(cat),
+        );
+    }
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let ly = MARGIN_T + 14.0 * i as f64 + 8.0;
+        let _ = write!(
+            svg,
+            r#"<rect x="{lx}" y="{ry}" width="12" height="9" fill="{color}"/><text x="{tx}" y="{ty}">{label}</text>"#,
+            lx = MARGIN_L + plot_w + 8.0,
+            ry = ly - 7.0,
+            tx = MARGIN_L + plot_w + 24.0,
+            ty = ly + 2.0,
+            label = xml_escape(&s.label),
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/></svg>"#,
+        l = MARGIN_L,
+        r = MARGIN_L + plot_w,
+        t = MARGIN_T,
+        b = MARGIN_T + plot_h,
+    );
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::new("a", vec![(1.0, 1.0), (2.0, 4.0), (4.0, 9.0)]),
+            Series::new("b", vec![(1.0, 2.0), (2.0, 3.0), (4.0, 5.0)]),
+        ]
+    }
+
+    #[test]
+    fn line_chart_is_wellformed_svg() {
+        let svg = line_chart(&demo_series(), &PlotOptions::new("t", "x", "y"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">t</text>"));
+    }
+
+    #[test]
+    fn log2_axis_compresses_wide_sweeps() {
+        // Three points: the interior point's pixel position reveals the
+        // scale (endpoints land on the frame under either scale).
+        let s = vec![Series::new(
+            "a",
+            vec![(512.0, 1.0), (1024.0, 1.5), (8192.0, 2.0)],
+        )];
+        let lin = line_chart(&s, &PlotOptions::new("t", "x", "y"));
+        let log = line_chart(&s, &PlotOptions::new("t", "x", "y").log2_x());
+        assert_ne!(lin, log);
+        // Under log2, x=1024 sits a quarter of the way (1 of 4 octaves);
+        // under linear it sits at ~6.7%.
+        let mid_x = |svg: &str| -> f64 {
+            let pts = svg.split("points=\"").nth(1).unwrap();
+            let mid = pts.split(' ').nth(1).unwrap();
+            mid.split(',').next().unwrap().parse().unwrap()
+        };
+        assert!(mid_x(&log) > mid_x(&lin) + 30.0);
+    }
+
+    #[test]
+    fn bar_chart_draws_all_bars() {
+        let cats = vec!["qa".to_owned(), "code".to_owned()];
+        let series = vec![
+            Series::new("h2o", vec![(0.0, 10.0), (1.0, 90.0)]),
+            Series::new("quest", vec![(0.0, 95.0), (1.0, 97.0)]),
+        ];
+        let svg = bar_chart(&cats, &series, &PlotOptions::new("t", "", "score"));
+        // 4 data bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 1); // +1 background
+        assert!(svg.contains("qa"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let s = vec![Series::new("a<b&c", vec![(0.0, 1.0)])];
+        let svg = line_chart(&s, &PlotOptions::new("x<y", "a", "b"));
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover_range() {
+        let ticks = nice_ticks(0.0, 97.0, 5);
+        assert!(ticks.len() >= 4);
+        assert!(ticks.iter().all(|t| (t % 20.0).abs() < 1e-9));
+        assert!(*ticks.last().unwrap() <= 97.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_rejected() {
+        line_chart(&[], &PlotOptions::new("t", "x", "y"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let s = vec![Series::new("a", vec![(1.0, 5.0), (2.0, 5.0)])];
+        let svg = line_chart(&s, &PlotOptions::new("t", "x", "y"));
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text table rendering and JSON result persistence.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A renderable results table (one paper table, or one figure's series).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "| {h:w$} ");
+        }
+        writeln!(f, "{line}|")?;
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        writeln!(f, "{sep}|")?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "| {cell:w$} ");
+            }
+            writeln!(f, "{line}|")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as the paper does (`1.34x`).
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats a fraction as a percentage (`21.3%`).
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Serializes a result to pretty JSON under `results/<name>.json`,
+/// creating the directory if needed.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn save_json<T: Serialize>(
+    dir: impl AsRef<Path>,
+    name: &str,
+    value: &T,
+) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(dir.join(format!("{name}.json")), json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["algo", "speedup"]);
+        t.push_row(vec!["fp16".into(), "1.00x".into()]);
+        t.push_row(vec!["streaming-llm".into(), "1.34x".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| streaming-llm | 1.34x"));
+        // Both data lines end with the same column edge.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ratio(1.344), "1.34x");
+        assert_eq!(fmt_pct(0.213), "21.3%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("X", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn saves_json() {
+        let dir = std::env::temp_dir().join("rkvc_report_test");
+        save_json(&dir, "demo", &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(body.contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,104 @@
+//! The predictor-driven request router (§5.4, Table 8).
+//!
+//! Glues the tool suite's [`ThroughputPredictor`] and length predictions to
+//! the serving simulator's [`rkvc_serving::Cluster`] routing hooks.
+
+use rkvc_serving::{RoutePredictor, ServerSim, SimRequest};
+use std::collections::HashMap;
+
+use crate::ThroughputPredictor;
+
+/// A [`RoutePredictor`] backed by the paper's two tools: per-server
+/// throughput predictors and precomputed per-(request, server) length
+/// predictions (the length predictor runs on the prompt before routing).
+#[derive(Debug)]
+pub struct ToolRouter {
+    /// One throughput predictor per server (index = server id).
+    throughput: Vec<ThroughputPredictor>,
+    /// Predicted response length per `(request id, server id)`.
+    predicted_len: HashMap<(u64, usize), f64>,
+}
+
+impl ToolRouter {
+    /// Creates the router from fitted predictors.
+    pub fn new(
+        throughput: Vec<ThroughputPredictor>,
+        predicted_len: HashMap<(u64, usize), f64>,
+    ) -> Self {
+        ToolRouter {
+            throughput,
+            predicted_len,
+        }
+    }
+
+    /// Registers a predicted length for a request on a server.
+    pub fn set_predicted_len(&mut self, request: u64, server: usize, len: f64) {
+        self.predicted_len.insert((request, server), len);
+    }
+}
+
+impl RoutePredictor for ToolRouter {
+    fn predicted_throughput(&self, server: &ServerSim, req: &SimRequest) -> f64 {
+        let batch = server.batch_size() + 1;
+        let kv = server.mean_kv_len().max(req.prompt_len);
+        self.throughput[server.id()].predict_decode_throughput(batch, kv)
+    }
+
+    fn predicted_response_len(&self, server: &ServerSim, req: &SimRequest) -> f64 {
+        self.predicted_len
+            .get(&(req.id, server.id()))
+            .copied()
+            .unwrap_or(req.response_len as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProfileGrid;
+    use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+    use rkvc_kvcache::CompressionConfig;
+
+    fn dep() -> DeploymentSpec {
+        DeploymentSpec {
+            gpu: GpuSpec::a6000(),
+            llm: LlmSpec::llama2_7b(),
+            engine: EngineKind::LmDeploy,
+            tensor_parallel: 1,
+        }
+    }
+
+    #[test]
+    fn router_answers_both_questions() {
+        let d = dep();
+        let algo = CompressionConfig::streaming(64, 448);
+        let router = ToolRouter::new(
+            vec![
+                ThroughputPredictor::fit(&d, &CompressionConfig::Fp16, ProfileGrid::standard(), 0.0, 1),
+                ThroughputPredictor::fit(&d, &algo, ProfileGrid::standard(), 0.0, 2),
+            ],
+            HashMap::from([((7, 0), 100.0), ((7, 1), 140.0)]),
+        );
+        let s0 = ServerSim::new(0, d.clone(), CompressionConfig::Fp16, 8);
+        let s1 = ServerSim::new(1, d, algo, 8);
+        let req = SimRequest::new(7, 0.0, 4096, 100);
+        // Compression server should predict higher decode throughput at a
+        // heavy KV length.
+        assert!(router.predicted_throughput(&s1, &req) > router.predicted_throughput(&s0, &req));
+        // Length predictions come from the registered table.
+        assert_eq!(router.predicted_response_len(&s0, &req), 100.0);
+        assert_eq!(router.predicted_response_len(&s1, &req), 140.0);
+    }
+
+    #[test]
+    fn missing_prediction_falls_back_to_request() {
+        let d = dep();
+        let router = ToolRouter::new(
+            vec![ThroughputPredictor::fit(&d, &CompressionConfig::Fp16, ProfileGrid::standard(), 0.0, 1)],
+            HashMap::new(),
+        );
+        let s0 = ServerSim::new(0, d, CompressionConfig::Fp16, 8);
+        let req = SimRequest::new(1, 0.0, 512, 42);
+        assert_eq!(router.predicted_response_len(&s0, &req), 42.0);
+    }
+}

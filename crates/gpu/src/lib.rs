@@ -1,0 +1,44 @@
+//! Analytical GPU cost model for LLM serving with KV-cache compression.
+//!
+//! The paper's throughput findings (Figures 1–3, 8–14, Table 3) are
+//! explained by *memory-traffic and kernel-structure mechanisms*: one-pass
+//! vs multi-pass attention, score materialization for eviction policies,
+//! dequantization ALU cost and its irregular access patterns, residual
+//! windows splitting the cache into two tensor types, paged block tables,
+//! and all-reduce costs under tensor parallelism. This crate models those
+//! mechanisms explicitly with a roofline-style cost model calibrated to
+//! A6000 and H800 spec sheets.
+//!
+//! The model deliberately predicts *shapes* — who wins, by what factor,
+//! where crossovers fall — rather than the authors' exact testbed numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+//! use rkvc_kvcache::CompressionConfig;
+//!
+//! let dep = DeploymentSpec {
+//!     gpu: GpuSpec::a6000(),
+//!     llm: LlmSpec::llama2_7b(),
+//!     engine: EngineKind::LmDeploy,
+//!     tensor_parallel: 1,
+//! };
+//! let fp16 = dep.decode_throughput(&CompressionConfig::Fp16, 8, 4096);
+//! let h2o = dep.decode_throughput(&CompressionConfig::h2o(64, 448), 8, 4096);
+//! assert!(h2o > fp16, "sparsity should win at heavy KV settings");
+//! ```
+
+mod attention;
+mod engine;
+mod hardware;
+mod llm;
+mod memory;
+mod perf;
+
+pub use attention::{attention_decode_time, attention_prefill_time, AttentionEnv};
+pub use engine::EngineKind;
+pub use hardware::GpuSpec;
+pub use llm::LlmSpec;
+pub use memory::{decode_memory_bytes, fits_in_memory, kv_bytes_per_token, MemoryBreakdown};
+pub use perf::{DeploymentSpec, StageTime};

@@ -1,0 +1,117 @@
+//! The per-(layer, head) KV cache abstraction.
+
+use rkvc_tensor::Matrix;
+
+use crate::CacheStats;
+
+/// Materialized view of a cache's retained entries.
+///
+/// `keys` and `values` are `(retained_tokens x head_dim)` matrices;
+/// `positions[i]` is the original sequence position of row `i`. Quantizing
+/// caches reconstruct (dequantize) on view, so attention downstream sees the
+/// values a real kernel would compute with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvView {
+    /// Retained key vectors, one row per retained token.
+    pub keys: Matrix,
+    /// Retained value vectors, one row per retained token.
+    pub values: Matrix,
+    /// Original sequence positions of the retained rows.
+    pub positions: Vec<usize>,
+}
+
+impl KvView {
+    /// Number of retained tokens in the view.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the view holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// A single attention head's KV cache with a pluggable compression policy.
+///
+/// The model drives the cache through three hooks:
+///
+/// 1. [`append`](KvCache::append) — called once per token (prefill and
+///    decode) with the freshly computed key/value vectors.
+/// 2. [`observe_attention`](KvCache::observe_attention) — called after each
+///    attention computation with the post-softmax weights over the current
+///    view (oldest row first). Score-based policies (H2O, SnapKV) accumulate
+///    importance from these.
+/// 3. [`finish_prefill`](KvCache::finish_prefill) — called once when the
+///    prompt has been fully ingested. Prefill-compressing policies (SnapKV)
+///    act here.
+pub trait KvCache: std::fmt::Debug {
+    /// Appends the key/value vectors for the token at sequence position
+    /// `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `key.len()` or `value.len()` differ from the
+    /// head dimension fixed at construction.
+    fn append(&mut self, key: &[f32], value: &[f32], pos: usize);
+
+    /// Materializes the retained entries for attention.
+    fn view(&self) -> KvView;
+
+    /// Materializes the entries relevant to a specific query vector.
+    ///
+    /// Query-aware policies (Quest) select a subset per query; everything
+    /// else returns the static [`view`](KvCache::view). The weights passed
+    /// to the next [`observe_attention`](KvCache::observe_attention) call
+    /// refer to the rows of this view.
+    fn view_for_query(&self, _query: &[f32]) -> KvView {
+        self.view()
+    }
+
+    /// Feeds back the post-softmax attention weights of the latest query
+    /// over the rows of the last [`view`](KvCache::view) (same order).
+    ///
+    /// Policies that do not use attention scores ignore this.
+    fn observe_attention(&mut self, _weights: &[f32]) {}
+
+    /// Signals that the prompt has been fully ingested.
+    fn finish_prefill(&mut self) {}
+
+    /// Number of tokens currently retained.
+    fn len(&self) -> usize;
+
+    /// Whether no tokens are retained.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of tokens ever appended.
+    fn seen(&self) -> usize;
+
+    /// Bytes this cache would occupy in device memory with its native
+    /// storage format (packed codes + constants for quantizers, FP16 for
+    /// dense policies).
+    fn memory_bytes(&self) -> usize;
+
+    /// Aggregate statistics (retention, memory, quantization error).
+    fn stats(&self) -> CacheStats;
+
+    /// Short algorithm name, e.g. `"kivi-4"`.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_len_tracks_positions() {
+        let v = KvView {
+            keys: Matrix::zeros(3, 2),
+            values: Matrix::zeros(3, 2),
+            positions: vec![0, 1, 2],
+        };
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! Unified configuration for all compression policies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    FullPrecisionCache, GearCache, GearParams, H2OCache, H2OParams, KiviCache, KiviParams,
+    KvCache, QuestCache, QuestParams, SnapKvCache, SnapKvParams, StreamingLlmCache,
+    StreamingParams, ThinkCache, ThinkParams, TovaCache, TovaParams,
+};
+
+/// Hyper-parameters for the PyramidKV layer-level budget allocator
+/// (Zhang et al., 2024): per-layer prompt-KV budgets decline linearly from
+/// `first_layer_budget` to `last_layer_budget` ("pyramidal information
+/// funneling" — early layers need broad attention, deep layers concentrate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PyramidKvParams {
+    /// Prompt-KV budget at layer 0 (the widest level of the pyramid).
+    pub first_layer_budget: usize,
+    /// Prompt-KV budget at the last layer (the apex).
+    pub last_layer_budget: usize,
+    /// Observation window handed to the per-layer SnapKV selector.
+    pub obs_window: usize,
+}
+
+impl Default for PyramidKvParams {
+    fn default() -> Self {
+        PyramidKvParams {
+            first_layer_budget: 768,
+            last_layer_budget: 256,
+            obs_window: 32,
+        }
+    }
+}
+
+impl PyramidKvParams {
+    /// The budget assigned to `layer` of `n_layers` (linear interpolation,
+    /// floored at 1).
+    pub fn budget_for_layer(&self, layer: usize, n_layers: usize) -> usize {
+        if n_layers <= 1 {
+            return self.first_layer_budget.max(1);
+        }
+        let t = layer as f64 / (n_layers - 1) as f64;
+        let b = self.first_layer_budget as f64
+            + (self.last_layer_budget as f64 - self.first_layer_budget as f64) * t;
+        (b.round() as usize).max(1)
+    }
+
+    /// Mean budget across layers (memory-accounting proxy).
+    pub fn mean_budget(&self) -> usize {
+        (self.first_layer_budget + self.last_layer_budget) / 2
+    }
+}
+
+/// Coarse family of a compression policy, as the paper classifies them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompressionFamily {
+    /// No compression (FP16 baseline).
+    None,
+    /// Quantization-based (KIVI, GEAR).
+    Quantization,
+    /// Sparsity-based (H2O, StreamingLLM, SnapKV).
+    Sparsity,
+}
+
+impl std::fmt::Display for CompressionFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CompressionFamily::None => "none",
+            CompressionFamily::Quantization => "quantization",
+            CompressionFamily::Sparsity => "sparsity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of a KV-cache compression policy.
+///
+/// This is the single entry point experiments use to instantiate caches; it
+/// is serializable so experiment manifests can record exactly what ran.
+///
+/// # Examples
+///
+/// ```
+/// use rkvc_kvcache::CompressionConfig;
+///
+/// let cfg = CompressionConfig::h2o(64, 448);
+/// let cache = cfg.build(64);
+/// assert_eq!(cache.name(), "h2o-512");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CompressionConfig {
+    /// FP16 baseline — no compression.
+    Fp16,
+    /// KIVI quantization.
+    Kivi(KiviParams),
+    /// GEAR error-corrected quantization.
+    Gear(GearParams),
+    /// H2O heavy-hitter eviction.
+    H2O(H2OParams),
+    /// StreamingLLM sinks + sliding window.
+    Streaming(StreamingParams),
+    /// SnapKV prefill compression.
+    SnapKv(SnapKvParams),
+    /// TOVA current-attention eviction (extension algorithm).
+    Tova(TovaParams),
+    /// ThinK channel-dimension pruning (extension algorithm; the survey's
+    /// channel-level granularity family).
+    Think(ThinkParams),
+    /// PyramidKV layer-level budget allocation (extension algorithm; the
+    /// survey's layer-level granularity family).
+    PyramidKv(PyramidKvParams),
+    /// Quest query-aware page selection (extension algorithm; §4.4's
+    /// recommended remedy).
+    Quest(QuestParams),
+}
+
+impl CompressionConfig {
+    /// KIVI at the given bit width with the paper's defaults
+    /// (G=32, R=128).
+    pub fn kivi(bits: u8) -> Self {
+        CompressionConfig::Kivi(KiviParams {
+            bits,
+            ..KiviParams::default()
+        })
+    }
+
+    /// GEAR at the given bit width with the paper's defaults
+    /// (s=2%, r=2%).
+    pub fn gear(bits: u8) -> Self {
+        CompressionConfig::Gear(GearParams {
+            bits,
+            ..GearParams::default()
+        })
+    }
+
+    /// H2O with explicit heavy/recent budgets (paper: 64 + 448).
+    pub fn h2o(heavy: usize, recent: usize) -> Self {
+        CompressionConfig::H2O(H2OParams { heavy, recent })
+    }
+
+    /// StreamingLLM with explicit sink/recent budgets (paper: 64 + 448).
+    pub fn streaming(sinks: usize, recent: usize) -> Self {
+        CompressionConfig::Streaming(StreamingParams { sinks, recent })
+    }
+
+    /// SnapKV with an explicit prompt budget and defaults otherwise.
+    pub fn snapkv(budget: usize) -> Self {
+        CompressionConfig::SnapKv(SnapKvParams {
+            budget,
+            ..SnapKvParams::default()
+        })
+    }
+
+    /// TOVA with an explicit token budget.
+    pub fn tova(budget: usize) -> Self {
+        CompressionConfig::Tova(TovaParams { budget })
+    }
+
+    /// Quest with explicit page size and page count.
+    pub fn quest(page_size: usize, top_k_pages: usize) -> Self {
+        CompressionConfig::Quest(QuestParams {
+            page_size,
+            top_k_pages,
+        })
+    }
+
+    /// ThinK with an explicit channel keep ratio.
+    pub fn think(keep_ratio: f32) -> Self {
+        CompressionConfig::Think(ThinkParams { keep_ratio })
+    }
+
+    /// PyramidKV with explicit first/last-layer budgets.
+    pub fn pyramid_kv(first_layer_budget: usize, last_layer_budget: usize) -> Self {
+        CompressionConfig::PyramidKv(PyramidKvParams {
+            first_layer_budget,
+            last_layer_budget,
+            ..PyramidKvParams::default()
+        })
+    }
+
+    /// The four representative algorithms the paper evaluates, with the
+    /// paper's hyper-parameters, plus the FP16 baseline.
+    pub fn paper_suite() -> Vec<CompressionConfig> {
+        vec![
+            CompressionConfig::Fp16,
+            CompressionConfig::kivi(4),
+            CompressionConfig::gear(4),
+            CompressionConfig::h2o(64, 448),
+            CompressionConfig::streaming(64, 448),
+        ]
+    }
+
+    /// Instantiates a cache for one attention head of dimension `head_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration carries invalid parameters (callers
+    /// constructing configs from untrusted input should validate via the
+    /// per-algorithm constructors, which return `Result`).
+    pub fn build(&self, head_dim: usize) -> Box<dyn KvCache> {
+        match *self {
+            CompressionConfig::Fp16 => Box::new(FullPrecisionCache::new(head_dim)),
+            CompressionConfig::Kivi(p) => {
+                Box::new(KiviCache::new(head_dim, p).expect("invalid KIVI params"))
+            }
+            CompressionConfig::Gear(p) => {
+                Box::new(GearCache::new(head_dim, p).expect("invalid GEAR params"))
+            }
+            CompressionConfig::H2O(p) => {
+                Box::new(H2OCache::new(head_dim, p).expect("invalid H2O params"))
+            }
+            CompressionConfig::Streaming(p) => {
+                Box::new(StreamingLlmCache::new(head_dim, p).expect("invalid Streaming params"))
+            }
+            CompressionConfig::SnapKv(p) => {
+                Box::new(SnapKvCache::new(head_dim, p).expect("invalid SnapKV params"))
+            }
+            CompressionConfig::Tova(p) => {
+                Box::new(TovaCache::new(head_dim, p).expect("invalid TOVA params"))
+            }
+            CompressionConfig::Quest(p) => {
+                Box::new(QuestCache::new(head_dim, p).expect("invalid Quest params"))
+            }
+            CompressionConfig::Think(p) => {
+                Box::new(ThinkCache::new(head_dim, p).expect("invalid ThinK params"))
+            }
+            CompressionConfig::PyramidKv(p) => {
+                // Layer-agnostic fallback: the mean budget. Callers that
+                // know the layer use `build_for_layer`.
+                Box::new(
+                    SnapKvCache::new(
+                        head_dim,
+                        SnapKvParams {
+                            budget: p.mean_budget(),
+                            obs_window: p.obs_window,
+                            kernel: 5,
+                        },
+                    )
+                    .expect("invalid PyramidKV params"),
+                )
+            }
+        }
+    }
+
+    /// Instantiates a cache for one attention head at a specific layer.
+    ///
+    /// Layer-level policies (PyramidKV) allocate different budgets per
+    /// layer; every other policy ignores the layer and behaves like
+    /// [`build`](CompressionConfig::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`build`](CompressionConfig::build).
+    pub fn build_for_layer(
+        &self,
+        head_dim: usize,
+        layer: usize,
+        n_layers: usize,
+    ) -> Box<dyn KvCache> {
+        match *self {
+            CompressionConfig::PyramidKv(p) => Box::new(
+                SnapKvCache::new(
+                    head_dim,
+                    SnapKvParams {
+                        budget: p.budget_for_layer(layer, n_layers),
+                        obs_window: p.obs_window,
+                        kernel: 5,
+                    },
+                )
+                .expect("invalid PyramidKV params"),
+            ),
+            _ => self.build(head_dim),
+        }
+    }
+
+    /// The policy's family (quantization vs sparsity vs none).
+    pub fn family(&self) -> CompressionFamily {
+        match self {
+            CompressionConfig::Fp16 => CompressionFamily::None,
+            CompressionConfig::Kivi(_) | CompressionConfig::Gear(_) => {
+                CompressionFamily::Quantization
+            }
+            CompressionConfig::H2O(_)
+            | CompressionConfig::Streaming(_)
+            | CompressionConfig::SnapKv(_)
+            | CompressionConfig::Tova(_)
+            | CompressionConfig::Quest(_)
+            | CompressionConfig::Think(_)
+            | CompressionConfig::PyramidKv(_) => CompressionFamily::Sparsity,
+        }
+    }
+
+    /// Short display name matching the paper's labels (e.g. `"kivi-4"`,
+    /// `"h2o-512"`).
+    pub fn label(&self) -> String {
+        match *self {
+            CompressionConfig::Fp16 => "fp16".to_owned(),
+            CompressionConfig::Kivi(p) => format!("kivi-{}", p.bits),
+            CompressionConfig::Gear(p) => format!("gear-{}", p.bits),
+            CompressionConfig::H2O(p) => format!("h2o-{}", p.budget()),
+            CompressionConfig::Streaming(p) => format!("stream-{}", p.budget()),
+            CompressionConfig::SnapKv(p) => format!("snapkv-{}", p.budget),
+            CompressionConfig::Tova(p) => format!("tova-{}", p.budget),
+            CompressionConfig::Quest(p) => format!("quest-{}", p.budget()),
+            CompressionConfig::Think(p) => format!("think-{:.0}", p.keep_ratio * 100.0),
+            CompressionConfig::PyramidKv(p) => {
+                format!("pyramid-{}-{}", p.first_layer_budget, p.last_layer_budget)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CompressionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(CompressionConfig::Fp16.label(), "fp16");
+        assert_eq!(CompressionConfig::kivi(2).label(), "kivi-2");
+        assert_eq!(CompressionConfig::gear(4).label(), "gear-4");
+        assert_eq!(CompressionConfig::h2o(64, 448).label(), "h2o-512");
+        assert_eq!(CompressionConfig::streaming(64, 448).label(), "stream-512");
+        assert_eq!(CompressionConfig::snapkv(448).label(), "snapkv-448");
+    }
+
+    #[test]
+    fn families_classified() {
+        assert_eq!(CompressionConfig::Fp16.family(), CompressionFamily::None);
+        assert_eq!(CompressionConfig::kivi(4).family(), CompressionFamily::Quantization);
+        assert_eq!(CompressionConfig::gear(4).family(), CompressionFamily::Quantization);
+        assert_eq!(CompressionConfig::h2o(64, 448).family(), CompressionFamily::Sparsity);
+        assert_eq!(CompressionConfig::streaming(64, 448).family(), CompressionFamily::Sparsity);
+        assert_eq!(CompressionConfig::snapkv(448).family(), CompressionFamily::Sparsity);
+    }
+
+    #[test]
+    fn build_produces_working_caches() {
+        for cfg in CompressionConfig::paper_suite() {
+            let mut cache = cfg.build(8);
+            for pos in 0..4 {
+                cache.append(&[0.5; 8], &[0.5; 8], pos);
+            }
+            assert_eq!(cache.len(), 4, "{cfg}");
+            assert_eq!(cache.view().positions, vec![0, 1, 2, 3], "{cfg}");
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = CompressionConfig::kivi(2);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CompressionConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn paper_suite_has_five_entries() {
+        assert_eq!(CompressionConfig::paper_suite().len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod pyramid_tests {
+    use super::*;
+
+    #[test]
+    fn pyramid_budgets_interpolate_linearly() {
+        let p = PyramidKvParams {
+            first_layer_budget: 96,
+            last_layer_budget: 32,
+            obs_window: 8,
+        };
+        assert_eq!(p.budget_for_layer(0, 4), 96);
+        assert_eq!(p.budget_for_layer(3, 4), 32);
+        let mid = p.budget_for_layer(1, 4);
+        assert!(mid < 96 && mid > 32, "{mid}");
+        assert_eq!(p.mean_budget(), 64);
+        // Degenerate single-layer model gets the base budget.
+        assert_eq!(p.budget_for_layer(0, 1), 96);
+    }
+
+    #[test]
+    fn build_for_layer_varies_only_for_pyramid() {
+        let pyr = CompressionConfig::pyramid_kv(24, 8);
+        let drive = |mut cache: Box<dyn KvCache>| -> usize {
+            for pos in 0..64 {
+                cache.append(&[0.0; 4], &[0.0; 4], pos);
+                let n = cache.len();
+                cache.observe_attention(&vec![1.0 / n as f32; n]);
+            }
+            cache.finish_prefill();
+            cache.len()
+        };
+        let first = drive(pyr.build_for_layer(4, 0, 4));
+        let last = drive(pyr.build_for_layer(4, 3, 4));
+        assert!(first > last, "layer budgets must differ: {first} vs {last}");
+        // Non-layer policies ignore the layer index.
+        let h2o = CompressionConfig::h2o(4, 12);
+        assert_eq!(drive(h2o.build_for_layer(4, 0, 4)), drive(h2o.build_for_layer(4, 3, 4)));
+    }
+
+    #[test]
+    fn new_labels_render() {
+        assert_eq!(CompressionConfig::think(0.5).label(), "think-50");
+        assert_eq!(CompressionConfig::pyramid_kv(96, 32).label(), "pyramid-96-32");
+        assert_eq!(CompressionConfig::tova(64).label(), "tova-64");
+        assert_eq!(CompressionConfig::quest(8, 8).label(), "quest-64");
+    }
+}

@@ -1,0 +1,406 @@
+//! GEAR: quantization with sparse-outlier and low-rank error correction
+//! (Kang et al., 2024).
+//!
+//! GEAR quantizes the KV cache uniformly but *repairs* the quantization
+//! error with two side structures: the top-`s`% largest-magnitude error
+//! entries are stored exactly (the outliers), and the remaining error matrix
+//! is approximated with a rank-`r` factorization. Reconstruction is
+//! `dequant(Q) + U·V + sparse` — near-lossless at the cost of extra compute,
+//! which is precisely the overhead the paper measures in Figure 3.
+
+use rkvc_tensor::{low_rank_approximate, round_slice_to_f16, round_to_f16, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::quantizer::{GroupLayout, QuantizedMatrix, SupportedBits};
+use crate::{CacheError, CacheStats, KvCache, KvView};
+
+/// Hyper-parameters for [`GearCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GearParams {
+    /// Quantization bit width (paper evaluates 4 and 2).
+    pub bits: u8,
+    /// Sparse outlier ratio `s` — fraction of error entries kept exact
+    /// (paper default 2%).
+    pub outlier_ratio: f32,
+    /// Low-rank ratio `r` — rank as a fraction of `min(chunk, head_dim)`
+    /// (paper default 2%, floored at rank 1).
+    pub rank_ratio: f32,
+    /// Recent tokens buffered in full precision before a chunk is
+    /// quantized.
+    pub buffer: usize,
+}
+
+impl Default for GearParams {
+    fn default() -> Self {
+        GearParams {
+            bits: 4,
+            outlier_ratio: 0.02,
+            rank_ratio: 0.02,
+            buffer: 16,
+        }
+    }
+}
+
+/// Exact-valued outlier entry of an error matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Outlier {
+    row: usize,
+    col: usize,
+    value: f32,
+}
+
+/// One quantized-and-corrected tensor (K or V of a chunk).
+#[derive(Debug, Clone)]
+struct CorrectedTensor {
+    quant: QuantizedMatrix,
+    low_rank_u: Matrix,
+    low_rank_v: Matrix,
+    outliers: Vec<Outlier>,
+}
+
+impl CorrectedTensor {
+    fn build(x: &Matrix, bits: SupportedBits, params: &GearParams) -> (Self, f32) {
+        let quant = QuantizedMatrix::quantize(x, GroupLayout::PerToken, bits);
+        let mut error = x.sub(&quant.dequantize());
+
+        // Extract the top-s% |error| entries as exact outliers.
+        let n_outliers = ((error.len() as f32 * params.outlier_ratio).round() as usize).max(1);
+        let mut indexed: Vec<(usize, f32)> = error
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v.abs()))
+            .collect();
+        indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let cols = error.cols();
+        let mut outliers = Vec::with_capacity(n_outliers);
+        for &(flat, _) in indexed.iter().take(n_outliers) {
+            let row = flat / cols;
+            let col = flat % cols;
+            outliers.push(Outlier {
+                row,
+                col,
+                value: round_to_f16(error.get(row, col)),
+            });
+            error.set(row, col, 0.0);
+        }
+
+        // Low-rank approximation of the remaining error.
+        let max_rank = error.rows().min(error.cols());
+        let rank = ((max_rank as f32 * params.rank_ratio).round() as usize)
+            .max(1)
+            .min(max_rank);
+        let factors =
+            low_rank_approximate(&error, rank, 6).expect("rank validated against shape");
+
+        let residual_err = factors.reconstruct().sub(&error).frobenius_norm()
+            / (error.len().max(1) as f32).sqrt();
+
+        (
+            CorrectedTensor {
+                quant,
+                low_rank_u: factors.u,
+                low_rank_v: factors.v,
+                outliers,
+            },
+            residual_err,
+        )
+    }
+
+    fn reconstruct(&self) -> Matrix {
+        let mut out = self
+            .quant
+            .dequantize()
+            .add(&self.low_rank_u.matmul(&self.low_rank_v));
+        for o in &self.outliers {
+            let v = out.get(o.row, o.col) + o.value;
+            out.set(o.row, o.col, v);
+        }
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Quantized codes + FP16 low-rank factors + outliers (FP16 value +
+        // u32 flat index).
+        self.quant.memory_bytes()
+            + (self.low_rank_u.len() + self.low_rank_v.len()) * 2
+            + self.outliers.len() * 6
+    }
+}
+
+/// One chunk of tokens in corrected-quantized storage.
+#[derive(Debug, Clone)]
+struct GearChunk {
+    keys: CorrectedTensor,
+    values: CorrectedTensor,
+    positions: Vec<usize>,
+}
+
+/// The GEAR error-corrected quantizing cache.
+///
+/// # Examples
+///
+/// ```
+/// use rkvc_kvcache::{GearCache, GearParams, KvCache};
+///
+/// let mut cache = GearCache::new(8, GearParams { buffer: 4, ..Default::default() })?;
+/// for pos in 0..16 {
+///     cache.append(&[0.1 * pos as f32; 8], &[1.0; 8], pos);
+/// }
+/// assert_eq!(cache.len(), 16);
+/// # Ok::<(), rkvc_kvcache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GearCache {
+    head_dim: usize,
+    params: GearParams,
+    bits: SupportedBits,
+    chunks: Vec<GearChunk>,
+    buf_keys: Matrix,
+    buf_values: Matrix,
+    buf_positions: Vec<usize>,
+    seen: usize,
+    err_sum: f64,
+    err_count: u64,
+}
+
+impl GearCache {
+    /// Creates a GEAR cache for `head_dim`-dimensional heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] for unsupported bit widths, a zero buffer, or
+    /// ratios outside `[0, 1]`.
+    pub fn new(head_dim: usize, params: GearParams) -> Result<Self, CacheError> {
+        let bits = SupportedBits::from_bits(params.bits)?;
+        if params.buffer == 0 {
+            return Err(CacheError::InvalidParameter("buffer must be >= 1"));
+        }
+        if !(0.0..=1.0).contains(&params.outlier_ratio) {
+            return Err(CacheError::InvalidParameter("outlier_ratio must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&params.rank_ratio) {
+            return Err(CacheError::InvalidParameter("rank_ratio must be in [0, 1]"));
+        }
+        Ok(GearCache {
+            head_dim,
+            params,
+            bits,
+            chunks: Vec::new(),
+            buf_keys: Matrix::zeros(0, head_dim),
+            buf_values: Matrix::zeros(0, head_dim),
+            buf_positions: Vec::new(),
+            seen: 0,
+            err_sum: 0.0,
+            err_count: 0,
+        })
+    }
+
+    /// The configured hyper-parameters.
+    pub fn params(&self) -> GearParams {
+        self.params
+    }
+
+    /// Tokens in compressed chunks.
+    pub fn compressed_len(&self) -> usize {
+        self.chunks.iter().map(|c| c.positions.len()).sum()
+    }
+
+    fn maybe_flush(&mut self) {
+        while self.buf_positions.len() >= 2 * self.params.buffer {
+            let n = self.params.buffer;
+            let rows: Vec<usize> = (0..n).collect();
+            let key_chunk = self.buf_keys.select_rows(&rows);
+            let val_chunk = self.buf_values.select_rows(&rows);
+            let positions: Vec<usize> = self.buf_positions.drain(0..n).collect();
+
+            let (ck, ek) = CorrectedTensor::build(&key_chunk, self.bits, &self.params);
+            let (cv, ev) = CorrectedTensor::build(&val_chunk, self.bits, &self.params);
+            self.err_sum += (ek + ev) as f64 * 0.5;
+            self.err_count += 1;
+
+            self.chunks.push(GearChunk {
+                keys: ck,
+                values: cv,
+                positions,
+            });
+
+            let keep: Vec<usize> = (n..self.buf_keys.rows()).collect();
+            self.buf_keys = self.buf_keys.select_rows(&keep);
+            self.buf_values = self.buf_values.select_rows(&keep);
+        }
+    }
+}
+
+impl KvCache for GearCache {
+    fn append(&mut self, key: &[f32], value: &[f32], pos: usize) {
+        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+        assert_eq!(value.len(), self.head_dim, "value dim mismatch");
+        let mut k = key.to_vec();
+        let mut v = value.to_vec();
+        round_slice_to_f16(&mut k);
+        round_slice_to_f16(&mut v);
+        self.buf_keys.push_row(&k);
+        self.buf_values.push_row(&v);
+        self.buf_positions.push(pos);
+        self.seen += 1;
+        self.maybe_flush();
+    }
+
+    fn view(&self) -> KvView {
+        let mut keys = Matrix::zeros(0, self.head_dim);
+        let mut values = Matrix::zeros(0, self.head_dim);
+        let mut positions = Vec::with_capacity(self.len());
+        for chunk in &self.chunks {
+            let dk = chunk.keys.reconstruct();
+            let dv = chunk.values.reconstruct();
+            for r in 0..dk.rows() {
+                keys.push_row(dk.row(r));
+                values.push_row(dv.row(r));
+            }
+            positions.extend_from_slice(&chunk.positions);
+        }
+        for r in 0..self.buf_keys.rows() {
+            keys.push_row(self.buf_keys.row(r));
+            values.push_row(self.buf_values.row(r));
+        }
+        positions.extend_from_slice(&self.buf_positions);
+        KvView {
+            keys,
+            values,
+            positions,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.compressed_len() + self.buf_positions.len()
+    }
+
+    fn seen(&self) -> usize {
+        self.seen
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let chunks: usize = self
+            .chunks
+            .iter()
+            .map(|c| c.keys.memory_bytes() + c.values.memory_bytes())
+            .sum();
+        chunks + 2 * self.buf_positions.len() * self.head_dim * 2
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            tokens_seen: self.seen,
+            tokens_retained: self.len(),
+            tokens_evicted: 0,
+            memory_bytes: self.memory_bytes(),
+            fp16_baseline_bytes: 2 * self.seen * self.head_dim * 2,
+            mean_quant_error: if self.err_count == 0 {
+                0.0
+            } else {
+                (self.err_sum / self.err_count as f64) as f32
+            },
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("gear-{}", self.params.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KiviCache, KiviParams};
+    use rand::Rng;
+    use rkvc_tensor::seeded_rng;
+
+    fn fill(cache: &mut dyn KvCache, n: usize, dim: usize, seed: u64) {
+        let mut rng = seeded_rng(seed);
+        for pos in 0..n {
+            let k: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            cache.append(&k, &v, pos);
+        }
+    }
+
+    #[test]
+    fn retains_every_token() {
+        let mut c = GearCache::new(8, GearParams { buffer: 4, ..Default::default() }).unwrap();
+        fill(&mut c, 40, 8, 1);
+        assert_eq!(c.len(), 40);
+        assert_eq!(c.view().positions, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn error_correction_beats_plain_quantization() {
+        // Same bit width: GEAR reconstruction should be closer to the
+        // original than a KIVI-style plain quantizer without correction.
+        let dim = 16;
+        let n = 64;
+        let mut rng = seeded_rng(7);
+        let tokens: Vec<(Vec<f32>, Vec<f32>)> = (0..n)
+            .map(|_| {
+                (
+                    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                    (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                )
+            })
+            .collect();
+
+        let mut gear = GearCache::new(
+            dim,
+            GearParams { bits: 2, buffer: 8, outlier_ratio: 0.05, rank_ratio: 0.1 },
+        )
+        .unwrap();
+        let mut plain = KiviCache::new(
+            dim,
+            KiviParams { bits: 2, group_size: 8, residual: 8 },
+        )
+        .unwrap();
+        for (pos, (k, v)) in tokens.iter().enumerate() {
+            gear.append(k, v, pos);
+            plain.append(k, v, pos);
+        }
+
+        let mut truth = Matrix::zeros(0, dim);
+        for (k, _) in &tokens {
+            let mut kk = k.clone();
+            round_slice_to_f16(&mut kk);
+            truth.push_row(&kk);
+        }
+        let gear_err = gear.view().keys.sub(&truth).frobenius_norm();
+        let plain_err = plain.view().keys.sub(&truth).frobenius_norm();
+        assert!(
+            gear_err < plain_err,
+            "gear {gear_err} should beat plain {plain_err}"
+        );
+    }
+
+    #[test]
+    fn memory_larger_than_plain_quant_but_smaller_than_fp16() {
+        let mut c = GearCache::new(16, GearParams { buffer: 8, ..Default::default() }).unwrap();
+        fill(&mut c, 128, 16, 3);
+        let stats = c.stats();
+        assert!(stats.compression_ratio() > 1.5, "ratio {}", stats.compression_ratio());
+        assert!(stats.memory_bytes < stats.fp16_baseline_bytes);
+    }
+
+    #[test]
+    fn buffer_keeps_recent_tokens_exact() {
+        let mut c = GearCache::new(2, GearParams { buffer: 4, ..Default::default() }).unwrap();
+        fill(&mut c, 20, 2, 4);
+        c.append(&[0.5, -0.5], &[0.25, 0.75], 20);
+        let v = c.view();
+        assert_eq!(v.keys.row(v.keys.rows() - 1), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(GearCache::new(4, GearParams { bits: 5, ..Default::default() }).is_err());
+        assert!(GearCache::new(4, GearParams { buffer: 0, ..Default::default() }).is_err());
+        assert!(GearCache::new(4, GearParams { outlier_ratio: 1.5, ..Default::default() }).is_err());
+        assert!(GearCache::new(4, GearParams { rank_ratio: -0.1, ..Default::default() }).is_err());
+    }
+}

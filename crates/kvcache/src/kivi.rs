@@ -1,0 +1,330 @@
+//! KIVI: tuning-free asymmetric quantization for KV cache (Liu et al., 2024).
+//!
+//! KIVI quantizes the **key** cache *per channel* (each channel's values
+//! across a group of `G` tokens share quantization constants — keys exhibit
+//! strong per-channel outlier structure) and the **value** cache *per token*.
+//! The most recent `R` tokens (the *residual window*) stay in full precision;
+//! once `G` tokens age out of the window they are flushed into a quantized
+//! group. This windowed design is exactly what the paper flags as awkward for
+//! PagedAttention (two tensor types per page).
+
+use rkvc_tensor::{round_slice_to_f16, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::quantizer::{GroupLayout, QuantizedMatrix, SupportedBits};
+use crate::{CacheError, CacheStats, KvCache, KvView};
+
+/// Hyper-parameters for [`KiviCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KiviParams {
+    /// Quantization bit width (paper evaluates 2 and 4).
+    pub bits: u8,
+    /// Channel-group size `G`: tokens per quantized key group (paper: 32).
+    pub group_size: usize,
+    /// Residual window `R`: recent tokens kept in full precision
+    /// (paper: 128).
+    pub residual: usize,
+}
+
+impl Default for KiviParams {
+    fn default() -> Self {
+        KiviParams {
+            bits: 4,
+            group_size: 32,
+            residual: 128,
+        }
+    }
+}
+
+/// One flushed group of `G` tokens in quantized storage.
+#[derive(Debug, Clone)]
+struct QuantChunk {
+    keys: QuantizedMatrix,
+    values: QuantizedMatrix,
+    positions: Vec<usize>,
+}
+
+/// The KIVI quantizing KV cache.
+///
+/// # Examples
+///
+/// ```
+/// use rkvc_kvcache::{KiviCache, KiviParams, KvCache};
+///
+/// let params = KiviParams { bits: 2, group_size: 4, residual: 8 };
+/// let mut cache = KiviCache::new(4, params)?;
+/// for pos in 0..32 {
+///     cache.append(&[pos as f32; 4], &[1.0; 4], pos);
+/// }
+/// // All 32 tokens retained (KIVI never evicts), but old ones are 2-bit.
+/// assert_eq!(cache.len(), 32);
+/// assert!(cache.stats().compression_ratio() > 1.2);
+/// # Ok::<(), rkvc_kvcache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KiviCache {
+    head_dim: usize,
+    params: KiviParams,
+    bits: SupportedBits,
+    chunks: Vec<QuantChunk>,
+    // Residual window (full precision, f16-rounded).
+    res_keys: Matrix,
+    res_values: Matrix,
+    res_positions: Vec<usize>,
+    seen: usize,
+    // Quantization error accounting.
+    err_sum: f64,
+    err_count: u64,
+}
+
+impl KiviCache {
+    /// Creates a KIVI cache for `head_dim`-dimensional heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnsupportedBits`] for a bit width other than
+    /// 1/2/4/8 and [`CacheError::InvalidParameter`] for a zero group size.
+    pub fn new(head_dim: usize, params: KiviParams) -> Result<Self, CacheError> {
+        let bits = SupportedBits::from_bits(params.bits)?;
+        if params.group_size == 0 {
+            return Err(CacheError::InvalidParameter("group_size must be >= 1"));
+        }
+        Ok(KiviCache {
+            head_dim,
+            params,
+            bits,
+            chunks: Vec::new(),
+            res_keys: Matrix::zeros(0, head_dim),
+            res_values: Matrix::zeros(0, head_dim),
+            res_positions: Vec::new(),
+            seen: 0,
+            err_sum: 0.0,
+            err_count: 0,
+        })
+    }
+
+    /// The configured hyper-parameters.
+    pub fn params(&self) -> KiviParams {
+        self.params
+    }
+
+    /// Number of tokens currently in quantized storage.
+    pub fn quantized_len(&self) -> usize {
+        self.chunks.iter().map(|c| c.positions.len()).sum()
+    }
+
+    /// Number of tokens in the full-precision residual window.
+    pub fn residual_len(&self) -> usize {
+        self.res_positions.len()
+    }
+
+    /// Flushes aged-out residual tokens into quantized groups.
+    fn maybe_flush(&mut self) {
+        while self.res_positions.len() >= self.params.residual + self.params.group_size {
+            let g = self.params.group_size;
+            let key_chunk = self.res_keys.select_rows(&(0..g).collect::<Vec<_>>());
+            let val_chunk = self.res_values.select_rows(&(0..g).collect::<Vec<_>>());
+            let positions: Vec<usize> = self.res_positions.drain(0..g).collect();
+
+            let qk = QuantizedMatrix::quantize(&key_chunk, GroupLayout::PerChannel, self.bits);
+            let qv = QuantizedMatrix::quantize(&val_chunk, GroupLayout::PerToken, self.bits);
+
+            // Track reconstruction error (keys dominate accuracy impact).
+            let err = qk.dequantize().sub(&key_chunk);
+            for e in err.as_slice() {
+                self.err_sum += e.abs() as f64;
+            }
+            self.err_count += err.len() as u64;
+
+            self.chunks.push(QuantChunk {
+                keys: qk,
+                values: qv,
+                positions,
+            });
+
+            // Drop the flushed rows from the residual matrices.
+            let keep: Vec<usize> = (g..self.res_keys.rows()).collect();
+            self.res_keys = self.res_keys.select_rows(&keep);
+            self.res_values = self.res_values.select_rows(&keep);
+        }
+    }
+}
+
+impl KvCache for KiviCache {
+    fn append(&mut self, key: &[f32], value: &[f32], pos: usize) {
+        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+        assert_eq!(value.len(), self.head_dim, "value dim mismatch");
+        let mut k = key.to_vec();
+        let mut v = value.to_vec();
+        round_slice_to_f16(&mut k);
+        round_slice_to_f16(&mut v);
+        self.res_keys.push_row(&k);
+        self.res_values.push_row(&v);
+        self.res_positions.push(pos);
+        self.seen += 1;
+        self.maybe_flush();
+    }
+
+    fn view(&self) -> KvView {
+        let mut keys = Matrix::zeros(0, self.head_dim);
+        let mut values = Matrix::zeros(0, self.head_dim);
+        let mut positions = Vec::with_capacity(self.len());
+        for chunk in &self.chunks {
+            let dk = chunk.keys.dequantize();
+            let dv = chunk.values.dequantize();
+            for r in 0..dk.rows() {
+                keys.push_row(dk.row(r));
+                values.push_row(dv.row(r));
+            }
+            positions.extend_from_slice(&chunk.positions);
+        }
+        for r in 0..self.res_keys.rows() {
+            keys.push_row(self.res_keys.row(r));
+            values.push_row(self.res_values.row(r));
+        }
+        positions.extend_from_slice(&self.res_positions);
+        KvView {
+            keys,
+            values,
+            positions,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.quantized_len() + self.residual_len()
+    }
+
+    fn seen(&self) -> usize {
+        self.seen
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let quant: usize = self
+            .chunks
+            .iter()
+            .map(|c| c.keys.memory_bytes() + c.values.memory_bytes())
+            .sum();
+        let residual = 2 * self.res_positions.len() * self.head_dim * 2;
+        quant + residual
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            tokens_seen: self.seen,
+            tokens_retained: self.len(),
+            tokens_evicted: 0,
+            memory_bytes: self.memory_bytes(),
+            fp16_baseline_bytes: 2 * self.seen * self.head_dim * 2,
+            mean_quant_error: if self.err_count == 0 {
+                0.0
+            } else {
+                (self.err_sum / self.err_count as f64) as f32
+            },
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("kivi-{}", self.params.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rkvc_tensor::seeded_rng;
+
+    fn small_params() -> KiviParams {
+        KiviParams {
+            bits: 4,
+            group_size: 4,
+            residual: 8,
+        }
+    }
+
+    fn fill(cache: &mut KiviCache, n: usize, dim: usize, seed: u64) {
+        let mut rng = seeded_rng(seed);
+        for pos in 0..n {
+            let k: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            cache.append(&k, &v, pos);
+        }
+    }
+
+    #[test]
+    fn retains_every_token() {
+        let mut c = KiviCache::new(4, small_params()).unwrap();
+        fill(&mut c, 50, 4, 1);
+        assert_eq!(c.len(), 50);
+        assert_eq!(c.seen(), 50);
+        let v = c.view();
+        assert_eq!(v.positions, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn residual_window_respected() {
+        let mut c = KiviCache::new(4, small_params()).unwrap();
+        fill(&mut c, 40, 4, 2);
+        // Residual holds between R and R+G-1 tokens.
+        assert!(c.residual_len() >= 8 && c.residual_len() < 8 + 4);
+        assert_eq!(c.quantized_len() + c.residual_len(), 40);
+        // Flushes happen in exact multiples of G.
+        assert_eq!(c.quantized_len() % 4, 0);
+    }
+
+    #[test]
+    fn short_sequences_stay_full_precision() {
+        let mut c = KiviCache::new(4, small_params()).unwrap();
+        fill(&mut c, 8, 4, 3);
+        assert_eq!(c.quantized_len(), 0);
+        assert_eq!(c.stats().mean_quant_error, 0.0);
+    }
+
+    #[test]
+    fn compresses_memory_vs_fp16() {
+        let mut c = KiviCache::new(32, KiviParams { bits: 2, group_size: 8, residual: 8 }).unwrap();
+        fill(&mut c, 256, 32, 4);
+        let stats = c.stats();
+        // 2-bit storage of the old tokens should save a lot overall.
+        assert!(
+            stats.compression_ratio() > 2.0,
+            "ratio = {}",
+            stats.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn reconstruction_error_small_at_4_bits() {
+        let mut c = KiviCache::new(8, small_params()).unwrap();
+        fill(&mut c, 64, 8, 5);
+        let stats = c.stats();
+        assert!(stats.mean_quant_error > 0.0);
+        assert!(stats.mean_quant_error < 0.1, "err = {}", stats.mean_quant_error);
+    }
+
+    #[test]
+    fn two_bits_noisier_than_four() {
+        let mut c2 = KiviCache::new(8, KiviParams { bits: 2, ..small_params() }).unwrap();
+        let mut c4 = KiviCache::new(8, small_params()).unwrap();
+        fill(&mut c2, 64, 8, 6);
+        fill(&mut c4, 64, 8, 6);
+        assert!(c2.stats().mean_quant_error > c4.stats().mean_quant_error);
+    }
+
+    #[test]
+    fn view_preserves_recent_tokens_exactly() {
+        let mut c = KiviCache::new(2, small_params()).unwrap();
+        fill(&mut c, 30, 2, 7);
+        let k_last = vec![0.25f32, -0.75];
+        c.append(&k_last, &[0.5, 0.5], 30);
+        let v = c.view();
+        let last = v.keys.row(v.keys.rows() - 1);
+        assert_eq!(last, &k_last[..]); // Representable in f16, kept in residual.
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(KiviCache::new(4, KiviParams { bits: 3, ..small_params() }).is_err());
+        assert!(KiviCache::new(4, KiviParams { group_size: 0, ..small_params() }).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! KV-cache compression algorithms for LLM serving, reproduced from the
+//! MLSys 2025 study *"Rethinking Key-Value Cache Compression Techniques for
+//! Large Language Model Serving"*.
+//!
+//! The crate provides a per-(layer, head) [`KvCache`] trait plus the five
+//! algorithms the paper evaluates, each with the paper's hyper-parameters:
+//!
+//! * [`FullPrecisionCache`] — the FP16 baseline (values round-tripped through
+//!   IEEE binary16).
+//! * [`KiviCache`] — per-channel key / per-token value quantization with a
+//!   full-precision residual window (Liu et al., 2024).
+//! * [`GearCache`] — uniform quantization plus sparse-outlier and low-rank
+//!   error correction (Kang et al., 2024).
+//! * [`H2OCache`] — heavy-hitter eviction driven by accumulated attention
+//!   scores (Zhang et al., 2024).
+//! * [`StreamingLlmCache`] — attention sinks + recent window (Xiao et al.,
+//!   2023).
+//! * [`SnapKvCache`] — prefill-time clustered selection of important
+//!   positions (Li et al., 2024).
+//!
+//! All quantization is *real*: values are packed into `u8` words at
+//! 1/2/4/8 bits and dequantized on read, so compression genuinely perturbs
+//! downstream attention outputs — the mechanism behind the paper's
+//! length-distribution and negative-sample findings.
+//!
+//! # Examples
+//!
+//! ```
+//! use rkvc_kvcache::{CompressionConfig, KvCache};
+//!
+//! let mut cache = CompressionConfig::kivi(4).build(8);
+//! for pos in 0..32 {
+//!     let k = vec![pos as f32 * 0.1; 8];
+//!     let v = vec![1.0; 8];
+//!     cache.append(&k, &v, pos);
+//! }
+//! let view = cache.view();
+//! assert_eq!(view.keys.rows(), 32);
+//! ```
+
+mod cache;
+mod config;
+mod full;
+mod gear;
+mod h2o;
+mod kivi;
+mod quantizer;
+mod quest;
+mod snapkv;
+mod stats;
+mod streaming;
+mod think;
+mod tova;
+
+pub use cache::{KvCache, KvView};
+pub use config::{CompressionConfig, CompressionFamily, PyramidKvParams};
+pub use full::FullPrecisionCache;
+pub use gear::{GearCache, GearParams};
+pub use h2o::{H2OCache, H2OParams};
+pub use kivi::{KiviCache, KiviParams};
+pub use quantizer::{
+    dequantize_group, measure_error, quantize_group, GroupLayout, QuantError, QuantizedGroup,
+    QuantizedMatrix, SupportedBits,
+};
+pub use quest::{QuestCache, QuestParams};
+pub use snapkv::{SnapKvCache, SnapKvParams};
+pub use stats::CacheStats;
+pub use streaming::{StreamingLlmCache, StreamingParams};
+pub use think::{ThinkCache, ThinkParams};
+pub use tova::{TovaCache, TovaParams};
+
+/// Error type for cache configuration problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The requested bit width is not one of 1, 2, 4, 8.
+    UnsupportedBits(u8),
+    /// A structural parameter (budget, window, group size) was zero or
+    /// otherwise out of domain.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::UnsupportedBits(b) => {
+                write!(f, "unsupported quantization bit width: {b} (expected 1, 2, 4, or 8)")
+            }
+            CacheError::InvalidParameter(msg) => write!(f, "invalid cache parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}

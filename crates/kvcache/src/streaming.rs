@@ -1,0 +1,206 @@
+//! StreamingLLM: attention sinks + sliding window (Xiao et al., 2023).
+//!
+//! StreamingLLM keeps the KV entries of the first `sinks` tokens (the
+//! *attention sinks*, which soak up softmax mass) plus a sliding window of
+//! the most recent `recent` tokens, evicting everything in between. It needs
+//! no attention scores at all — the structured pattern the paper credits for
+//! its near-baseline prefill throughput.
+
+use rkvc_tensor::{round_slice_to_f16, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheError, CacheStats, KvCache, KvView};
+
+/// Hyper-parameters for [`StreamingLlmCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamingParams {
+    /// Number of initial sink tokens retained forever (paper: 64).
+    pub sinks: usize,
+    /// Sliding window of most recent tokens (paper: 448; total cache 512).
+    pub recent: usize,
+}
+
+impl Default for StreamingParams {
+    fn default() -> Self {
+        StreamingParams {
+            sinks: 64,
+            recent: 448,
+        }
+    }
+}
+
+impl StreamingParams {
+    /// Total token budget `sinks + recent`.
+    pub fn budget(&self) -> usize {
+        self.sinks + self.recent
+    }
+}
+
+/// The StreamingLLM sink + sliding-window cache.
+///
+/// # Examples
+///
+/// ```
+/// use rkvc_kvcache::{StreamingLlmCache, StreamingParams, KvCache};
+///
+/// let mut cache = StreamingLlmCache::new(4, StreamingParams { sinks: 2, recent: 4 })?;
+/// for pos in 0..10 {
+///     cache.append(&[0.0; 4], &[0.0; 4], pos);
+/// }
+/// let view = cache.view();
+/// assert_eq!(view.positions, vec![0, 1, 6, 7, 8, 9]);
+/// # Ok::<(), rkvc_kvcache::CacheError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingLlmCache {
+    head_dim: usize,
+    params: StreamingParams,
+    keys: Matrix,
+    values: Matrix,
+    positions: Vec<usize>,
+    seen: usize,
+    evicted: usize,
+}
+
+impl StreamingLlmCache {
+    /// Creates a StreamingLLM cache for `head_dim`-dimensional heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidParameter`] if the total budget is zero.
+    pub fn new(head_dim: usize, params: StreamingParams) -> Result<Self, CacheError> {
+        if params.budget() == 0 {
+            return Err(CacheError::InvalidParameter("sinks + recent must be >= 1"));
+        }
+        Ok(StreamingLlmCache {
+            head_dim,
+            params,
+            keys: Matrix::zeros(0, head_dim),
+            values: Matrix::zeros(0, head_dim),
+            positions: Vec::new(),
+            seen: 0,
+            evicted: 0,
+        })
+    }
+
+    /// The configured hyper-parameters.
+    pub fn params(&self) -> StreamingParams {
+        self.params
+    }
+}
+
+impl KvCache for StreamingLlmCache {
+    fn append(&mut self, key: &[f32], value: &[f32], pos: usize) {
+        assert_eq!(key.len(), self.head_dim, "key dim mismatch");
+        assert_eq!(value.len(), self.head_dim, "value dim mismatch");
+        let mut k = key.to_vec();
+        let mut v = value.to_vec();
+        round_slice_to_f16(&mut k);
+        round_slice_to_f16(&mut v);
+        self.keys.push_row(&k);
+        self.values.push_row(&v);
+        self.positions.push(pos);
+        self.seen += 1;
+
+        while self.positions.len() > self.params.budget() {
+            // Evict the oldest token that is not a sink.
+            let idx = self.params.sinks.min(self.positions.len() - 1);
+            let keep: Vec<usize> = (0..self.positions.len()).filter(|&i| i != idx).collect();
+            self.keys = self.keys.select_rows(&keep);
+            self.values = self.values.select_rows(&keep);
+            self.positions.remove(idx);
+            self.evicted += 1;
+        }
+    }
+
+    fn view(&self) -> KvView {
+        KvView {
+            keys: self.keys.clone(),
+            values: self.values.clone(),
+            positions: self.positions.clone(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn seen(&self) -> usize {
+        self.seen
+    }
+
+    fn memory_bytes(&self) -> usize {
+        2 * self.positions.len() * self.head_dim * 2
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            tokens_seen: self.seen,
+            tokens_retained: self.len(),
+            tokens_evicted: self.evicted,
+            memory_bytes: self.memory_bytes(),
+            fp16_baseline_bytes: 2 * self.seen * self.head_dim * 2,
+            mean_quant_error: 0.0,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("stream-{}", self.params.budget())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_sinks_and_recent_only() {
+        let mut c = StreamingLlmCache::new(2, StreamingParams { sinks: 3, recent: 2 }).unwrap();
+        for pos in 0..12 {
+            c.append(&[0.0; 2], &[0.0; 2], pos);
+        }
+        assert_eq!(c.view().positions, vec![0, 1, 2, 10, 11]);
+        assert_eq!(c.stats().tokens_evicted, 7);
+    }
+
+    #[test]
+    fn under_budget_keeps_everything() {
+        let mut c = StreamingLlmCache::new(2, StreamingParams { sinks: 4, recent: 4 }).unwrap();
+        for pos in 0..6 {
+            c.append(&[0.0; 2], &[0.0; 2], pos);
+        }
+        assert_eq!(c.view().positions, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_sinks_is_pure_sliding_window() {
+        let mut c = StreamingLlmCache::new(2, StreamingParams { sinks: 0, recent: 3 }).unwrap();
+        for pos in 0..10 {
+            c.append(&[0.0; 2], &[0.0; 2], pos);
+        }
+        assert_eq!(c.view().positions, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn memory_bounded_by_budget() {
+        let mut c = StreamingLlmCache::new(8, StreamingParams { sinks: 2, recent: 6 }).unwrap();
+        for pos in 0..500 {
+            c.append(&[0.0; 8], &[0.0; 8], pos);
+        }
+        assert_eq!(c.memory_bytes(), 2 * 8 * 8 * 2);
+        assert!(c.stats().compression_ratio() > 50.0);
+    }
+
+    #[test]
+    fn attention_observations_ignored() {
+        let mut c = StreamingLlmCache::new(2, StreamingParams { sinks: 1, recent: 2 }).unwrap();
+        c.append(&[0.0; 2], &[0.0; 2], 0);
+        c.observe_attention(&[1.0]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        assert!(StreamingLlmCache::new(2, StreamingParams { sinks: 0, recent: 0 }).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! TinyLM: a from-scratch autoregressive transformer whose KV cache is
+//! *actually* compressed by the policies in [`rkvc_kvcache`].
+//!
+//! # Why a constructed model
+//!
+//! The paper's accuracy, response-length, and negative-sample findings all
+//! hinge on one mechanism: lossy KV-cache compression perturbs the attention
+//! a model pays to *long-range context*, which corrupts in-context retrieval
+//! and shifts where generation terminates. Reproducing that mechanism does
+//! not require pretrained LLaMA weights — it requires a real autoregressive
+//! decoder whose correctness depends on attending to specific cached
+//! entries.
+//!
+//! TinyLM is such a decoder. Its embedding stream carries three vocab-code
+//! segments (current token, previous token, prediction accumulator) plus a
+//! sinusoidal position segment, and one attention head is *constructed* as a
+//! classic induction head: the query is the current token's code, the keys
+//! are previous-token codes, so attention lands on positions that followed
+//! an earlier occurrence of the current token, and the attended value (that
+//! position's token) becomes the prediction. This gives the model genuine
+//! in-context abilities — copying, key→value recall, pattern continuation —
+//! that are exact at FP16 and degrade *gracefully and mechanistically* when
+//! the KV cache is quantized (key codes blur) or evicted (the retrieved
+//! position disappears). All other heads and the MLPs carry small random
+//! weights so the full transformer code path runs.
+//!
+//! Token identities are random dense unit codes rather than one-hots, so
+//! quantization genuinely perturbs key/query dot products.
+//!
+//! # Examples
+//!
+//! ```
+//! use rkvc_kvcache::CompressionConfig;
+//! use rkvc_model::{GenerateParams, ModelConfig, TinyLm, vocab};
+//!
+//! let model = TinyLm::new(ModelConfig::induction_mha());
+//! // Prompt: ".. a b c STOP .. a" — the model should continue "b c STOP".
+//! let a = vocab::CONTENT_START;
+//! let prompt = vec![vocab::BOS, a, a + 1, a + 2, vocab::EOS_SYM, a];
+//! let out = model.generate(&prompt, &CompressionConfig::Fp16, &GenerateParams::greedy(8));
+//! assert_eq!(&out.tokens[..2], &[a + 1, a + 2]);
+//! ```
+
+mod config;
+mod generate;
+mod model;
+mod posenc;
+mod sampler;
+pub mod vocab;
+mod weights;
+
+pub use config::ModelConfig;
+pub use generate::{GenerateParams, GenerationOutput};
+pub use model::{Session, TinyLm};
+pub use posenc::PositionEncoder;
+pub use sampler::Sampler;
+pub use weights::ModelWeights;

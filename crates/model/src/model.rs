@@ -1,0 +1,427 @@
+//! TinyLM forward pass and generation sessions.
+
+use rkvc_kvcache::{CacheStats, CompressionConfig, KvCache};
+use rkvc_tensor::{silu, softmax_row, Matrix};
+
+use crate::vocab::TokenId;
+use crate::{ModelConfig, ModelWeights, PositionEncoder};
+
+/// The TinyLM transformer.
+///
+/// See the crate documentation for the architecture and the rationale of the
+/// constructed induction head. `TinyLm` is immutable and cheap to share;
+/// per-request state lives in [`Session`].
+#[derive(Debug, Clone)]
+pub struct TinyLm {
+    cfg: ModelConfig,
+    weights: ModelWeights,
+    posenc: PositionEncoder,
+}
+
+impl TinyLm {
+    /// Builds a model from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` violates structural invariants
+    /// (see [`ModelConfig::validate`]).
+    pub fn new(cfg: ModelConfig) -> Self {
+        cfg.validate();
+        let weights = ModelWeights::build(&cfg);
+        let posenc = PositionEncoder::new(cfg.pos_dim);
+        TinyLm {
+            cfg,
+            weights,
+            posenc,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The constructed weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Opens a generation session whose per-head KV caches use the given
+    /// compression policy.
+    pub fn start_session(&self, compression: &CompressionConfig) -> Session<'_> {
+        let caches = (0..self.cfg.n_layers)
+            .map(|layer| {
+                (0..self.cfg.n_kv_heads)
+                    .map(|_| {
+                        compression.build_for_layer(
+                            self.cfg.head_dim(),
+                            layer,
+                            self.cfg.n_layers,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Session {
+            model: self,
+            caches,
+            pos: 0,
+            prev_token: crate::vocab::BOS,
+        }
+    }
+}
+
+/// Row-vector × matrix product.
+fn vec_mat(v: &[f32], m: &Matrix) -> Vec<f32> {
+    debug_assert_eq!(v.len(), m.rows());
+    let mut out = vec![0.0f32; m.cols()];
+    for (r, &x) in v.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (o, w) in out.iter_mut().zip(m.row(r)) {
+            *o += x * w;
+        }
+    }
+    out
+}
+
+/// A generation session: the mutable KV caches and stream position for one
+/// request.
+///
+/// Created by [`TinyLm::start_session`]. Feed the prompt with
+/// [`Session::prefill`], then sample and feed tokens one at a time with
+/// [`Session::decode`].
+#[derive(Debug)]
+pub struct Session<'m> {
+    model: &'m TinyLm,
+    /// `caches[layer][kv_head]`.
+    caches: Vec<Vec<Box<dyn KvCache>>>,
+    pos: usize,
+    prev_token: TokenId,
+}
+
+impl Session<'_> {
+    /// Runs one token through the model, updating all caches, and returns
+    /// the next-token logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary.
+    pub fn forward(&mut self, token: TokenId) -> Vec<f32> {
+        let cfg = &self.model.cfg;
+        assert!(token < cfg.vocab_size, "token {token} out of vocabulary");
+        let w = &self.model.weights;
+        let d = cfg.d_model();
+        let hd = cfg.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Embed: current code (A) + previous code (B) + position (P).
+        let mut x = vec![0.0f32; d];
+        for (i, &v) in w.codes.row(token).iter().enumerate() {
+            x[cfg.seg_a() + i] = v;
+        }
+        for (i, &v) in w.codes.row(self.prev_token).iter().enumerate() {
+            x[cfg.seg_b() + i] = v;
+        }
+        for (i, v) in self.model.posenc.encode(self.pos).into_iter().enumerate() {
+            x[cfg.seg_p() + i] = v;
+        }
+
+        for (l, lw) in w.layers.iter().enumerate() {
+            // Projections.
+            let q_all = vec_mat(&x, &lw.wq);
+            let k_all = vec_mat(&x, &lw.wk);
+            let v_all = vec_mat(&x, &lw.wv);
+
+            // Append this token's K/V to every KV head's cache.
+            for kvh in 0..cfg.n_kv_heads {
+                self.caches[l][kvh].append(
+                    &k_all[kvh * hd..(kvh + 1) * hd],
+                    &v_all[kvh * hd..(kvh + 1) * hd],
+                    self.pos,
+                );
+            }
+
+            // Attention per query head. Query-aware policies (Quest) select
+            // a per-query subset; static policies return their full view.
+            let mut attn = vec![0.0f32; cfg.n_heads * hd];
+            for h in 0..cfg.n_heads {
+                let kvh = cfg.kv_head_of(h);
+                let q = &q_all[h * hd..(h + 1) * hd];
+                let view = &self.caches[l][kvh].view_for_query(q);
+                let n = view.len();
+                let mut scores = Vec::with_capacity(n);
+                for r in 0..n {
+                    let dot: f32 = view.keys.row(r).iter().zip(q).map(|(a, b)| a * b).sum();
+                    scores.push(dot * scale);
+                }
+                let weights = softmax_row(&scores);
+                self.caches[l][kvh].observe_attention(&weights);
+                let out = &mut attn[h * hd..(h + 1) * hd];
+                for (r, &wgt) in weights.iter().enumerate() {
+                    for (o, v) in out.iter_mut().zip(view.values.row(r)) {
+                        *o += wgt * v;
+                    }
+                }
+            }
+
+            // Residual add of the attention output.
+            for (xi, oi) in x.iter_mut().zip(vec_mat(&attn, &lw.wo)) {
+                *xi += oi;
+            }
+
+            // SwiGLU MLP with residual.
+            let gate = vec_mat(&x, &lw.w_gate);
+            let up = vec_mat(&x, &lw.w_up);
+            let hidden: Vec<f32> = gate
+                .into_iter()
+                .zip(up)
+                .map(|(g, u)| silu(g) * u)
+                .collect();
+            for (xi, oi) in x.iter_mut().zip(vec_mat(&hidden, &lw.w_down)) {
+                *xi += oi;
+            }
+        }
+
+        self.prev_token = token;
+        self.pos += 1;
+        vec_mat(&x, &w.lm_head)
+    }
+
+    /// Ingests a whole prompt, returning the logits after its last token and
+    /// signalling `finish_prefill` to every cache (SnapKV compresses here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn prefill(&mut self, prompt: &[TokenId]) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.forward(t);
+        }
+        for layer in &mut self.caches {
+            for cache in layer {
+                cache.finish_prefill();
+            }
+        }
+        logits
+    }
+
+    /// Decodes one token (alias of [`forward`](Session::forward), named for
+    /// the serving stage).
+    pub fn decode(&mut self, token: TokenId) -> Vec<f32> {
+        self.forward(token)
+    }
+
+    /// Current sequence position (tokens processed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Total KV memory across all layers and heads, in the caches' native
+    /// storage format.
+    pub fn kv_memory_bytes(&self) -> usize {
+        self.caches
+            .iter()
+            .flatten()
+            .map(|c| c.memory_bytes())
+            .sum()
+    }
+
+    /// Sequence positions currently retained by one head's cache — useful
+    /// for inspecting what an eviction policy kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `kv_head` is out of range.
+    pub fn retained_positions(&self, layer: usize, kv_head: usize) -> Vec<usize> {
+        self.caches[layer][kv_head].view().positions
+    }
+
+    /// Aggregated cache statistics (element-wise sums over heads; the error
+    /// field is averaged).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        let mut n = 0u32;
+        for c in self.caches.iter().flatten() {
+            let s = c.stats();
+            agg.tokens_seen += s.tokens_seen;
+            agg.tokens_retained += s.tokens_retained;
+            agg.tokens_evicted += s.tokens_evicted;
+            agg.memory_bytes += s.memory_bytes;
+            agg.fp16_baseline_bytes += s.fp16_baseline_bytes;
+            agg.mean_quant_error += s.mean_quant_error;
+            n += 1;
+        }
+        if n > 0 {
+            agg.mean_quant_error /= n as f32;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+    use rkvc_tensor::argmax;
+
+    fn pattern_prompt(a: TokenId) -> Vec<TokenId> {
+        // "<bos> a b c <eos-sym> a" — induction should continue with b.
+        vec![vocab::BOS, a, a + 1, a + 2, vocab::EOS_SYM, a]
+    }
+
+    #[test]
+    fn induction_head_retrieves_successor_fp16() {
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let a = vocab::CONTENT_START + 5;
+        let mut s = model.start_session(&CompressionConfig::Fp16);
+        let logits = s.prefill(&pattern_prompt(a));
+        assert_eq!(argmax(&logits), a + 1, "should predict the successor of a");
+    }
+
+    #[test]
+    fn gqa_variant_also_retrieves() {
+        let model = TinyLm::new(ModelConfig::induction_gqa());
+        let a = vocab::CONTENT_START + 9;
+        let mut s = model.start_session(&CompressionConfig::Fp16);
+        let logits = s.prefill(&pattern_prompt(a));
+        assert_eq!(argmax(&logits), a + 1);
+    }
+
+    #[test]
+    fn copies_long_pattern_greedily() {
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let base = vocab::CONTENT_START;
+        let seq: Vec<TokenId> = (0..8).map(|i| base + 2 * i).collect();
+        let mut prompt = vec![vocab::BOS];
+        prompt.extend(&seq);
+        prompt.push(vocab::EOS_SYM);
+        prompt.push(seq[0]);
+        let mut s = model.start_session(&CompressionConfig::Fp16);
+        let mut logits = s.prefill(&prompt);
+        for &want in &seq[1..] {
+            let got = argmax(&logits);
+            assert_eq!(got, want);
+            logits = s.decode(got);
+        }
+        // After the pattern, the model should emit the stop symbol.
+        assert_eq!(argmax(&logits), vocab::EOS_SYM);
+    }
+
+    #[test]
+    fn position_advances_and_memory_grows() {
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let mut s = model.start_session(&CompressionConfig::Fp16);
+        s.prefill(&[vocab::BOS, vocab::CONTENT_START]);
+        assert_eq!(s.position(), 2);
+        let m1 = s.kv_memory_bytes();
+        s.decode(vocab::CONTENT_START + 1);
+        assert!(s.kv_memory_bytes() > m1);
+    }
+
+    #[test]
+    fn eviction_policy_bounds_session_memory() {
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let mut s = model.start_session(&CompressionConfig::streaming(4, 12));
+        let prompt: Vec<TokenId> = (0..60).map(|i| vocab::CONTENT_START + (i % 20)).collect();
+        s.prefill(&prompt);
+        let stats = s.cache_stats();
+        assert_eq!(stats.tokens_seen, 60 * 2 * 2); // 2 layers x 2 kv heads.
+        assert!(stats.tokens_retained < stats.tokens_seen);
+        assert!(stats.tokens_evicted > 0);
+    }
+
+    #[test]
+    fn streaming_eviction_breaks_long_range_retrieval() {
+        // The "a b" pair sits at the start; with sinks too small to cover it
+        // and a short recent window, StreamingLLM evicts it and the
+        // induction retrieval fails — the mechanism behind the paper's
+        // long-context negative samples.
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let a = vocab::CONTENT_START + 7;
+        let b = vocab::CONTENT_START + 11;
+        let mut prompt = vec![vocab::BOS, a, b];
+        // Filler of unrelated symbols.
+        for i in 0..48 {
+            prompt.push(vocab::CONTENT_START + 20 + (i % 10));
+        }
+        prompt.push(a);
+
+        let mut full = model.start_session(&CompressionConfig::Fp16);
+        let got_full = argmax(&full.prefill(&prompt));
+        assert_eq!(got_full, b, "FP16 must retrieve across the filler");
+
+        let mut evicting = model.start_session(&CompressionConfig::streaming(1, 8));
+        let got_evict = argmax(&evicting.prefill(&prompt));
+        assert_ne!(got_evict, b, "eviction should have destroyed the pair");
+    }
+
+    #[test]
+    fn quantization_preserves_retrieval_at_4_bits() {
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let a = vocab::CONTENT_START + 3;
+        let mut prompt = vec![vocab::BOS, a, a + 1];
+        for i in 0..40 {
+            prompt.push(vocab::CONTENT_START + 30 + (i % 8));
+        }
+        prompt.push(a);
+        let cfg = CompressionConfig::Kivi(rkvc_kvcache::KiviParams {
+            bits: 4,
+            group_size: 8,
+            residual: 8,
+        });
+        let mut s = model.start_session(&cfg);
+        let logits = s.prefill(&prompt);
+        assert_eq!(argmax(&logits), a + 1, "KIVI-4 should retain retrieval");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab_token() {
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let mut s = model.start_session(&CompressionConfig::Fp16);
+        s.forward(10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt must not be empty")]
+    fn rejects_empty_prompt() {
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let mut s = model.start_session(&CompressionConfig::Fp16);
+        s.prefill(&[]);
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+    use crate::vocab;
+    use rkvc_tensor::argmax;
+
+    #[test]
+    fn four_layer_model_still_retrieves() {
+        let model = TinyLm::new(ModelConfig::induction_mha_deep());
+        let a = vocab::CONTENT_START + 4;
+        let mut prompt = vec![vocab::BOS, a, a + 1, a + 2, vocab::EOS_SYM];
+        for i in 0..30 {
+            prompt.push(vocab::CONTENT_START + 20 + (i % 12));
+        }
+        prompt.push(a);
+        let mut s = model.start_session(&CompressionConfig::Fp16);
+        let logits = s.prefill(&prompt);
+        assert_eq!(argmax(&logits), a + 1, "deep model retrieval");
+    }
+
+    #[test]
+    fn deep_model_has_per_layer_caches() {
+        let model = TinyLm::new(ModelConfig::induction_mha_deep());
+        let mut s = model.start_session(&CompressionConfig::streaming(2, 6));
+        s.prefill(&[vocab::BOS, vocab::CONTENT_START, vocab::CONTENT_START + 1]);
+        for layer in 0..4 {
+            assert_eq!(s.retained_positions(layer, 0).len(), 3);
+        }
+    }
+}

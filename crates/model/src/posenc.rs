@@ -1,0 +1,90 @@
+//! Sinusoidal position encodings for the position segment.
+
+/// Deterministic sinusoidal position encoder.
+///
+/// Produces `dim`-wide vectors of interleaved `(cos, sin)` pairs over a
+/// geometric frequency ladder (base-10000 style), normalized to unit scale
+/// per pair. These feed the noise heads' positional mixing; the constructed
+/// induction head does not depend on them.
+#[derive(Debug, Clone)]
+pub struct PositionEncoder {
+    freqs: Vec<f32>,
+    dim: usize,
+}
+
+impl PositionEncoder {
+    /// Creates an encoder of width `dim` (must be even).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is odd.
+    pub fn new(dim: usize) -> Self {
+        assert_eq!(dim % 2, 0, "position dim must be even");
+        let half = dim / 2;
+        let freqs = (0..half)
+            .map(|i| 1.0 / 10000f32.powf(i as f32 / half.max(1) as f32))
+            .collect();
+        PositionEncoder { freqs, dim }
+    }
+
+    /// Encoding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes position `pos`.
+    pub fn encode(&self, pos: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim);
+        for &f in &self.freqs {
+            let angle = pos as f32 * f;
+            out.push(angle.cos());
+            out.push(angle.sin());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_matches() {
+        let enc = PositionEncoder::new(16);
+        assert_eq!(enc.encode(0).len(), 16);
+        assert_eq!(enc.dim(), 16);
+    }
+
+    #[test]
+    fn position_zero_is_cos_one_sin_zero() {
+        let enc = PositionEncoder::new(8);
+        let v = enc.encode(0);
+        for pair in v.chunks(2) {
+            assert_eq!(pair[0], 1.0);
+            assert_eq!(pair[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn nearby_positions_are_similar_far_are_not() {
+        let enc = PositionEncoder::new(32);
+        let dot = |a: &[f32], b: &[f32]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>();
+        let p0 = enc.encode(100);
+        let p1 = enc.encode(101);
+        let p50 = enc.encode(150);
+        assert!(dot(&p0, &p1) > dot(&p0, &p50));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PositionEncoder::new(16).encode(42);
+        let b = PositionEncoder::new(16).encode(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_rejected() {
+        PositionEncoder::new(7);
+    }
+}

@@ -1,0 +1,78 @@
+//! The symbolic vocabulary TinyLM operates on.
+//!
+//! TinyLM is a symbol-level model: workloads synthesize prompts directly as
+//! token-id sequences. The vocabulary reserves a handful of special ids and
+//! leaves the rest as content symbols.
+
+/// Token identifier.
+pub type TokenId = usize;
+
+/// Beginning-of-sequence marker.
+pub const BOS: TokenId = 0;
+/// End-of-sequence / stop symbol. Generation terminates when sampled.
+pub const EOS_SYM: TokenId = 1;
+/// Separator between prompt sections (documents, demonstrations).
+pub const SEP: TokenId = 2;
+/// Query marker preceding the question part of a prompt.
+pub const QUERY: TokenId = 3;
+/// First content symbol; all ids in `CONTENT_START..vocab_size` are content.
+pub const CONTENT_START: TokenId = 4;
+
+/// Default vocabulary size (special ids + 60 content symbols).
+pub const DEFAULT_VOCAB: usize = 64;
+
+/// Number of content symbols for a given vocabulary size.
+pub fn content_count(vocab_size: usize) -> usize {
+    vocab_size.saturating_sub(CONTENT_START)
+}
+
+/// Whether `t` is a content symbol under the given vocabulary size.
+pub fn is_content(t: TokenId, vocab_size: usize) -> bool {
+    (CONTENT_START..vocab_size).contains(&t)
+}
+
+/// Renders a token sequence in a compact human-readable form, e.g.
+/// `"<bos> s7 s9 <eos>"`.
+pub fn render(tokens: &[TokenId]) -> String {
+    tokens
+        .iter()
+        .map(|&t| match t {
+            BOS => "<bos>".to_owned(),
+            EOS_SYM => "<eos>".to_owned(),
+            SEP => "<sep>".to_owned(),
+            QUERY => "<q>".to_owned(),
+            s => format!("s{}", s - CONTENT_START),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_distinct_and_below_content() {
+        let specials = [BOS, EOS_SYM, SEP, QUERY];
+        for (i, a) in specials.iter().enumerate() {
+            for b in specials.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+            assert!(*a < CONTENT_START);
+        }
+    }
+
+    #[test]
+    fn content_classification() {
+        assert!(!is_content(BOS, DEFAULT_VOCAB));
+        assert!(is_content(CONTENT_START, DEFAULT_VOCAB));
+        assert!(is_content(DEFAULT_VOCAB - 1, DEFAULT_VOCAB));
+        assert!(!is_content(DEFAULT_VOCAB, DEFAULT_VOCAB));
+        assert_eq!(content_count(DEFAULT_VOCAB), 60);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        assert_eq!(render(&[BOS, CONTENT_START, EOS_SYM]), "<bos> s0 <eos>");
+    }
+}

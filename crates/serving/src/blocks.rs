@@ -1,0 +1,259 @@
+//! PagedAttention-style KV block manager.
+//!
+//! vLLM/LMDeploy manage the KV cache as fixed-size blocks allocated on
+//! demand, eliminating the preallocate-to-max waste of naive serving. The
+//! manager tracks per-sequence block lists and exposes the fragmentation
+//! statistics the paper's §2.2 discussion turns on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Error returned when the block pool is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfBlocks {
+    /// Blocks requested.
+    pub requested: usize,
+    /// Blocks available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfBlocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of KV blocks: requested {}, available {}",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfBlocks {}
+
+/// Fixed-size KV block allocator with per-sequence accounting.
+#[derive(Debug, Clone)]
+pub struct BlockManager {
+    block_size: usize,
+    total_blocks: usize,
+    used_blocks: usize,
+    /// seq id -> (blocks held, tokens stored).
+    seqs: HashMap<u64, (usize, usize)>,
+}
+
+impl BlockManager {
+    /// Creates a pool of `total_blocks` blocks of `block_size` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size == 0`.
+    pub fn new(total_blocks: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        BlockManager {
+            block_size,
+            total_blocks,
+            used_blocks: 0,
+            seqs: HashMap::new(),
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Total pool capacity in blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Blocks currently allocated.
+    pub fn used_blocks(&self) -> usize {
+        self.used_blocks
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> usize {
+        self.total_blocks - self.used_blocks
+    }
+
+    /// Tokens the free blocks could hold.
+    pub fn free_tokens(&self) -> usize {
+        self.free_blocks() * self.block_size
+    }
+
+    /// Fraction of the pool in use.
+    pub fn utilization(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.used_blocks as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Tokens wasted to internal fragmentation (allocated-but-unfilled slots
+    /// in sequences' last blocks).
+    pub fn internal_fragmentation_tokens(&self) -> usize {
+        self.seqs
+            .values()
+            .map(|&(blocks, tokens)| blocks * self.block_size - tokens)
+            .sum()
+    }
+
+    /// Number of resident sequences.
+    pub fn seq_count(&self) -> usize {
+        self.seqs.len()
+    }
+
+    fn blocks_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.block_size)
+    }
+
+    /// Registers a sequence holding `tokens` tokens (its prefill
+    /// allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBlocks`] (allocating nothing) if the pool cannot
+    /// cover it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is already registered.
+    pub fn register_seq(&mut self, seq: u64, tokens: usize) -> Result<(), OutOfBlocks> {
+        assert!(!self.seqs.contains_key(&seq), "sequence {seq} already registered");
+        let need = self.blocks_for(tokens.max(1));
+        if need > self.free_blocks() {
+            return Err(OutOfBlocks {
+                requested: need,
+                available: self.free_blocks(),
+            });
+        }
+        self.used_blocks += need;
+        self.seqs.insert(seq, (need, tokens));
+        Ok(())
+    }
+
+    /// Grows a sequence by one token, allocating a new block on a boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBlocks`] if a new block is needed and none is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not registered.
+    pub fn append_token(&mut self, seq: u64) -> Result<(), OutOfBlocks> {
+        let free = self.free_blocks();
+        let entry = self.seqs.get_mut(&seq).expect("unknown sequence");
+        if entry.1 + 1 > entry.0 * self.block_size {
+            if free == 0 {
+                return Err(OutOfBlocks {
+                    requested: 1,
+                    available: 0,
+                });
+            }
+            entry.0 += 1;
+            self.used_blocks += 1;
+        }
+        entry.1 += 1;
+        Ok(())
+    }
+
+    /// Shrinks a sequence's token count (eviction policies), releasing
+    /// whole blocks that become empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not registered or `tokens` exceeds its current
+    /// count.
+    pub fn truncate_seq(&mut self, seq: u64, tokens: usize) {
+        let entry = self.seqs.get_mut(&seq).expect("unknown sequence");
+        assert!(tokens <= entry.1, "cannot grow via truncate");
+        entry.1 = tokens;
+        let need = tokens.max(1).div_ceil(self.block_size);
+        if need < entry.0 {
+            self.used_blocks -= entry.0 - need;
+            entry.0 = need;
+        }
+    }
+
+    /// Releases all blocks of a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not registered.
+    pub fn free_seq(&mut self, seq: u64) {
+        let (blocks, _) = self.seqs.remove(&seq).expect("unknown sequence");
+        self.used_blocks -= blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_rounds_up_to_blocks() {
+        let mut m = BlockManager::new(10, 16);
+        m.register_seq(1, 17).unwrap();
+        assert_eq!(m.used_blocks(), 2);
+        assert_eq!(m.internal_fragmentation_tokens(), 15);
+    }
+
+    #[test]
+    fn append_allocates_on_boundary_only() {
+        let mut m = BlockManager::new(10, 4);
+        m.register_seq(1, 4).unwrap();
+        assert_eq!(m.used_blocks(), 1);
+        m.append_token(1).unwrap(); // Crosses into block 2.
+        assert_eq!(m.used_blocks(), 2);
+        m.append_token(1).unwrap(); // Fits in block 2.
+        assert_eq!(m.used_blocks(), 2);
+    }
+
+    #[test]
+    fn exhaustion_is_reported_not_panicked() {
+        let mut m = BlockManager::new(2, 4);
+        m.register_seq(1, 8).unwrap();
+        let err = m.register_seq(2, 1).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert_eq!(err.requested, 1);
+        // Failed registration must not leak state.
+        assert_eq!(m.seq_count(), 1);
+    }
+
+    #[test]
+    fn free_returns_blocks() {
+        let mut m = BlockManager::new(4, 4);
+        m.register_seq(1, 16).unwrap();
+        assert_eq!(m.free_blocks(), 0);
+        m.free_seq(1);
+        assert_eq!(m.free_blocks(), 4);
+        assert_eq!(m.seq_count(), 0);
+    }
+
+    #[test]
+    fn truncate_releases_whole_blocks() {
+        let mut m = BlockManager::new(10, 4);
+        m.register_seq(1, 16).unwrap(); // 4 blocks.
+        m.truncate_seq(1, 5); // Needs 2 blocks.
+        assert_eq!(m.used_blocks(), 2);
+        assert_eq!(m.internal_fragmentation_tokens(), 3);
+    }
+
+    #[test]
+    fn utilization_and_conservation() {
+        let mut m = BlockManager::new(8, 2);
+        m.register_seq(1, 3).unwrap();
+        m.register_seq(2, 2).unwrap();
+        assert_eq!(m.used_blocks() + m.free_blocks(), m.total_blocks());
+        assert!((m.utilization() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let mut m = BlockManager::new(4, 4);
+        m.register_seq(1, 1).unwrap();
+        let _ = m.register_seq(1, 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Multi-GPU cluster with the paper's four routing policies (§5.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CompletedRequest, ServerSim, SimRequest};
+
+/// Routing policies from Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Route to the server with minimum KV-memory utilization (the paper's
+    /// *Baseline* load balancing).
+    LoadBalance,
+    /// Route to the server with the highest predicted decode throughput
+    /// (*w/ Throughput*).
+    ThroughputAware,
+    /// Route to the server predicted to produce the shortest response
+    /// (*w/ Length*).
+    LengthAware,
+    /// Route to the server with the minimum predicted end-to-end latency:
+    /// prefill + predicted length / predicted throughput (*w/ Both*).
+    Both,
+}
+
+impl RoutingPolicy {
+    /// All four policies in Table 8's row order.
+    pub fn all() -> [RoutingPolicy; 4] {
+        [
+            RoutingPolicy::LoadBalance,
+            RoutingPolicy::ThroughputAware,
+            RoutingPolicy::LengthAware,
+            RoutingPolicy::Both,
+        ]
+    }
+
+    /// Table 8 row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::LoadBalance => "Baseline",
+            RoutingPolicy::ThroughputAware => "w/ Throughput",
+            RoutingPolicy::LengthAware => "w/ Length",
+            RoutingPolicy::Both => "w/ Both",
+        }
+    }
+}
+
+/// Predictions the router consults. Implemented by the tool suite's
+/// predictors (`rkvc-core`) and by [`OraclePredictor`] for ground-truth
+/// routing in tests.
+pub trait RoutePredictor {
+    /// Predicted decode throughput (tokens/s) if `req` ran on `server` with
+    /// its current load.
+    fn predicted_throughput(&self, server: &ServerSim, req: &SimRequest) -> f64;
+
+    /// Predicted response length (tokens) if `req` ran on `server`
+    /// (compression policies shift lengths).
+    fn predicted_response_len(&self, server: &ServerSim, req: &SimRequest) -> f64;
+}
+
+/// Ground-truth predictor: evaluates the cost model directly and reads the
+/// request's true per-server response length. The upper bound a learned
+/// predictor approaches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OraclePredictor;
+
+impl RoutePredictor for OraclePredictor {
+    fn predicted_throughput(&self, server: &ServerSim, req: &SimRequest) -> f64 {
+        let batch = server.batch_size() + 1;
+        let kv = server.mean_kv_len().max(req.prompt_len);
+        server
+            .deployment()
+            .decode_throughput(server.algo(), batch, kv)
+    }
+
+    fn predicted_response_len(&self, server: &ServerSim, req: &SimRequest) -> f64 {
+        req.response_len_on(server.id()) as f64
+    }
+}
+
+/// A multi-server deployment fed by a global arrival stream.
+#[derive(Debug)]
+pub struct Cluster {
+    servers: Vec<ServerSim>,
+    policy: RoutingPolicy,
+}
+
+impl Cluster {
+    /// Creates a cluster over the given servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn new(servers: Vec<ServerSim>, policy: RoutingPolicy) -> Self {
+        assert!(!servers.is_empty(), "cluster needs at least one server");
+        Cluster { servers, policy }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Server count.
+    pub fn size(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Picks a destination server for `req` under the configured policy.
+    pub fn route(&self, req: &SimRequest, predictor: &dyn RoutePredictor) -> usize {
+        let score = |idx: usize| -> f64 {
+            let s = &self.servers[idx];
+            match self.policy {
+                // Lower is better for all scores below.
+                RoutingPolicy::LoadBalance => {
+                    s.memory_utilization() + s.load() as f64 * 1e-6
+                }
+                // Per-request decode rate: aggregate batch throughput
+                // divided over the residents — a loaded server offers each
+                // request a smaller share, which is what spreads load.
+                RoutingPolicy::ThroughputAware => {
+                    -predictor.predicted_throughput(s, req) / (s.load() + 1) as f64
+                }
+                // Shortest predicted response, tie-broken toward idle
+                // servers (all same-algorithm servers predict equal
+                // lengths).
+                RoutingPolicy::LengthAware => {
+                    predictor.predicted_response_len(s, req) * (1.0 + 0.1 * s.load() as f64)
+                }
+                RoutingPolicy::Both => {
+                    // Predicted E2E: the ThroughputAware load share weighted
+                    // by the predicted response length (so with equal length
+                    // predictions this reduces exactly to ThroughputAware,
+                    // and length information can only refine it), plus the
+                    // prefill cost.
+                    let thr = predictor.predicted_throughput(s, req).max(1e-9);
+                    let len = predictor.predicted_response_len(s, req);
+                    let prefill = s
+                        .deployment()
+                        .prefill(s.algo(), 1, req.prompt_len)
+                        .total();
+                    prefill + len * (s.load() + 1) as f64 / thr
+                }
+            }
+        };
+        (0..self.servers.len())
+            .min_by(|&a, &b| {
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty cluster")
+    }
+
+    /// Runs the full arrival stream to completion and returns every
+    /// request's measured latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is not sorted by arrival time.
+    pub fn run(
+        mut self,
+        requests: Vec<SimRequest>,
+        predictor: &dyn RoutePredictor,
+    ) -> Vec<CompletedRequest> {
+        let mut last = f64::NEG_INFINITY;
+        for req in requests {
+            assert!(
+                req.arrival_s >= last,
+                "requests must be sorted by arrival time"
+            );
+            last = req.arrival_s;
+            // Bring every server's view of time up to this arrival so
+            // routing sees current load.
+            for s in &mut self.servers {
+                s.advance_to(req.arrival_s);
+            }
+            let dst = self.route(&req, predictor);
+            self.servers[dst].enqueue(req);
+        }
+        let mut done: Vec<CompletedRequest> = self
+            .servers
+            .into_iter()
+            .flat_map(|s| s.run_to_completion())
+            .collect();
+        done.sort_by_key(|c| c.id);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+    use rkvc_kvcache::CompressionConfig;
+
+    fn dep() -> DeploymentSpec {
+        DeploymentSpec {
+            gpu: GpuSpec::a6000(),
+            llm: LlmSpec::llama2_7b(),
+            engine: EngineKind::LmDeploy,
+            tensor_parallel: 1,
+        }
+    }
+
+    /// Paper topology: GPU 0 runs FP16, GPUs 1-3 run one compression algo.
+    fn paper_cluster(policy: RoutingPolicy) -> Cluster {
+        let algo = CompressionConfig::streaming(64, 448);
+        let servers = vec![
+            ServerSim::new(0, dep(), CompressionConfig::Fp16, 8),
+            ServerSim::new(1, dep(), algo, 8),
+            ServerSim::new(2, dep(), algo, 8),
+            ServerSim::new(3, dep(), algo, 8),
+        ];
+        Cluster::new(servers, policy)
+    }
+
+    fn stream(n: usize) -> Vec<SimRequest> {
+        (0..n)
+            .map(|i| {
+                let mut r = SimRequest::new(i as u64, i as f64 * 0.1, 1024, 96);
+                // Compression makes responses somewhat longer on servers 1-3.
+                r.response_len_by_server = vec![96, 128, 128, 128];
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_requests_complete_under_every_policy() {
+        for policy in RoutingPolicy::all() {
+            let done = paper_cluster(policy).run(stream(24), &OraclePredictor);
+            assert_eq!(done.len(), 24, "{policy:?}");
+            assert!(done.iter().all(|c| c.e2e_s > 0.0));
+        }
+    }
+
+    #[test]
+    fn load_balance_spreads_requests() {
+        let done = paper_cluster(RoutingPolicy::LoadBalance).run(stream(32), &OraclePredictor);
+        let mut counts = [0usize; 4];
+        for c in &done {
+            counts[c.server_id] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn length_aware_prefers_the_short_server() {
+        // Server 0 (FP16) yields shorter responses; LengthAware should
+        // favour it (with load-based spill once it saturates).
+        let done = paper_cluster(RoutingPolicy::LengthAware).run(stream(16), &OraclePredictor);
+        let mut counts = [0usize; 4];
+        for c in &done {
+            counts[c.server_id] += 1;
+        }
+        assert!(
+            counts[0] > counts[1] && counts[0] > counts[2] && counts[0] > counts[3],
+            "FP16 should attract the most traffic: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn combined_policy_beats_load_balance_on_average() {
+        // Table 8's headline: w/ Both < Baseline in average E2E.
+        let base = paper_cluster(RoutingPolicy::LoadBalance).run(stream(48), &OraclePredictor);
+        let both = paper_cluster(RoutingPolicy::Both).run(stream(48), &OraclePredictor);
+        let mean = |v: &[CompletedRequest]| {
+            v.iter().map(|c| c.e2e_s).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(&both) < mean(&base),
+            "both {} vs baseline {}",
+            mean(&both),
+            mean(&base)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_arrivals_rejected() {
+        let mut reqs = stream(3);
+        reqs[1].arrival_s = 100.0;
+        paper_cluster(RoutingPolicy::LoadBalance).run(reqs, &OraclePredictor);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cluster_rejected() {
+        Cluster::new(Vec::new(), RoutingPolicy::LoadBalance);
+    }
+}

@@ -1,0 +1,46 @@
+//! Discrete-event LLM serving simulator.
+//!
+//! Provides the serving substrate the paper's system-level experiments need:
+//!
+//! * [`BlockManager`] — a PagedAttention-style KV block allocator with
+//!   fragmentation accounting.
+//! * [`ServerSim`] — one GPU (or TP group) running iteration-level
+//!   continuous batching over the [`rkvc_gpu`] cost model; emits per-request
+//!   TTFT / end-to-end latency.
+//! * [`Cluster`] — a multi-GPU deployment with the paper's four routing
+//!   policies (§5.4, Table 8): load balance, throughput-predictor routing,
+//!   length-predictor routing, and combined.
+//! * [`LatencySummary`] — mean/percentile/CDF reductions for Figure 5 and
+//!   Table 8.
+//!
+//! # Examples
+//!
+//! ```
+//! use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+//! use rkvc_kvcache::CompressionConfig;
+//! use rkvc_serving::{ServerSim, SimRequest};
+//!
+//! let dep = DeploymentSpec {
+//!     gpu: GpuSpec::a6000(),
+//!     llm: LlmSpec::llama2_7b(),
+//!     engine: EngineKind::LmDeploy,
+//!     tensor_parallel: 1,
+//! };
+//! let mut server = ServerSim::new(0, dep, CompressionConfig::Fp16, 16);
+//! server.enqueue(SimRequest::new(0, 0.0, 512, 128));
+//! let done = server.run_to_completion();
+//! assert_eq!(done.len(), 1);
+//! assert!(done[0].e2e_s > 0.0);
+//! ```
+
+mod blocks;
+mod cluster;
+mod metrics;
+mod request;
+mod server;
+
+pub use blocks::{BlockManager, OutOfBlocks};
+pub use cluster::{Cluster, OraclePredictor, RoutePredictor, RoutingPolicy};
+pub use metrics::LatencySummary;
+pub use request::{CompletedRequest, SimRequest};
+pub use server::ServerSim;

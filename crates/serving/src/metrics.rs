@@ -1,0 +1,129 @@
+//! Latency reductions: percentiles and CDFs.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of latencies (seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    sorted: Vec<f64>,
+}
+
+impl LatencySummary {
+    /// Builds a summary from raw latencies (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is NaN.
+    pub fn new(mut latencies: Vec<f64>) -> Self {
+        assert!(
+            latencies.iter().all(|l| !l.is_nan()),
+            "latencies must not be NaN"
+        );
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        LatencySummary { sorted: latencies }
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Percentile in `[0, 100]` (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty or `p` is out of range.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "empty summary");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let rank = ((p / 100.0) * (self.sorted.len() - 1) as f64).floor() as usize;
+        self.sorted[rank]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile (tail) latency — where Figure 5 separates GEAR.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Maximum latency.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Empirical CDF evaluated at `points`: fraction of samples `<= x`.
+    pub fn cdf(&self, points: &[f64]) -> Vec<f64> {
+        points
+            .iter()
+            .map(|&x| {
+                let n = self.sorted.partition_point(|&v| v <= x);
+                if self.sorted.is_empty() {
+                    0.0
+                } else {
+                    n as f64 / self.sorted.len() as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let s = LatencySummary::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p95(), 95.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let s = LatencySummary::new(vec![1.0, 2.0, 2.0, 5.0]);
+        let pts: Vec<f64> = (0..=6).map(|i| i as f64).collect();
+        let cdf = s.cdf(&pts);
+        assert_eq!(cdf[0], 0.0);
+        assert_eq!(cdf[6], 1.0);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cdf[2], 0.75); // 3 of 4 samples <= 2.
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let s = LatencySummary::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(s.p50(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        LatencySummary::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Requests flowing through the serving simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// A request submitted to a server or cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimRequest {
+    /// Unique request id.
+    pub id: u64,
+    /// Arrival time in seconds.
+    pub arrival_s: f64,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Response length (tokens) the request produces on the default
+    /// serving configuration.
+    pub response_len: usize,
+    /// Optional per-server response lengths for cluster runs where servers
+    /// run different compression policies (compression shifts lengths —
+    /// paper §4.3). Index = server id; falls back to `response_len`.
+    pub response_len_by_server: Vec<usize>,
+}
+
+impl SimRequest {
+    /// Creates a request with a single response length.
+    pub fn new(id: u64, arrival_s: f64, prompt_len: usize, response_len: usize) -> Self {
+        SimRequest {
+            id,
+            arrival_s,
+            prompt_len,
+            response_len,
+            response_len_by_server: Vec::new(),
+        }
+    }
+
+    /// Response length if served by `server_id`.
+    pub fn response_len_on(&self, server_id: usize) -> usize {
+        self.response_len_by_server
+            .get(server_id)
+            .copied()
+            .unwrap_or(self.response_len)
+    }
+}
+
+/// A finished request with its measured latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// The request id.
+    pub id: u64,
+    /// Server that executed it.
+    pub server_id: usize,
+    /// Arrival time (seconds).
+    pub arrival_s: f64,
+    /// Time-to-first-token (seconds from arrival).
+    pub ttft_s: f64,
+    /// End-to-end latency (seconds from arrival to last token).
+    pub e2e_s: f64,
+    /// Tokens generated.
+    pub generated: usize,
+}
+
+impl CompletedRequest {
+    /// Time-between-output-tokens (TBOT), the paper's second key serving
+    /// metric (§2.4): mean seconds per generated token after the first.
+    /// Zero when at most one token was generated.
+    pub fn tbot_s(&self) -> f64 {
+        if self.generated <= 1 {
+            0.0
+        } else {
+            (self.e2e_s - self.ttft_s) / (self.generated - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tbot_is_decode_time_per_token() {
+        let c = CompletedRequest {
+            id: 0,
+            server_id: 0,
+            arrival_s: 0.0,
+            ttft_s: 1.0,
+            e2e_s: 11.0,
+            generated: 101,
+        };
+        assert!((c.tbot_s() - 0.1).abs() < 1e-12);
+        let single = CompletedRequest { generated: 1, ..c };
+        assert_eq!(single.tbot_s(), 0.0);
+    }
+
+    #[test]
+    fn per_server_lengths_fall_back() {
+        let mut r = SimRequest::new(1, 0.0, 100, 50);
+        assert_eq!(r.response_len_on(3), 50);
+        r.response_len_by_server = vec![50, 80];
+        assert_eq!(r.response_len_on(1), 80);
+        assert_eq!(r.response_len_on(9), 50);
+    }
+}

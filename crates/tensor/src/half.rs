@@ -1,0 +1,179 @@
+//! IEEE-754 binary16 conversion.
+//!
+//! The reproduction stores the FP16 baseline KV cache by rounding every f32
+//! through binary16, so the baseline carries exactly the precision the paper's
+//! FP16 baseline would. The conversions are bit-exact (round-to-nearest-even),
+//! implemented from scratch to avoid an external `half` dependency.
+
+/// Converts an `f32` to IEEE-754 binary16 bits (round-to-nearest-even).
+///
+/// # Examples
+///
+/// ```
+/// use rkvc_tensor::{f32_to_f16_bits, f16_bits_to_f32};
+/// assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1.0)), 1.0);
+/// ```
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: preserve NaN-ness with a quiet bit.
+        let nan_bit = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit | ((mant >> 13) as u16 & 0x03ff);
+    }
+
+    // Re-bias exponent from 127 to 15.
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+
+    if half_exp >= 0x1f {
+        // Overflow to infinity.
+        return sign | 0x7c00;
+    }
+
+    if half_exp <= 0 {
+        // Subnormal or zero in f16.
+        if half_exp < -10 {
+            return sign; // Rounds to zero.
+        }
+        // Add the implicit leading bit and shift into subnormal position.
+        let mant = mant | 0x0080_0000;
+        let shift = (14 - half_exp) as u32;
+        let rounded = mant >> shift;
+        let remainder = mant & ((1u32 << shift) - 1);
+        let half_way = 1u32 << (shift - 1);
+        let mut result = rounded as u16;
+        if remainder > half_way || (remainder == half_way && (result & 1) == 1) {
+            result += 1;
+        }
+        return sign | result;
+    }
+
+    // Normalized: round mantissa from 23 to 10 bits, nearest-even.
+    let mut out = sign | ((half_exp as u16) << 10) | ((mant >> 13) as u16);
+    let remainder = mant & 0x1fff;
+    if remainder > 0x1000 || (remainder == 0x1000 && (out & 1) == 1) {
+        out = out.wrapping_add(1); // May carry into exponent, which is correct.
+    }
+    out
+}
+
+/// Converts IEEE-754 binary16 bits to an `f32`.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mant = (bits & 0x03ff) as u32;
+
+    let out = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.
+            let mut e = 0i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            let m = (m & 0x03ff) << 13;
+            let e = ((127 - 15 + e + 1) as u32) << 23;
+            sign | e | m
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Rounds an `f32` through binary16 precision and back.
+///
+/// This is how the FP16 baseline "stores" values: the f32 buffer holds the
+/// exact value an FP16 tensor would hold.
+pub fn round_to_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Rounds every element of a slice through binary16 precision in place.
+pub fn round_slice_to_f16(values: &mut [f32]) {
+    for v in values {
+        *v = round_to_f16(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(round_to_f16(v), v, "integer {i} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // f16::MAX
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16_bits(1.0e6), 0x7c00);
+        assert!(round_to_f16(1.0e6).is_infinite());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive f16 subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(round_to_f16(tiny), tiny);
+        // Below half of the smallest subnormal rounds to zero.
+        assert_eq!(round_to_f16(2.0f32.powi(-26)), 0.0);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(round_to_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16; ties to
+        // even keep 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(round_to_f16(halfway), 1.0);
+        // Slightly above the halfway point rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-17);
+        assert!(round_to_f16(above) > 1.0);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // f16 has 11 significand bits; relative error <= 2^-11 for normal range.
+        let mut x = 1e-3f32;
+        while x < 1e4 {
+            let r = round_to_f16(x);
+            assert!(((r - x) / x).abs() <= 2.0f32.powi(-11), "x={x} r={r}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn slice_rounding_matches_scalar() {
+        let mut v = vec![0.1, 0.2, 0.3, 1234.567];
+        let expect: Vec<f32> = v.iter().map(|&x| round_to_f16(x)).collect();
+        round_slice_to_f16(&mut v);
+        assert_eq!(v, expect);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic workload suites standing in for the paper's datasets.
+//!
+//! * [`sharegpt`] — conversation-shaped requests with log-normal
+//!   prompt/response lengths and Poisson arrivals, replacing the ShareGPT
+//!   sample the paper uses for throughput/length analysis. Each request also
+//!   carries a TinyLM prompt whose FP16 completion has a known reference, so
+//!   compression-induced *length shift* and *semantic drift* are measured on
+//!   real generations.
+//! * [`longbench`] — six long-context task types (single-doc QA, multi-doc
+//!   QA, summarization, few-shot, code completion, synthetic retrieval)
+//!   mirroring LongBench's categories, each with a programmatic scorer.
+//!   Correctness requires retrieving specific tokens from deep context —
+//!   exactly the capability KV compression endangers.
+//! * [`semantic`] — token-overlap F1 scoring (the stand-in for the paper's
+//!   ChatGPT-reference semantic score in Table 4).
+//! * [`length`] — the paper's response-length difference statistic
+//!   `D = (L_un - L_cs)/L_un`, histograms, and KDE.
+//! * [`suite`] — the compression-algorithm suite scaled to TinyLM context
+//!   lengths.
+
+pub mod length;
+pub mod longbench;
+pub mod semantic;
+pub mod sharegpt;
+pub mod suite;
+
+pub use length::{length_difference, LengthStats};
+pub use longbench::{generate_sample, generate_suite, LongBenchConfig, Scorer, TaskSample, TaskType};
+pub use semantic::{semantic_score, token_f1};
+pub use sharegpt::{sample_conversations, ConversationRequest, ShareGptConfig};
+pub use suite::{
+    accuracy_suite, compression_ratio_sweep, scaled_gear, scaled_h2o, scaled_kivi, scaled_paper_suite,
+    scaled_streaming, ScaledAlgo,
+};

@@ -1,0 +1,132 @@
+//! Semantic similarity scoring between token sequences.
+//!
+//! Stands in for the paper's ChatGPT-reference semantic score (Table 4):
+//! a blend of unigram-overlap F1 and bigram-overlap F1, the standard
+//! surface-similarity family (ROUGE-1/ROUGE-2) used when embeddings are
+//! unavailable.
+
+use rkvc_model::vocab::TokenId;
+use std::collections::HashMap;
+
+fn counts<T: std::hash::Hash + Eq + Copy>(items: impl Iterator<Item = T>) -> HashMap<T, usize> {
+    let mut m = HashMap::new();
+    for it in items {
+        *m.entry(it).or_insert(0) += 1;
+    }
+    m
+}
+
+fn overlap_f1<T: std::hash::Hash + Eq + Copy>(
+    a: HashMap<T, usize>,
+    b: HashMap<T, usize>,
+    len_a: usize,
+    len_b: usize,
+) -> f64 {
+    if len_a == 0 && len_b == 0 {
+        return 1.0;
+    }
+    if len_a == 0 || len_b == 0 {
+        return 0.0;
+    }
+    let mut hit = 0usize;
+    for (t, ca) in &a {
+        if let Some(cb) = b.get(t) {
+            hit += (*ca).min(*cb);
+        }
+    }
+    if hit == 0 {
+        return 0.0;
+    }
+    let p = hit as f64 / len_a as f64;
+    let r = hit as f64 / len_b as f64;
+    2.0 * p * r / (p + r)
+}
+
+/// Unigram-overlap F1 between a candidate and a reference, in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rkvc_workload::token_f1(&[1, 2, 3], &[1, 2, 3]), 1.0);
+/// assert_eq!(rkvc_workload::token_f1(&[9, 9], &[1, 2]), 0.0);
+/// ```
+pub fn token_f1(candidate: &[TokenId], reference: &[TokenId]) -> f64 {
+    overlap_f1(
+        counts(candidate.iter().copied()),
+        counts(reference.iter().copied()),
+        candidate.len(),
+        reference.len(),
+    )
+}
+
+/// Bigram-overlap F1 in `[0, 1]`.
+pub fn bigram_f1(candidate: &[TokenId], reference: &[TokenId]) -> f64 {
+    let big = |s: &[TokenId]| counts(s.windows(2).map(|w| (w[0], w[1])));
+    overlap_f1(
+        big(candidate),
+        big(reference),
+        candidate.len().saturating_sub(1),
+        reference.len().saturating_sub(1),
+    )
+}
+
+/// Combined semantic score on a 0–100 scale: `70% unigram F1 + 30% bigram
+/// F1` (ROUGE-1/ROUGE-2 blend).
+pub fn semantic_score(candidate: &[TokenId], reference: &[TokenId]) -> f64 {
+    (0.7 * token_f1(candidate, reference) + 0.3 * bigram_f1(candidate, reference)) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_score_100() {
+        let s = [4, 5, 6, 7];
+        assert_eq!(semantic_score(&s, &s), 100.0);
+    }
+
+    #[test]
+    fn disjoint_sequences_score_0() {
+        assert_eq!(semantic_score(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_partial() {
+        let sc = semantic_score(&[4, 5, 9, 9], &[4, 5, 6, 7]);
+        assert!(sc > 10.0 && sc < 90.0, "{sc}");
+    }
+
+    #[test]
+    fn order_matters_via_bigrams() {
+        let reference = [4, 5, 6, 7];
+        let in_order = semantic_score(&[4, 5, 6, 7], &reference);
+        let shuffled = semantic_score(&[7, 5, 4, 6], &reference);
+        assert!(in_order > shuffled);
+    }
+
+    #[test]
+    fn repeated_tokens_clip_to_reference_counts() {
+        // Candidate spamming one correct token shouldn't earn full credit.
+        let sc = token_f1(&[4, 4, 4, 4], &[4, 5, 6, 7]);
+        assert!(sc < 0.5, "{sc}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(token_f1(&[], &[]), 1.0);
+        assert_eq!(token_f1(&[], &[1]), 0.0);
+        assert_eq!(token_f1(&[1], &[]), 0.0);
+        assert_eq!(bigram_f1(&[1], &[1]), 1.0); // No bigrams on either side.
+    }
+
+    #[test]
+    fn verbose_but_overlapping_output_scores_mid() {
+        // A response that contains the reference plus chatter: recall is
+        // perfect, precision suffers — "verbose output" in Table 4 terms.
+        let reference = [4, 5, 6];
+        let verbose = [4, 5, 6, 20, 21, 22, 23, 24, 25];
+        let sc = semantic_score(&verbose, &reference);
+        assert!(sc > 30.0 && sc < 80.0, "{sc}");
+    }
+}

@@ -1,0 +1,147 @@
+//! The compression-algorithm suite scaled to TinyLM context windows.
+//!
+//! The paper runs KIVI/GEAR at 2–4 bits and H2O/StreamingLLM at a 512-token
+//! budget against multi-thousand-token contexts (a 4–30x sparsity ratio).
+//! TinyLM prompts are ~100–250 tokens, so the sparsity budgets scale down
+//! to 64 tokens to preserve the compression *ratio*; quantization bit
+//! widths carry over unchanged.
+
+use rkvc_kvcache::{CompressionConfig, GearParams, KiviParams};
+use serde::{Deserialize, Serialize};
+
+/// A labelled compression configuration scaled for TinyLM experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaledAlgo {
+    /// Paper-style label (`KIVI-4`, `H2O-64`, ...).
+    pub label: String,
+    /// The configuration.
+    pub config: CompressionConfig,
+}
+
+impl ScaledAlgo {
+    fn new(label: &str, config: CompressionConfig) -> Self {
+        ScaledAlgo {
+            label: label.to_owned(),
+            config,
+        }
+    }
+}
+
+/// KIVI scaled to TinyLM: groups of 8 tokens, 16-token residual window.
+pub fn scaled_kivi(bits: u8) -> CompressionConfig {
+    CompressionConfig::Kivi(KiviParams {
+        bits,
+        group_size: 8,
+        residual: 16,
+    })
+}
+
+/// GEAR scaled to TinyLM: 8-token buffer, paper's 2%/2% correction ratios
+/// raised to 5%/10% so rank >= 1 at head dim 64.
+pub fn scaled_gear(bits: u8) -> CompressionConfig {
+    CompressionConfig::Gear(GearParams {
+        bits,
+        outlier_ratio: 0.05,
+        rank_ratio: 0.1,
+        buffer: 8,
+    })
+}
+
+/// H2O scaled to TinyLM: 16 heavy + `recent` recent tokens.
+pub fn scaled_h2o(total: usize) -> CompressionConfig {
+    CompressionConfig::h2o(total / 4, total - total / 4)
+}
+
+/// StreamingLLM scaled to TinyLM: `total/4` sinks + the rest recent.
+pub fn scaled_streaming(total: usize) -> CompressionConfig {
+    CompressionConfig::streaming(total / 4, total - total / 4)
+}
+
+/// The four representative algorithms (paper §4.1) plus the FP16 baseline,
+/// scaled to TinyLM contexts: KIVI-4, GEAR-4, H2O-64, Stream-64.
+pub fn scaled_paper_suite() -> Vec<ScaledAlgo> {
+    vec![
+        ScaledAlgo::new("FP16", CompressionConfig::Fp16),
+        ScaledAlgo::new("KIVI-4", scaled_kivi(4)),
+        ScaledAlgo::new("GEAR-4", scaled_gear(4)),
+        ScaledAlgo::new("H2O-64", scaled_h2o(64)),
+        ScaledAlgo::new("Stream-64", scaled_streaming(64)),
+    ]
+}
+
+/// Algorithm set for the accuracy/negative-sample experiments: 2-bit
+/// quantizers and 64-token eviction budgets.
+///
+/// Calibration note: 4-bit groupwise quantization of TinyLM's 64-dim unit
+/// codes is effectively lossless (the induction margin is never flipped),
+/// unlike 4-bit on real 128-dim LLaMA keys where the paper observes
+/// accuracy loss. The 2-bit variants put TinyLM's quantization error in the
+/// same *relative* regime as the paper's 4-bit-on-LLaMA setting.
+pub fn accuracy_suite() -> Vec<ScaledAlgo> {
+    vec![
+        ScaledAlgo::new("KIVI-2", scaled_kivi(2)),
+        ScaledAlgo::new("GEAR-2", scaled_gear(2)),
+        ScaledAlgo::new("H2O-64", scaled_h2o(64)),
+        ScaledAlgo::new("Stream-64", scaled_streaming(64)),
+    ]
+}
+
+/// Higher-compression variants for the ratio sweep (Figure 4): lower bits
+/// for quantizers, smaller budgets for eviction.
+pub fn compression_ratio_sweep() -> Vec<ScaledAlgo> {
+    vec![
+        ScaledAlgo::new("KIVI-4", scaled_kivi(4)),
+        ScaledAlgo::new("KIVI-2", scaled_kivi(2)),
+        ScaledAlgo::new("GEAR-4", scaled_gear(4)),
+        ScaledAlgo::new("GEAR-2", scaled_gear(2)),
+        ScaledAlgo::new("H2O-64", scaled_h2o(64)),
+        ScaledAlgo::new("H2O-32", scaled_h2o(32)),
+        ScaledAlgo::new("Stream-64", scaled_streaming(64)),
+        ScaledAlgo::new("Stream-32", scaled_streaming(32)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_baseline_plus_four() {
+        let suite = scaled_paper_suite();
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].label, "FP16");
+    }
+
+    #[test]
+    fn all_scaled_configs_build() {
+        for algo in scaled_paper_suite().into_iter().chain(compression_ratio_sweep()) {
+            let mut cache = algo.config.build(64);
+            for pos in 0..100 {
+                cache.append(&[0.1; 64], &[0.1; 64], pos);
+                let n = cache.len();
+                cache.observe_attention(&vec![1.0 / n as f32; n]);
+            }
+            assert!(cache.len() > 0, "{}", algo.label);
+        }
+    }
+
+    #[test]
+    fn sparsity_budgets_are_64() {
+        let h2o = scaled_h2o(64);
+        let mut c = h2o.build(8);
+        for pos in 0..200 {
+            c.append(&[0.0; 8], &[0.0; 8], pos);
+            let n = c.len();
+            c.observe_attention(&vec![1.0 / n as f32; n]);
+        }
+        assert_eq!(c.len(), 64);
+    }
+
+    #[test]
+    fn sweep_covers_both_families() {
+        let sweep = compression_ratio_sweep();
+        assert!(sweep.iter().any(|a| a.label.starts_with("KIVI")));
+        assert!(sweep.iter().any(|a| a.label.starts_with("H2O")));
+        assert_eq!(sweep.len(), 8);
+    }
+}

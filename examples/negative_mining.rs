@@ -1,0 +1,78 @@
+//! Negative-sample mining on the synthetic LongBench suite (Algorithm 1).
+//!
+//! Mines benign samples that turn malign under compression, sweeps the
+//! threshold (Figure 6), breaks negatives down by task type (Figure 7), and
+//! scores every algorithm on the mined benchmark (Table 7).
+//!
+//! ```text
+//! cargo run --release --example negative_mining
+//! ```
+
+use rethink_kv_compression::core::negative::{
+    baseline_average, collect_negatives, evaluate_suite, task_breakdown, threshold_sweep,
+};
+use rethink_kv_compression::model::{ModelConfig, TinyLm};
+use rethink_kv_compression::workload::{generate_suite, LongBenchConfig, TaskType};
+
+fn main() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let cfg = LongBenchConfig {
+        samples_per_task: 10,
+        context_len: 160,
+        seed: 99,
+        ..Default::default()
+    };
+    let suite = generate_suite(&cfg);
+    let algos: Vec<(String, _)> = rethink_kv_compression::workload::scaled_paper_suite()
+        .into_iter()
+        .skip(1)
+        .map(|a| (a.label, a.config))
+        .collect();
+    let labels: Vec<&str> = algos.iter().map(|(l, _)| l.as_str()).collect();
+
+    println!("evaluating {} samples x {} algorithms...\n", suite.len(), algos.len());
+    let scores = evaluate_suite(&model, &suite, &algos);
+    println!(
+        "baseline (FP16) average score: {:.1} (benign cutoff)\n",
+        baseline_average(&scores)
+    );
+
+    println!("threshold sweep (Figure 6):");
+    for (theta, count) in threshold_sweep(&scores, &labels, &[0.05, 0.1, 0.2, 0.3, 0.5]) {
+        println!("  theta {:>4.0}%  ->  {count} negative samples (all algos degrade)", theta * 100.0);
+    }
+
+    let per_algo_union: Vec<usize> = {
+        let mut ids = Vec::new();
+        for l in &labels {
+            ids.extend(collect_negatives(&scores, &[l], 0.10));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    println!(
+        "\nnegative benchmark at 10% threshold (union over algorithms): {} samples",
+        per_algo_union.len()
+    );
+
+    println!("\ntask-type breakdown (Figure 7):");
+    let breakdown = task_breakdown(&scores, &per_algo_union);
+    for task in TaskType::all() {
+        let n = breakdown.get(&task).copied().unwrap_or(0);
+        let bar = "#".repeat(n);
+        println!("  {:<16} {:>3}  {bar}", task.label(), n);
+    }
+
+    println!("\nper-algorithm negatives at 10% threshold:");
+    for l in &labels {
+        let n = collect_negatives(&scores, &[l], 0.10).len();
+        println!("  {:<10} {n}", l);
+    }
+
+    println!(
+        "\nRetrieval-dependent tasks (QA, summarization) dominate the negatives — \
+         Observation 6. Combining algorithms shrinks the set but does not empty it — \
+         Observation 5."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: generate with every KV-cache compression policy and compare
+//! outputs, lengths, and memory.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rethink_kv_compression::model::{vocab, GenerateParams, ModelConfig, TinyLm};
+use rethink_kv_compression::workload::scaled_paper_suite;
+
+fn main() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+
+    // A long-context retrieval prompt: a key-value pair buried mid-context
+    // (outside both the sink window and the recent window of a 64-token
+    // eviction budget), distractors on both sides, then the query.
+    let (key, value) = (vocab::CONTENT_START + 7, vocab::CONTENT_START + 21);
+    let mut prompt = vec![vocab::BOS];
+    for i in 0..40 {
+        prompt.push(vocab::CONTENT_START + 30 + (i % 20));
+    }
+    let needle_pos = prompt.len();
+    prompt.extend([key, value, vocab::EOS_SYM]);
+    for i in 0..80 {
+        prompt.push(vocab::CONTENT_START + 30 + ((i + 7) % 20));
+    }
+    prompt.push(key);
+
+    println!("prompt ({} tokens): needle '{}' -> '{}' at position {}", prompt.len(),
+        vocab::render(&[key]), vocab::render(&[value]), needle_pos);
+    println!("expected completion: {}\n", vocab::render(&[value]));
+
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>8}  output",
+        "algo", "len", "kv bytes", "compression", "correct"
+    );
+    for algo in scaled_paper_suite() {
+        let out = model.generate(&prompt, &algo.config, &GenerateParams::greedy(8));
+        let stats = out.cache_stats;
+        let correct = out.tokens.first() == Some(&value);
+        println!(
+            "{:<10} {:>8} {:>10} {:>11.1}x {:>8}  {}",
+            algo.label,
+            out.tokens.len(),
+            stats.memory_bytes,
+            stats.compression_ratio(),
+            if correct { "yes" } else { "NO" },
+            vocab::render(&out.tokens[..out.tokens.len().min(10)]),
+        );
+    }
+
+    println!(
+        "\nThe FP16 baseline and quantization retrieve the mid-context needle; \
+         the eviction policies' 64-token windows have already dropped it — the \
+         mechanism behind the paper's negative samples (Observation 5)."
+    );
+}

@@ -1,0 +1,83 @@
+//! Serving-cluster demo: four simulated A6000 GPUs, a ShareGPT-like arrival
+//! stream, and the paper's four routing policies (§5.4 / Table 8).
+//!
+//! ```text
+//! cargo run --release --example serving_router
+//! ```
+
+use rethink_kv_compression::gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rethink_kv_compression::kvcache::CompressionConfig;
+use rethink_kv_compression::serving::{
+    Cluster, LatencySummary, OraclePredictor, RoutingPolicy, ServerSim, SimRequest,
+};
+use rethink_kv_compression::workload::{sample_conversations, ShareGptConfig};
+
+fn dep() -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm: LlmSpec::llama2_7b(),
+        engine: EngineKind::LmDeploy,
+        tensor_parallel: 1,
+    }
+}
+
+fn main() {
+    let mut conversations = sample_conversations(&ShareGptConfig::paper_scale(300, 11), 64);
+    // Compress the arrival window to the paper's ~0.9-utilization regime —
+    // routing policies only separate under queueing pressure.
+    for c in &mut conversations {
+        c.arrival_s *= 0.4;
+    }
+    // Compression lengthens responses by ~1.3x on average (the paper's
+    // length-shift finding, §4.3) — encode that into per-server lengths.
+    let requests: Vec<SimRequest> = conversations
+        .iter()
+        .map(|c| {
+            let fp16 = c.reference_response_len.clamp(1, 1024);
+            let comp = (fp16 * 13 / 10).clamp(1, 1024);
+            let mut r = SimRequest::new(c.id as u64, c.arrival_s, c.prompt_len.min(3500), fp16);
+            r.response_len_by_server = vec![fp16, comp, comp, comp];
+            r
+        })
+        .collect();
+
+    let algo = CompressionConfig::streaming(64, 448);
+    println!(
+        "cluster: GPU0 = FP16, GPU1-3 = {}, {} requests @ ~25 rps\n",
+        algo.label(),
+        requests.len()
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10}   routing mix (per GPU)",
+        "policy", "mean e2e", "p50", "p95", "p99"
+    );
+
+    for policy in RoutingPolicy::all() {
+        let servers = vec![
+            ServerSim::new(0, dep(), CompressionConfig::Fp16, 16),
+            ServerSim::new(1, dep(), algo, 16),
+            ServerSim::new(2, dep(), algo, 16),
+            ServerSim::new(3, dep(), algo, 16),
+        ];
+        let done = Cluster::new(servers, policy).run(requests.clone(), &OraclePredictor);
+        let mut mix = [0usize; 4];
+        for c in &done {
+            mix[c.server_id] += 1;
+        }
+        let summary = LatencySummary::new(done.iter().map(|c| c.e2e_s).collect());
+        println!(
+            "{:<14} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s   {:?}",
+            policy.label(),
+            summary.mean(),
+            summary.p50(),
+            summary.p95(),
+            summary.p99(),
+            mix
+        );
+    }
+
+    println!(
+        "\nw/ Both routes long-response requests away from slow paths and wins on \
+         mean E2E — the paper's 1.45-1.80x router result (Table 8)."
+    );
+}

@@ -1,0 +1,48 @@
+//! # rethink-kv-compression
+//!
+//! A from-scratch Rust reproduction of *"Rethinking Key-Value Cache
+//! Compression Techniques for Large Language Model Serving"* (MLSys 2025).
+//!
+//! The workspace builds every system the paper's study rests on — KV-cache
+//! compression algorithms (KIVI, GEAR, H2O, StreamingLLM, SnapKV) with real
+//! bit-packed quantization and eviction, a transformer (TinyLM) whose
+//! in-context retrieval genuinely degrades under compression, an analytical
+//! GPU cost model for the three serving engines (TRL, TRL+FlashAttention,
+//! LMDeploy with PagedAttention), a discrete-event serving simulator with
+//! paged KV blocks and continuous batching, synthetic ShareGPT/LongBench
+//! workloads — plus the paper's tool suite: throughput predictor, length
+//! predictor, negative-sample evaluator, and the predictor-driven request
+//! router.
+//!
+//! This crate is a façade re-exporting the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `rkvc-tensor` | matrices, f16, low-rank factorization |
+//! | [`kvcache`] | `rkvc-kvcache` | compression algorithms + quantizer |
+//! | [`model`] | `rkvc-model` | TinyLM transformer + generation |
+//! | [`gpu`] | `rkvc-gpu` | analytical GPU/engine/TP cost model |
+//! | [`serving`] | `rkvc-serving` | serving simulator + router policies |
+//! | [`workload`] | `rkvc-workload` | ShareGPT/LongBench-like suites |
+//! | [`core`] | `rkvc-core` | predictors, negative mining, experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rethink_kv_compression::kvcache::CompressionConfig;
+//! use rethink_kv_compression::model::{GenerateParams, ModelConfig, TinyLm, vocab};
+//!
+//! let model = TinyLm::new(ModelConfig::induction_mha());
+//! let a = vocab::CONTENT_START;
+//! let prompt = vec![vocab::BOS, a, a + 1, a + 2, vocab::EOS_SYM, a];
+//! let full = model.generate(&prompt, &CompressionConfig::Fp16, &GenerateParams::greedy(8));
+//! assert_eq!(full.tokens, vec![a + 1, a + 2]);
+//! ```
+
+pub use rkvc_core as core;
+pub use rkvc_gpu as gpu;
+pub use rkvc_kvcache as kvcache;
+pub use rkvc_model as model;
+pub use rkvc_serving as serving;
+pub use rkvc_tensor as tensor;
+pub use rkvc_workload as workload;

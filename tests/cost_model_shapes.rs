@@ -1,0 +1,127 @@
+//! Integration: the analytical stack (gpu + serving) reproduces the paper's
+//! observation *shapes* — who wins, where crossovers fall.
+
+use rethink_kv_compression::gpu::{
+    decode_memory_bytes, fits_in_memory, DeploymentSpec, EngineKind, GpuSpec, LlmSpec,
+};
+use rethink_kv_compression::kvcache::CompressionConfig;
+use rethink_kv_compression::serving::{ServerSim, SimRequest};
+
+fn dep(engine: EngineKind, llm: LlmSpec, tp: usize) -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm,
+        engine,
+        tensor_parallel: tp,
+    }
+}
+
+#[test]
+fn observation1_trl_speedups_are_inflated() {
+    // Observation 1: speedups measured on TRL exaggerate the benefit
+    // relative to production engines.
+    let stream = CompressionConfig::streaming(64, 448);
+    let speedup = |engine| {
+        let d = dep(engine, LlmSpec::llama2_7b(), 1);
+        d.decode_throughput(&stream, 8, 2048) / d.decode_throughput(&CompressionConfig::Fp16, 8, 2048)
+    };
+    let on_trl = speedup(EngineKind::TrlEager);
+    let on_lmd = speedup(EngineKind::LmDeploy);
+    assert!(on_trl > on_lmd, "TRL {on_trl} vs LMD {on_lmd}");
+    assert!(on_lmd < 1.5, "LMD speedup at moderate settings is modest: {on_lmd}");
+    assert!(on_trl > 1.5, "TRL speedup should look substantial: {on_trl}");
+}
+
+#[test]
+fn observation2_compression_can_hurt_at_light_settings() {
+    // At small batch and short KV the overhead terms dominate and
+    // quantized caches decode *slower* than FP16.
+    let d = dep(EngineKind::LmDeploy, LlmSpec::llama2_7b(), 1);
+    for algo in [CompressionConfig::kivi(4), CompressionConfig::gear(4)] {
+        let s = d.decode_throughput(&algo, 1, 256)
+            / d.decode_throughput(&CompressionConfig::Fp16, 1, 256);
+        assert!(s < 1.0, "{algo}: {s} should be below 1 at light settings");
+    }
+    // ... while sparsity wins clearly at heavy settings.
+    let s = d.decode_throughput(&CompressionConfig::streaming(64, 448), 16, 8192)
+        / d.decode_throughput(&CompressionConfig::Fp16, 16, 8192);
+    assert!(s > 1.3, "heavy-setting sparsity speedup {s}");
+}
+
+#[test]
+fn observation2_tensor_parallelism_weakens_compression_gains() {
+    let stream = CompressionConfig::streaming(64, 448);
+    let speedup = |tp| {
+        let d = dep(EngineKind::LmDeploy, LlmSpec::llama2_7b(), tp);
+        d.decode_throughput(&stream, 4, 4096) / d.decode_throughput(&CompressionConfig::Fp16, 4, 4096)
+    };
+    assert!(speedup(4) < speedup(2));
+    assert!(speedup(2) < speedup(1));
+}
+
+#[test]
+fn gqa_shrinks_kv_and_compression_headroom() {
+    let llama = dep(EngineKind::LmDeploy, LlmSpec::llama2_7b(), 1);
+    let mistral = dep(EngineKind::LmDeploy, LlmSpec::mistral_7b(), 1);
+    let stream = CompressionConfig::streaming(64, 448);
+    let s_llama = llama.decode_throughput(&stream, 8, 4096)
+        / llama.decode_throughput(&CompressionConfig::Fp16, 8, 4096);
+    let s_mistral = mistral.decode_throughput(&stream, 8, 4096)
+        / mistral.decode_throughput(&CompressionConfig::Fp16, 8, 4096);
+    assert!(s_mistral < s_llama);
+}
+
+#[test]
+fn quantized_cache_oom_boundary_is_tighter_than_fp16() {
+    let llm = LlmSpec::llama2_7b();
+    let gpu = GpuSpec::a6000();
+    let mut fp16_max = 0usize;
+    let mut kivi_max = 0usize;
+    for kv in [1024usize, 2048, 4096, 8192, 16384] {
+        let fp16 = decode_memory_bytes(&llm, EngineKind::LmDeploy, &CompressionConfig::Fp16, 8, kv, 1, kv);
+        let kivi = decode_memory_bytes(&llm, EngineKind::LmDeploy, &CompressionConfig::kivi(4), 8, kv, 1, kv);
+        if fits_in_memory(&gpu, &fp16) {
+            fp16_max = kv;
+        }
+        if fits_in_memory(&gpu, &kivi) {
+            kivi_max = kv;
+        }
+    }
+    assert!(
+        kivi_max < fp16_max,
+        "kivi workspace should OOM earlier: kivi {kivi_max} vs fp16 {fp16_max}"
+    );
+}
+
+#[test]
+fn serving_sim_matches_cost_model_for_isolated_requests() {
+    let d = dep(EngineKind::LmDeploy, LlmSpec::llama2_7b(), 1);
+    for algo in [
+        CompressionConfig::Fp16,
+        CompressionConfig::h2o(64, 448),
+        CompressionConfig::kivi(4),
+    ] {
+        let mut s = ServerSim::new(0, d.clone(), algo, 4);
+        s.enqueue(SimRequest::new(0, 0.0, 1024, 200));
+        let done = s.run_to_completion();
+        let direct = d.request_latency(&algo, 1, 1024, 200);
+        let err = (done[0].e2e_s - direct).abs() / direct;
+        assert!(err < 0.1, "{algo}: sim {} vs direct {direct}", done[0].e2e_s);
+    }
+}
+
+#[test]
+fn end_to_end_latency_gain_is_smaller_than_throughput_gain_when_outputs_lengthen() {
+    // Observation 4's arithmetic: a 1.3x throughput win is cancelled by a
+    // 1.5x longer response.
+    let d = dep(EngineKind::LmDeploy, LlmSpec::llama2_7b(), 1);
+    let stream = CompressionConfig::streaming(64, 448);
+    let base = d.request_latency(&CompressionConfig::Fp16, 1, 1024, 200);
+    let same_len = d.request_latency(&stream, 1, 1024, 200);
+    let longer = d.request_latency(&stream, 1, 1024, 320);
+    assert!(same_len < base, "same-length compressed run should win");
+    assert!(
+        longer > base * 0.95,
+        "lengthened output should erase most of the gain: {longer} vs {base}"
+    );
+}

@@ -1,0 +1,189 @@
+//! End-to-end integration: TinyLM generation through every real cache
+//! implementation, checking the paper's accuracy/length mechanisms emerge.
+
+use rethink_kv_compression::kvcache::CompressionConfig;
+use rethink_kv_compression::model::{vocab, GenerateParams, ModelConfig, TinyLm};
+use rethink_kv_compression::workload::{
+    sample_conversations, scaled_paper_suite, semantic_score, ShareGptConfig,
+};
+
+fn needle_prompt(filler: usize) -> (Vec<usize>, usize) {
+    let (k, v) = (vocab::CONTENT_START + 3, vocab::CONTENT_START + 17);
+    let mut p = vec![vocab::BOS, k, v, vocab::EOS_SYM];
+    for i in 0..filler {
+        p.push(vocab::CONTENT_START + 25 + (i % 16));
+    }
+    p.push(k);
+    (p, v)
+}
+
+#[test]
+fn every_policy_generates_without_panicking() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let (prompt, _) = needle_prompt(60);
+    for algo in scaled_paper_suite() {
+        let out = model.generate(&prompt, &algo.config, &GenerateParams::greedy(8));
+        assert!(out.prompt_len == prompt.len(), "{}", algo.label);
+        assert!(out.cache_stats.tokens_seen > 0, "{}", algo.label);
+    }
+}
+
+#[test]
+fn fp16_and_mild_quantization_retrieve_the_needle() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let (prompt, v) = needle_prompt(80);
+    for algo in [
+        CompressionConfig::Fp16,
+        rethink_kv_compression::workload::scaled_kivi(4),
+        rethink_kv_compression::workload::scaled_gear(4),
+    ] {
+        let out = model.generate(&prompt, &algo, &GenerateParams::greedy(4));
+        assert_eq!(out.tokens.first(), Some(&v), "{algo:?}");
+    }
+}
+
+#[test]
+fn tight_streaming_budget_loses_the_needle() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let (prompt, v) = needle_prompt(80);
+    let out = model.generate(
+        &prompt,
+        &CompressionConfig::streaming(2, 14),
+        &GenerateParams::greedy(4),
+    );
+    assert_ne!(out.tokens.first(), Some(&v));
+}
+
+#[test]
+fn h2o_beats_streaming_on_heavily_attended_needles() {
+    // A fact restated several times mid-context becomes a *heavy hitter*:
+    // every restatement pours attention onto the earlier value positions,
+    // so H2O's accumulated-score policy retains them. StreamingLLM's
+    // fixed sink+recent window evicts the mid-context span regardless.
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let mut h2o_hits = 0;
+    let mut stream_hits = 0;
+    let trials = 6usize;
+    for trial in 0..trials {
+        let (k, v) = (
+            vocab::CONTENT_START + trial,
+            vocab::CONTENT_START + 10 + trial,
+        );
+        let filler = |p: &mut Vec<usize>, n: usize, salt: usize| {
+            for i in 0..n {
+                p.push(vocab::CONTENT_START + 20 + (i * 7 + salt) % 32);
+            }
+        };
+        let mut prompt = vec![vocab::BOS];
+        for rep in 0..6 {
+            filler(&mut prompt, 8, trial + rep * 5);
+            prompt.extend([k, v]);
+        }
+        filler(&mut prompt, 28, trial + 50);
+        prompt.push(k);
+
+        let h2o = model.generate(
+            &prompt,
+            &rethink_kv_compression::workload::scaled_h2o(32),
+            &GenerateParams::greedy(4),
+        );
+        let stream = model.generate(
+            &prompt,
+            &rethink_kv_compression::workload::scaled_streaming(32),
+            &GenerateParams::greedy(4),
+        );
+        h2o_hits += usize::from(h2o.tokens.first() == Some(&v));
+        stream_hits += usize::from(stream.tokens.first() == Some(&v));
+    }
+    assert!(
+        h2o_hits > stream_hits,
+        "h2o {h2o_hits}/{trials} vs stream {stream_hits}/{trials}"
+    );
+}
+
+#[test]
+fn compression_shifts_length_distribution_toward_longer() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let requests = sample_conversations(&ShareGptConfig::tiny_scale(16, 77), 64);
+    let mut longer = 0usize;
+    let mut shorter = 0usize;
+    for r in &requests {
+        let params = |seed| GenerateParams {
+            max_new_tokens: (r.reference_response_len * 3).max(24).min(96),
+            temperature: 1.0,
+            seed,
+        };
+        let base = model
+            .generate(&r.prompt, &CompressionConfig::Fp16, &params(1))
+            .response_len();
+        let comp = model
+            .generate(
+                &r.prompt,
+                &rethink_kv_compression::workload::scaled_streaming(32),
+                &params(1),
+            )
+            .response_len();
+        if comp > base {
+            longer += 1;
+        }
+        if comp < base {
+            shorter += 1;
+        }
+    }
+    assert!(
+        longer > shorter,
+        "compression should lengthen responses: {longer} longer vs {shorter} shorter"
+    );
+}
+
+#[test]
+fn semantic_score_degrades_gracefully_not_catastrophically_for_quantizers() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let requests = sample_conversations(&ShareGptConfig::tiny_scale(8, 33), 64);
+    let mut kivi_total = 0.0;
+    for r in &requests {
+        let out = model.generate(
+            &r.prompt,
+            &rethink_kv_compression::workload::scaled_kivi(4),
+            &GenerateParams::greedy(r.reference_response_len + 8),
+        );
+        kivi_total += semantic_score(&out.tokens, &r.reference_response);
+    }
+    let avg = kivi_total / requests.len() as f64;
+    assert!(avg > 60.0, "KIVI-4 semantic score too low: {avg}");
+}
+
+#[test]
+fn gqa_model_exhibits_the_same_mechanisms() {
+    let model = TinyLm::new(ModelConfig::induction_gqa());
+    let (prompt, v) = needle_prompt(60);
+    let full = model.generate(&prompt, &CompressionConfig::Fp16, &GenerateParams::greedy(4));
+    assert_eq!(full.tokens.first(), Some(&v));
+    let squeezed = model.generate(
+        &prompt,
+        &CompressionConfig::streaming(1, 7),
+        &GenerateParams::greedy(4),
+    );
+    assert_ne!(squeezed.tokens.first(), Some(&v));
+}
+
+#[test]
+fn memory_accounting_is_consistent_across_the_stack() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let (prompt, _) = needle_prompt(100);
+    for algo in scaled_paper_suite() {
+        let mut session = model.start_session(&algo.config);
+        session.prefill(&prompt);
+        let stats = session.cache_stats();
+        assert_eq!(stats.memory_bytes, session.kv_memory_bytes(), "{}", algo.label);
+        if matches!(algo.config, CompressionConfig::Fp16) {
+            assert_eq!(stats.memory_bytes, stats.fp16_baseline_bytes);
+        } else {
+            assert!(
+                stats.memory_bytes < stats.fp16_baseline_bytes,
+                "{} should compress",
+                algo.label
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration of the extension systems: Quest's query-aware retrieval,
+//! TOVA eviction, the negative-benchmark dataset, and the task-aware
+//! router, all through the real model.
+
+use rethink_kv_compression::core::negative::{
+    collect_negatives, evaluate_suite, NegativeBenchmark,
+};
+use rethink_kv_compression::core::task_predictor::{task_aware_policy, TaskPredictor};
+use rethink_kv_compression::kvcache::{CompressionConfig, KvCache};
+use rethink_kv_compression::model::{vocab, GenerateParams, ModelConfig, TinyLm};
+use rethink_kv_compression::workload::{generate_suite, LongBenchConfig, TaskType};
+
+fn needle_prompt(filler: usize) -> (Vec<usize>, usize) {
+    let (k, v) = (vocab::CONTENT_START + 3, vocab::CONTENT_START + 17);
+    let mut p = vec![vocab::BOS, k, v, vocab::EOS_SYM];
+    for i in 0..filler {
+        p.push(vocab::CONTENT_START + 25 + (i % 16));
+    }
+    p.push(k);
+    (p, v)
+}
+
+#[test]
+fn quest_retrieves_where_eviction_fails() {
+    // Same 16-token attended budget; the needle sits at depth ~0 outside
+    // any recent window of that size.
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let (prompt, v) = needle_prompt(100);
+    let quest = model.generate(
+        &prompt,
+        &CompressionConfig::quest(4, 4),
+        &GenerateParams::greedy(4),
+    );
+    assert_eq!(quest.tokens.first(), Some(&v), "quest should find the needle");
+    let stream = model.generate(
+        &prompt,
+        &CompressionConfig::streaming(1, 15),
+        &GenerateParams::greedy(4),
+    );
+    assert_ne!(stream.tokens.first(), Some(&v), "streaming should not");
+}
+
+#[test]
+fn quest_memory_exceeds_fp16_but_attention_is_bounded() {
+    let cfg = CompressionConfig::quest(4, 4);
+    let mut cache = cfg.build(8);
+    let mut full = CompressionConfig::Fp16.build(8);
+    for pos in 0..200 {
+        cache.append(&[0.1; 8], &[0.1; 8], pos);
+        full.append(&[0.1; 8], &[0.1; 8], pos);
+    }
+    assert!(cache.memory_bytes() > full.memory_bytes());
+    let view = cache.view_for_query(&[1.0; 8]);
+    assert!(view.len() <= 4 * 4 + 4, "attended set bounded: {}", view.len());
+}
+
+#[test]
+fn tova_generates_and_bounds_memory() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let (prompt, _) = needle_prompt(80);
+    let out = model.generate(
+        &prompt,
+        &CompressionConfig::tova(32),
+        &GenerateParams::greedy(8),
+    );
+    let stats = out.cache_stats;
+    assert!(stats.tokens_evicted > 0);
+    // Per head: at most budget+1 retained.
+    assert!(stats.tokens_retained <= (32 + 1) * 4);
+}
+
+#[test]
+fn negative_benchmark_dataset_evaluates_future_algorithms() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let cfg = LongBenchConfig {
+        samples_per_task: 3,
+        context_len: 110,
+        seed: 23,
+        ..Default::default()
+    };
+    let suite = generate_suite(&cfg);
+    let algos = vec![(
+        "Stream-24".to_owned(),
+        rethink_kv_compression::workload::scaled_streaming(24),
+    )];
+    let scores = evaluate_suite(&model, &suite, &algos);
+    let ids = collect_negatives(&scores, &["Stream-24"], 0.10);
+    assert!(!ids.is_empty());
+    let bench = NegativeBenchmark::compile(&suite, &scores, &ids, 0.10);
+
+    // Evaluating the *mined-against* algorithm on its own benchmark gives a
+    // low score; a lossless policy (Quest) recovers.
+    let run = |cfg: CompressionConfig| {
+        bench.evaluate(|prompt, cap| {
+            model
+                .generate(prompt, &cfg, &GenerateParams::greedy(cap))
+                .tokens
+        })
+    };
+    let stream_score = run(rethink_kv_compression::workload::scaled_streaming(24));
+    let quest_score = run(CompressionConfig::quest(8, 8));
+    assert!(
+        quest_score > stream_score + 30.0,
+        "quest {quest_score} vs stream {stream_score}"
+    );
+}
+
+#[test]
+fn task_router_end_to_end() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let train_cfg = LongBenchConfig {
+        samples_per_task: 6,
+        context_len: 120,
+        seed: 31,
+        ..Default::default()
+    };
+    let train: Vec<_> = generate_suite(&train_cfg)
+        .into_iter()
+        .map(|s| (s.prompt, s.task))
+        .collect();
+    let predictor = TaskPredictor::fit(&train);
+
+    // Route a fresh QA sample and a fresh code sample.
+    let eval_cfg = LongBenchConfig { seed: 32, ..train_cfg };
+    let eval = generate_suite(&eval_cfg);
+    let safe = CompressionConfig::quest(8, 8);
+    let aggressive = rethink_kv_compression::workload::scaled_streaming(64);
+
+    let qa = eval.iter().find(|s| s.task == TaskType::MultiDocQA).unwrap();
+    let code = eval.iter().find(|s| s.task == TaskType::Code).unwrap();
+    let qa_policy = task_aware_policy(predictor.predict(&qa.prompt), safe, aggressive);
+    let code_policy = task_aware_policy(predictor.predict(&code.prompt), safe, aggressive);
+    assert_eq!(qa_policy, safe, "QA must route to the lossless policy");
+    assert_eq!(code_policy, aggressive, "code can take the aggressive policy");
+
+    // And the routed policy preserves the QA answer.
+    let out = model.generate(&qa.prompt, &qa_policy, &GenerateParams::greedy(qa.max_new_tokens));
+    assert!(qa.scorer.score(&out.tokens) > 50.0);
+}

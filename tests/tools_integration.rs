@@ -1,0 +1,103 @@
+//! Integration of the paper's tool suite: predictors feeding the router,
+//! negative mining on real generations, and the experiment harness.
+
+use rethink_kv_compression::core::experiments::{run_by_id, RunOptions};
+use rethink_kv_compression::core::negative::{collect_negatives, evaluate_suite};
+use rethink_kv_compression::core::{LengthDataset, LengthPredictor, ProfileGrid, ThroughputPredictor};
+use rethink_kv_compression::gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rethink_kv_compression::kvcache::CompressionConfig;
+use rethink_kv_compression::model::{GenerateParams, ModelConfig, TinyLm};
+use rethink_kv_compression::workload::{
+    generate_suite, sample_conversations, LongBenchConfig, ShareGptConfig,
+};
+
+fn dep() -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm: LlmSpec::llama2_7b(),
+        engine: EngineKind::LmDeploy,
+        tensor_parallel: 1,
+    }
+}
+
+#[test]
+fn throughput_predictor_meets_paper_bar_for_all_algorithms() {
+    let d = dep();
+    for (i, algo) in CompressionConfig::paper_suite().into_iter().enumerate() {
+        let p = ThroughputPredictor::fit(&d, &algo, ProfileGrid::standard(), 0.05, 42 + i as u64);
+        let acc = p.accuracy_with_noise(0.05, 142 + i as u64);
+        assert!(acc >= 0.85, "{algo}: {acc}");
+    }
+}
+
+#[test]
+fn length_predictor_learns_real_generation_lengths() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let requests = sample_conversations(&ShareGptConfig::tiny_scale(48, 5), 64);
+    let mut data = LengthDataset::new();
+    for r in &requests {
+        let out = model.generate(
+            &r.prompt,
+            &CompressionConfig::Fp16,
+            &GenerateParams {
+                max_new_tokens: (r.reference_response_len * 3).max(24).min(96),
+                temperature: 1.0,
+                seed: r.id as u64,
+            },
+        );
+        data.push(&r.prompt, out.response_len().max(1));
+    }
+    let (train, test) = data.split(0.75);
+    let predictor = LengthPredictor::fit(&train);
+    let acc = predictor.accuracy(&test);
+    assert!(acc > 0.8, "length predictor accuracy {acc}");
+}
+
+#[test]
+fn negative_mining_on_real_generations_finds_qa_failures() {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let cfg = LongBenchConfig {
+        samples_per_task: 3,
+        context_len: 110,
+        seed: 17,
+        ..Default::default()
+    };
+    let suite = generate_suite(&cfg);
+    let algos = vec![(
+        "Stream-24".to_owned(),
+        rethink_kv_compression::workload::scaled_streaming(24),
+    )];
+    let scores = evaluate_suite(&model, &suite, &algos);
+    let negatives = collect_negatives(&scores, &["Stream-24"], 0.10);
+    assert!(
+        !negatives.is_empty(),
+        "a 24-token budget against 110-token contexts must create negatives"
+    );
+}
+
+#[test]
+fn quick_experiment_harness_produces_paper_shaped_tables() {
+    let opts = RunOptions::quick();
+    // Cost-model experiments are cheap enough to run here.
+    for id in ["fig1", "fig2", "fig3", "table3", "fig9", "fig11_14"] {
+        let result = run_by_id(id, &opts).expect("known experiment");
+        assert!(!result.tables.is_empty(), "{id}");
+        for t in &result.tables {
+            assert!(!t.rows.is_empty(), "{id}: empty table {}", t.title);
+            for row in &t.rows {
+                assert_eq!(row.len(), t.headers.len(), "{id}: ragged row");
+            }
+        }
+    }
+}
+
+#[test]
+fn experiment_results_serialize_to_json() {
+    let result = run_by_id("table3", &RunOptions::quick()).unwrap();
+    let json = serde_json::to_string(&result).unwrap();
+    assert!(json.contains("table3"));
+    let dir = std::env::temp_dir().join("rkvc_tools_integration");
+    rethink_kv_compression::core::report::save_json(&dir, "table3", &result).unwrap();
+    assert!(dir.join("table3.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
