@@ -9,8 +9,7 @@
 //! * H2O eviction budget;
 //! * paged-KV block size (fragmentation/admission trade-off).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
+use rkvc_bench::Harness;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::{CompressionConfig, GearParams, H2OParams, KiviParams};
 use rkvc_serving::BlockManager;
@@ -26,12 +25,12 @@ fn dep(engine: EngineKind) -> DeploymentSpec {
     }
 }
 
-fn ablate_attention_pass_structure(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_naive_vs_flash_prefill");
+fn ablate_attention_pass_structure(h: &mut Harness) {
+    let mut g = h.group("ablation_naive_vs_flash_prefill");
     g.sample_size(20);
     for engine in [EngineKind::TrlEager, EngineKind::TrlFlash] {
         let d = dep(engine);
-        g.bench_function(BenchmarkId::from_parameter(engine.label()), |b| {
+        g.bench_function(engine.label(), |b| {
             b.iter(|| {
                 let mut acc = 0.0;
                 for len in [1024usize, 2048, 4096] {
@@ -57,8 +56,8 @@ fn fill_cache(cfg: &CompressionConfig, tokens: usize) -> usize {
     cache.memory_bytes()
 }
 
-fn ablate_kivi_residual(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_kivi_residual_window");
+fn ablate_kivi_residual(h: &mut Harness) {
+    let mut g = h.group("ablation_kivi_residual_window");
     g.sample_size(10);
     for residual in [4usize, 16, 64] {
         let cfg = CompressionConfig::Kivi(KiviParams {
@@ -66,15 +65,15 @@ fn ablate_kivi_residual(c: &mut Criterion) {
             group_size: 8,
             residual,
         });
-        g.bench_function(BenchmarkId::from_parameter(residual), |b| {
+        g.bench_function(residual, |b| {
             b.iter(|| black_box(fill_cache(&cfg, 192)))
         });
     }
     g.finish();
 }
 
-fn ablate_gear_rank(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_gear_rank_ratio");
+fn ablate_gear_rank(h: &mut Harness) {
+    let mut g = h.group("ablation_gear_rank_ratio");
     g.sample_size(10);
     for (name, rank_ratio) in [("r2pct", 0.02f32), ("r10pct", 0.10), ("r25pct", 0.25)] {
         let cfg = CompressionConfig::Gear(GearParams {
@@ -83,33 +82,33 @@ fn ablate_gear_rank(c: &mut Criterion) {
             rank_ratio,
             buffer: 8,
         });
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        g.bench_function(name, |b| {
             b.iter(|| black_box(fill_cache(&cfg, 128)))
         });
     }
     g.finish();
 }
 
-fn ablate_h2o_budget(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_h2o_budget");
+fn ablate_h2o_budget(h: &mut Harness) {
+    let mut g = h.group("ablation_h2o_budget");
     g.sample_size(10);
     for budget in [16usize, 64, 256] {
         let cfg = CompressionConfig::H2O(H2OParams {
             heavy: budget / 4,
             recent: budget - budget / 4,
         });
-        g.bench_function(BenchmarkId::from_parameter(budget), |b| {
+        g.bench_function(budget, |b| {
             b.iter(|| black_box(fill_cache(&cfg, 384)))
         });
     }
     g.finish();
 }
 
-fn ablate_block_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_paged_block_size");
+fn ablate_block_size(h: &mut Harness) {
+    let mut g = h.group("ablation_paged_block_size");
     g.sample_size(20);
     for block in [8usize, 16, 64, 256] {
-        g.bench_function(BenchmarkId::from_parameter(block), |b| {
+        g.bench_function(block, |b| {
             b.iter(|| {
                 let mut m = BlockManager::new(65536 / block, block);
                 for seq in 0..64u64 {
@@ -127,12 +126,12 @@ fn ablate_block_size(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablate_attention_pass_structure,
-    ablate_kivi_residual,
-    ablate_gear_rank,
-    ablate_h2o_budget,
-    ablate_block_size
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("ablations");
+    ablate_attention_pass_structure(&mut h);
+    ablate_kivi_residual(&mut h);
+    ablate_gear_rank(&mut h);
+    ablate_h2o_budget(&mut h);
+    ablate_block_size(&mut h);
+    h.finish();
+}

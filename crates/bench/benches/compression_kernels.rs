@@ -1,9 +1,8 @@
-//! Criterion bench over the real compression kernels: quantization
+//! Bench over the real compression kernels: quantization
 //! round-trips, low-rank factorization, and full cache append/view cycles
 //! for every policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::Rng;
+use rkvc_bench::Harness;
 use rkvc_kvcache::{
     dequantize_group, quantize_group, CompressionConfig, GroupLayout, QuantizedMatrix,
     SupportedBits,
@@ -16,46 +15,45 @@ fn random_values(n: usize, seed: u64) -> Vec<f32> {
     (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
-fn bench_quantizer(c: &mut Criterion) {
+fn bench_quantizer(h: &mut Harness) {
     let values = random_values(4096, 1);
-    let mut g = c.benchmark_group("quantize_group_4096");
-    g.throughput(Throughput::Elements(4096));
+    let mut g = h.group("quantize_group_4096");
     for bits in [SupportedBits::B1, SupportedBits::B2, SupportedBits::B4, SupportedBits::B8] {
-        g.bench_function(BenchmarkId::from_parameter(format!("{}b", bits.bits())), |b| {
+        g.bench_function(format!("{}b", bits.bits()), |b| {
             b.iter(|| quantize_group(black_box(&values), bits))
         });
     }
     g.finish();
 
     let group = quantize_group(&values, SupportedBits::B4);
-    c.bench_function("dequantize_group_4096_4b", |b| {
+    h.bench_function("dequantize_group_4096_4b", |b| {
         b.iter(|| dequantize_group(black_box(&group)))
     });
 
     let m = Matrix::from_vec(128, 64, random_values(128 * 64, 2));
-    let mut g = c.benchmark_group("quantized_matrix_128x64");
+    let mut g = h.group("quantized_matrix_128x64");
     for (name, layout) in [("per_channel", GroupLayout::PerChannel), ("per_token", GroupLayout::PerToken)] {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        g.bench_function(name, |b| {
             b.iter(|| QuantizedMatrix::quantize(black_box(&m), layout, SupportedBits::B4))
         });
     }
     g.finish();
 }
 
-fn bench_low_rank(c: &mut Criterion) {
+fn bench_low_rank(h: &mut Harness) {
     let mut rng = seeded_rng(3);
     let m = xavier_matrix(64, 64, &mut rng);
-    let mut g = c.benchmark_group("low_rank_64x64");
+    let mut g = h.group("low_rank_64x64");
     g.sample_size(20);
     for rank in [1usize, 2, 4, 8] {
-        g.bench_function(BenchmarkId::from_parameter(rank), |b| {
+        g.bench_function(rank, |b| {
             b.iter(|| low_rank_approximate(black_box(&m), rank, 6).unwrap())
         });
     }
     g.finish();
 }
 
-fn bench_cache_policies(c: &mut Criterion) {
+fn bench_cache_policies(h: &mut Harness) {
     let algos = [
         ("fp16", CompressionConfig::Fp16),
         ("kivi4", rkvc_workload::scaled_kivi(4)),
@@ -68,10 +66,10 @@ fn bench_cache_policies(c: &mut Criterion) {
     ];
     let keys = random_values(64, 4);
     let vals = random_values(64, 5);
-    let mut g = c.benchmark_group("cache_append_observe_view_256");
+    let mut g = h.group("cache_append_observe_view_256");
     g.sample_size(10);
     for (name, cfg) in algos {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        g.bench_function(name, |b| {
             b.iter(|| {
                 let mut cache = cfg.build(64);
                 for pos in 0..256 {
@@ -87,5 +85,10 @@ fn bench_cache_policies(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_quantizer, bench_low_rank, bench_cache_policies);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("compression_kernels");
+    bench_quantizer(&mut h);
+    bench_low_rank(&mut h);
+    bench_cache_policies(&mut h);
+    h.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion bench regenerating the Figure 1 quantities: prefill and decode
+//! Bench regenerating the Figure 1 quantities: prefill and decode
 //! throughput evaluation per engine and per compression algorithm.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_bench::Harness;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
 use std::hint::black_box;
@@ -15,12 +15,12 @@ fn dep(engine: EngineKind) -> DeploymentSpec {
     }
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1ab_engine_decode");
+fn bench_engines(h: &mut Harness) {
+    let mut g = h.group("fig1ab_engine_decode");
     g.sample_size(20);
     for engine in EngineKind::all() {
         let d = dep(engine);
-        g.bench_function(BenchmarkId::from_parameter(engine.label()), |b| {
+        g.bench_function(engine.label(), |b| {
             b.iter(|| {
                 let mut acc = 0.0;
                 for batch in [1usize, 4, 8, 16, 32] {
@@ -37,7 +37,7 @@ fn bench_engines(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_algorithms(c: &mut Criterion) {
+fn bench_algorithms(h: &mut Harness) {
     let d = dep(EngineKind::LmDeploy);
     let algos = [
         ("fp16", CompressionConfig::Fp16),
@@ -46,10 +46,10 @@ fn bench_algorithms(c: &mut Criterion) {
         ("h2o512", CompressionConfig::h2o(64, 448)),
         ("stream512", CompressionConfig::streaming(64, 448)),
     ];
-    let mut g = c.benchmark_group("fig1el_algo_sweep");
+    let mut g = h.group("fig1el_algo_sweep");
     g.sample_size(20);
     for (name, cfg) in algos {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        g.bench_function(name, |b| {
             b.iter(|| {
                 let mut acc = 0.0;
                 for len in [512usize, 1024, 2048, 4096, 8192] {
@@ -63,5 +63,9 @@ fn bench_algorithms(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_algorithms);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("fig1_throughput");
+    bench_engines(&mut h);
+    bench_algorithms(&mut h);
+    h.finish();
+}

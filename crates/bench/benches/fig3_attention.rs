@@ -1,12 +1,12 @@
-//! Criterion bench over the Figure 3 quantity: per-algorithm attention-layer
+//! Bench over the Figure 3 quantity: per-algorithm attention-layer
 //! execution-time evaluation across prompt/KV lengths and both stages.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_bench::Harness;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
 use std::hint::black_box;
 
-fn bench_attention_layer(c: &mut Criterion) {
+fn bench_attention_layer(h: &mut Harness) {
     let dep = DeploymentSpec {
         gpu: GpuSpec::a6000(),
         llm: LlmSpec::llama2_7b(),
@@ -25,10 +25,10 @@ fn bench_attention_layer(c: &mut Criterion) {
     ];
     for decode in [false, true] {
         let stage = if decode { "decode" } else { "prefill" };
-        let mut g = c.benchmark_group(format!("fig3_attention_{stage}"));
+        let mut g = h.group(format!("fig3_attention_{stage}"));
         g.sample_size(20);
         for (name, cfg) in &algos {
-            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            g.bench_function(name, |b| {
                 b.iter(|| {
                     let mut acc = 0.0;
                     for len in [512usize, 1024, 2048, 4096, 8192] {
@@ -42,5 +42,8 @@ fn bench_attention_layer(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_attention_layer);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("fig3_attention");
+    bench_attention_layer(&mut h);
+    h.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion bench: TinyLM prefill/decode under each compression policy —
+//! Bench: TinyLM prefill/decode under each compression policy —
 //! the code path behind every accuracy/length experiment.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_bench::Harness;
 use rkvc_model::{GenerateParams, ModelConfig, TinyLm, vocab};
 use std::hint::black_box;
 
@@ -14,7 +14,7 @@ fn copy_prompt(len: usize) -> Vec<usize> {
     p
 }
 
-fn bench_generate(c: &mut Criterion) {
+fn bench_generate(h: &mut Harness) {
     let model = TinyLm::new(ModelConfig::induction_mha());
     let prompt = copy_prompt(12);
     let algos = [
@@ -24,10 +24,10 @@ fn bench_generate(c: &mut Criterion) {
         ("h2o64", rkvc_workload::scaled_h2o(64)),
         ("stream64", rkvc_workload::scaled_streaming(64)),
     ];
-    let mut g = c.benchmark_group("tinylm_generate_12tok");
+    let mut g = h.group("tinylm_generate_12tok");
     g.sample_size(10);
     for (name, cfg) in algos {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        g.bench_function(name, |b| {
             b.iter(|| {
                 let out = model.generate(
                     black_box(&prompt),
@@ -41,13 +41,13 @@ fn bench_generate(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_prefill_scaling(c: &mut Criterion) {
+fn bench_prefill_scaling(h: &mut Harness) {
     let model = TinyLm::new(ModelConfig::induction_mha());
-    let mut g = c.benchmark_group("tinylm_prefill");
+    let mut g = h.group("tinylm_prefill");
     g.sample_size(10);
     for len in [32usize, 64, 128] {
         let prompt = copy_prompt(len.saturating_sub(3).max(4));
-        g.bench_function(BenchmarkId::from_parameter(len), |b| {
+        g.bench_function(len, |b| {
             b.iter(|| {
                 let mut s = model.start_session(&rkvc_kvcache::CompressionConfig::Fp16);
                 black_box(s.prefill(black_box(&prompt)).len())
@@ -57,5 +57,9 @@ fn bench_prefill_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_generate, bench_prefill_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("model_decode");
+    bench_generate(&mut h);
+    bench_prefill_scaling(&mut h);
+    h.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion bench: serving-simulator throughput (server iterations,
+//! Bench: serving-simulator throughput (server iterations,
 //! cluster routing) — the substrate behind Figure 5 and Table 8.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rkvc_bench::Harness;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
 use rkvc_serving::{Cluster, OraclePredictor, RoutingPolicy, ServerSim, SimRequest};
@@ -26,14 +26,14 @@ fn requests(n: usize) -> Vec<SimRequest> {
         .collect()
 }
 
-fn bench_server(c: &mut Criterion) {
-    let mut g = c.benchmark_group("server_sim_64_requests");
+fn bench_server(h: &mut Harness) {
+    let mut g = h.group("server_sim_64_requests");
     g.sample_size(10);
     for (name, algo) in [
         ("fp16", CompressionConfig::Fp16),
         ("stream512", CompressionConfig::streaming(64, 448)),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+        g.bench_function(name, |b| {
             b.iter(|| {
                 let mut s = ServerSim::new(0, dep(), algo, 16);
                 for r in requests(64) {
@@ -46,11 +46,11 @@ fn bench_server(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_cluster(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster_4gpu_64_requests");
+fn bench_cluster(h: &mut Harness) {
+    let mut g = h.group("cluster_4gpu_64_requests");
     g.sample_size(10);
     for policy in RoutingPolicy::all() {
-        g.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
+        g.bench_function(policy.label(), |b| {
             b.iter(|| {
                 let algo = CompressionConfig::streaming(64, 448);
                 let servers = vec![
@@ -67,5 +67,9 @@ fn bench_cluster(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_server, bench_cluster);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("serving_sim");
+    bench_server(&mut h);
+    bench_cluster(&mut h);
+    h.finish();
+}

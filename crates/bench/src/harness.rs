@@ -1,0 +1,290 @@
+//! Minimal statistical benchmark harness.
+//!
+//! Replaces `criterion` for the workspace's six bench suites. Each
+//! benchmark is calibrated (iterations batched to a ~5 ms sample), warmed
+//! up, then timed over a fixed number of samples; the harness reports
+//! median / p95 / min / mean nanoseconds per iteration and writes the full
+//! record set as JSON under `results/` so successive runs can be diffed.
+//!
+//! The API deliberately mirrors the slice of criterion the benches used —
+//! groups, `sample_size`, `bench_function`, `b.iter(..)` — so a suite
+//! reads the same as before:
+//!
+//! ```no_run
+//! use rkvc_bench::Harness;
+//!
+//! let mut h = Harness::new("example_suite");
+//! let mut g = h.group("sums");
+//! g.bench_function("1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//! g.finish();
+//! h.finish();
+//! ```
+
+use rkvc_tensor::json::{JsonValue, ToJson};
+use std::time::Instant;
+
+/// Target wall-clock length of one timed sample.
+const TARGET_SAMPLE_NS: u128 = 5_000_000;
+/// Samples discarded as warmup before measurement starts.
+const WARMUP_SAMPLES: usize = 3;
+/// Default number of measured samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+
+/// One benchmark's measured statistics (all per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name (suite section).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Measured samples (after warmup).
+    pub samples: usize,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter.
+    pub p95_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+rkvc_tensor::json_struct!(BenchRecord {
+    group,
+    name,
+    samples,
+    iters_per_sample,
+    median_ns,
+    p95_ns,
+    mean_ns,
+    min_ns,
+    max_ns,
+});
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, keeping each result alive until after
+    /// the clock stops so the work is not optimized away.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// A benchmark suite: runs benches, prints a table, writes JSON.
+pub struct Harness {
+    suite: String,
+    records: Vec<BenchRecord>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite.
+    pub fn new(suite: &str) -> Self {
+        println!("# bench suite: {suite}");
+        println!(
+            "{:<28} {:<16} {:>12} {:>12} {:>12}",
+            "group", "bench", "median", "p95", "min"
+        );
+        Harness {
+            suite: suite.to_owned(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: impl ToString) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl ToString, f: F) {
+        let mut g = self.group("");
+        g.bench_function(name, f);
+        g.finish();
+    }
+
+    /// Prints the summary footer and writes
+    /// `results/bench_<suite>.json` at the workspace root.
+    pub fn finish(self) {
+        let dir = results_dir();
+        let path = dir.join(format!("bench_{}.json", self.suite));
+        let doc = JsonValue::object(vec![
+            ("suite", self.suite.to_json()),
+            ("records", self.records.to_json()),
+        ]);
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|_| std::fs::write(&path, doc.to_pretty_string()))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {} ({} records)", path.display(), self.records.len());
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: &str,
+        name: String,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        // Calibrate: grow the batch until one sample takes ~5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            f(&mut b);
+            if b.elapsed_ns >= TARGET_SAMPLE_NS || iters >= 1 << 20 {
+                break;
+            }
+            // Aim straight at the target, with headroom for noise.
+            let scale = TARGET_SAMPLE_NS as f64 / b.elapsed_ns.max(1) as f64;
+            iters = ((iters as f64 * scale.min(16.0)).ceil() as u64).max(iters + 1);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+        for sample in 0..WARMUP_SAMPLES + sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            f(&mut b);
+            if sample >= WARMUP_SAMPLES {
+                per_iter.push(b.elapsed_ns as f64 / iters as f64);
+            }
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let pick = |q: f64| -> f64 {
+            let idx = ((per_iter.len() - 1) as f64 * q).round() as usize;
+            per_iter[idx]
+        };
+        let record = BenchRecord {
+            group: group.to_owned(),
+            name,
+            samples: per_iter.len(),
+            iters_per_sample: iters,
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().expect("at least one sample"),
+        };
+        println!(
+            "{:<28} {:<16} {:>12} {:>12} {:>12}",
+            record.group,
+            record.name,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.p95_ns),
+            fmt_ns(record.min_ns),
+        );
+        self.records.push(record);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Sets the number of measured samples for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(2);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl ToString, f: F) {
+        let group = self.name.clone();
+        self.harness
+            .run_one(&group, name.to_string(), self.sample_size, f);
+    }
+
+    /// Closes the group (records are already committed; this exists so
+    /// suites keep criterion's `g.finish()` shape).
+    pub fn finish(self) {}
+}
+
+/// The `results/` directory at the workspace root.
+///
+/// `cargo bench` runs bench binaries with the *package* directory as cwd
+/// while `cargo run` keeps the caller's cwd, so a relative `results/`
+/// would scatter output. Cargo exports `CARGO_MANIFEST_DIR` into the
+/// runtime environment of anything it executes; climb from there to the
+/// outermost directory that still has a `Cargo.toml` (the workspace
+/// root). Outside cargo, fall back to plain `results/` under cwd.
+fn results_dir() -> std::path::PathBuf {
+    let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") else {
+        return std::path::PathBuf::from("results");
+    };
+    let mut root = std::path::PathBuf::from(&manifest);
+    let mut cursor = root.clone();
+    while let Some(parent) = cursor.parent().map(std::path::Path::to_path_buf) {
+        if parent.join("Cargo.toml").is_file() {
+            root = parent.clone();
+        }
+        cursor = parent;
+    }
+    root.join("results")
+}
+
+/// Human formatting for nanosecond quantities.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_have_ordered_statistics() {
+        let mut h = Harness::new("harness_selftest");
+        let mut g = h.group("g");
+        g.sample_size(5);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(std::hint::black_box).sum::<u64>())
+        });
+        g.finish();
+        let r = &h.records[0];
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.min_ns > 0.0);
+        assert_eq!(r.samples, 5);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12.0), "12ns");
+        assert_eq!(fmt_ns(12_500.0), "12.50us");
+        assert_eq!(fmt_ns(3_200_000.0), "3.20ms");
+        assert_eq!(fmt_ns(2.5e9), "2.50s");
+    }
+}

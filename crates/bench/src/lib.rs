@@ -1,8 +1,10 @@
 //! Benchmark support crate.
 //!
 //! Hosts the `repro` binary (regenerates every paper table/figure — see
-//! `cargo run -p rkvc-bench --bin repro -- --help`) and the Criterion
-//! benchmark suites under `benches/`:
+//! `cargo run -p rkvc-bench --bin repro -- --help`), the in-repo
+//! statistical [`Harness`] (warmup + batched timed samples, median/p95
+//! report, JSON output under `results/`), and the benchmark suites under
+//! `benches/`:
 //!
 //! * `fig1_throughput` — the Figure 1 cost-model sweeps.
 //! * `fig3_attention` — per-algorithm attention-layer cost evaluation.
@@ -16,3 +18,7 @@
 
 /// The default results directory the `repro` binary writes JSON into.
 pub const RESULTS_DIR: &str = "results";
+
+mod harness;
+
+pub use harness::{BenchRecord, Bencher, Group, Harness};

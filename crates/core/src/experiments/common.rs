@@ -1,6 +1,5 @@
 //! Shared fixtures for the experiment modules.
 
-use rand::Rng;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::{GenerateParams, ModelConfig, TinyLm};

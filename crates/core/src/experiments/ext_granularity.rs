@@ -10,7 +10,7 @@
 //! granularity preserves accuracy at the cost of irregularity" trade
 //! concrete.
 
-use rkvc_kvcache::{CompressionConfig, KvCache};
+use rkvc_kvcache::CompressionConfig;
 use rkvc_model::{GenerateParams, TinyLm};
 use rkvc_workload::{generate_suite, LongBenchConfig, TaskType};
 

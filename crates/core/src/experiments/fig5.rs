@@ -6,7 +6,6 @@
 //! compression-induced response-length shift (measured on TinyLM and
 //! transferred to paper-scale requests as multipliers).
 
-use rand::Rng;
 use rkvc_gpu::LlmSpec;
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::TinyLm;

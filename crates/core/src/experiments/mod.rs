@@ -31,12 +31,11 @@ pub mod table6;
 pub mod table7;
 pub mod table8;
 
-use serde::Serialize;
 
 use crate::report::Table;
 
 /// Sampling scale for an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Reduced sample counts for tests/CI (seconds).
     Quick,
@@ -45,7 +44,7 @@ pub enum Scale {
 }
 
 /// Options shared by all experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Sampling scale.
     pub scale: Scale,
@@ -80,7 +79,7 @@ impl RunOptions {
 }
 
 /// The output of one experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id (`fig1`, `table3`, ...).
     pub id: String,
@@ -145,6 +144,10 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<ExperimentResult> {
         _ => return None,
     })
 }
+
+rkvc_tensor::json_unit_enum!(Scale { Quick, Paper });
+rkvc_tensor::json_struct!(RunOptions { scale, seed });
+rkvc_tensor::json_struct!(ExperimentResult { id, title, tables, notes });
 
 #[cfg(test)]
 mod tests {

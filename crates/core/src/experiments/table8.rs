@@ -6,7 +6,6 @@
 //! memory-based load balancing; the three predictor policies run one FP16
 //! GPU plus three compression GPUs and route per prediction.
 
-use rand::Rng;
 use rkvc_gpu::LlmSpec;
 use rkvc_kvcache::CompressionConfig;
 use rkvc_serving::{Cluster, OraclePredictor, RoutingPolicy, ServerSim, SimRequest};

@@ -9,12 +9,11 @@
 
 use rkvc_model::vocab::{self, TokenId};
 use rkvc_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::RidgeRegression;
 
 /// Features extracted from a prompt.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LengthFeatures {
     /// Prompt length in tokens.
     pub prompt_len: f32,
@@ -124,7 +123,7 @@ impl LengthFeatures {
 
 /// A training/evaluation dataset: prompts paired with measured response
 /// lengths under one compression algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LengthDataset {
     features: Vec<Vec<f32>>,
     lengths: Vec<f32>,
@@ -170,7 +169,7 @@ impl LengthDataset {
 }
 
 /// A fitted length predictor for one compression algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LengthPredictor {
     model: RidgeRegression,
 }
@@ -215,6 +214,20 @@ impl LengthPredictor {
         acc / data.len() as f64
     }
 }
+
+rkvc_tensor::json_struct!(LengthFeatures {
+    prompt_len,
+    eos_count,
+    last_span,
+    tail_len,
+    sep_count,
+    query_count,
+    distinct_frac,
+    sep_to_eos_span,
+});
+
+rkvc_tensor::json_struct!(LengthDataset { features, lengths });
+rkvc_tensor::json_struct!(LengthPredictor { model });
 
 #[cfg(test)]
 mod tests {

@@ -4,10 +4,9 @@
 //! `(XᵀX + λI) w = Xᵀy` by Gaussian elimination with partial pivoting.
 
 use rkvc_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A fitted ridge-regression model (with intercept).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RidgeRegression {
     weights: Vec<f32>,
     intercept: f32,
@@ -144,10 +143,16 @@ fn solve(a: &mut Matrix, b: &mut [f32]) -> Vec<f32> {
     x
 }
 
+rkvc_tensor::json_struct!(RidgeRegression {
+    weights,
+    intercept,
+    feature_means,
+    feature_stds,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use rkvc_tensor::seeded_rng;
 
     #[test]
@@ -178,7 +183,7 @@ mod tests {
         for r in 0..n {
             let a: f32 = rng.gen_range(0.0..10.0);
             x.set(r, 0, a);
-            y[r] = 2.0 * a + rng.gen_range(-0.5..0.5);
+            y[r] = 2.0 * a + rng.gen_range(-0.5f32..0.5);
         }
         let model = RidgeRegression::fit(&x, &y, 1.0);
         assert!((model.predict(&[5.0]) - 10.0).abs() < 0.5);

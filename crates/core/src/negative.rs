@@ -8,11 +8,10 @@
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::{GenerateParams, TinyLm};
 use rkvc_workload::{TaskSample, TaskType};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-sample evaluation record: FP16 score plus each algorithm's score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleScores {
     /// Sample id within the suite.
     pub id: usize,
@@ -154,7 +153,7 @@ pub fn negative_benchmark_scores(
 /// A published negative benchmark: the mined samples plus their provenance
 /// (§5.3: "we compile them into a benchmark dataset ... to evaluate both
 /// existing and future KV cache compression techniques").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NegativeBenchmark {
     /// Mining threshold theta.
     pub threshold: f64,
@@ -206,6 +205,13 @@ impl NegativeBenchmark {
         total / self.samples.len() as f64
     }
 }
+
+rkvc_tensor::json_struct!(SampleScores { id, task, baseline, by_algo });
+rkvc_tensor::json_struct!(NegativeBenchmark {
+    threshold,
+    mined_against,
+    samples,
+});
 
 #[cfg(test)]
 mod tests {
@@ -314,8 +320,8 @@ mod tests {
         assert_eq!(bench.samples.len(), 2);
         assert_eq!(bench.mined_against, vec!["X".to_owned()]);
         // Serde round trip (it is a publishable dataset).
-        let json = serde_json::to_string(&bench).unwrap();
-        let back: NegativeBenchmark = serde_json::from_str(&json).unwrap();
+        let json = rkvc_tensor::json::to_string(&bench);
+        let back: NegativeBenchmark = rkvc_tensor::json::from_str(&json).unwrap();
         assert_eq!(bench, back);
         // A generator that answers perfectly scores 100 on exact scorers.
         let oracle = |prompt: &[usize], _cap: usize| -> Vec<usize> {

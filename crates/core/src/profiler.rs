@@ -7,14 +7,12 @@
 //! measurement jitter so predictor accuracy is evaluated against noisy
 //! "hardware" rather than against its own inputs.
 
-use rand::Rng;
 use rkvc_gpu::DeploymentSpec;
 use rkvc_kvcache::CompressionConfig;
 use rkvc_tensor::seeded_rng;
-use serde::{Deserialize, Serialize};
 
 /// The (batch, length) grid a profile covers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProfileGrid {
     /// Batch sizes, ascending.
     pub batches: Vec<usize>,
@@ -44,7 +42,7 @@ impl ProfileGrid {
 }
 
 /// A profiled attention-time table for one (algorithm, stage).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileTable {
     grid: ProfileGrid,
     /// `times[bi][li]` = measured attention-layer seconds.
@@ -152,6 +150,10 @@ fn locate(axis: &[usize], x: f64) -> (usize, usize, f64) {
     };
     (i, i + 1, t)
 }
+
+rkvc_tensor::json_struct!(ProfileGrid { batches, lengths });
+
+rkvc_tensor::json_struct!(ProfileTable { grid, times });
 
 #[cfg(test)]
 mod tests {

@@ -1,11 +1,11 @@
 //! Plain-text table rendering and JSON result persistence.
 
-use serde::Serialize;
+use rkvc_tensor::json::ToJson;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// A renderable results table (one paper table, or one figure's series).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Table caption.
     pub title: String,
@@ -86,18 +86,19 @@ pub fn fmt_pct(frac: f64) -> String {
 ///
 /// # Errors
 ///
-/// Returns any I/O or serialization error.
-pub fn save_json<T: Serialize>(
+/// Returns any I/O error.
+pub fn save_json<T: ToJson>(
     dir: impl AsRef<Path>,
     name: &str,
     value: &T,
 ) -> std::io::Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let json = rkvc_tensor::json::to_string_pretty(value);
     std::fs::write(dir.join(format!("{name}.json")), json)
 }
+
+rkvc_tensor::json_struct!(Table { title, headers, rows });
 
 #[cfg(test)]
 mod tests {

@@ -6,10 +6,9 @@
 //! and computes those gap statistics programmatically, so the argument of
 //! §3.1.3 and §3.2 is reproducible from the data rather than asserted.
 
-use serde::{Deserialize, Serialize};
 
 /// Compression family of a surveyed algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Quantization-based.
     Quant,
@@ -20,7 +19,7 @@ pub enum Family {
 }
 
 /// Evaluation frameworks a surveyed algorithm reported results on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Framework {
     /// HuggingFace Transformers library.
     Transformers,
@@ -33,7 +32,7 @@ pub enum Framework {
 }
 
 /// One row of the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SurveyEntry {
     /// Publication date as `(year, month)` (two-digit year, 20xx).
     pub date: (u16, u8),
@@ -135,7 +134,7 @@ pub fn table1() -> Vec<SurveyEntry> {
 }
 
 /// One row of the paper's Table 2 (benchmark studies).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchmarkStudy {
     /// Study name.
     pub name: &'static str,
@@ -184,7 +183,7 @@ pub fn table2() -> Vec<BenchmarkStudy> {
 }
 
 /// The quantitative claims behind the paper's three "missing pieces".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SurveyStats {
     /// Total surveyed algorithms.
     pub total: usize,
@@ -239,6 +238,46 @@ pub fn survey_stats() -> SurveyStats {
         benchmarks_with_per_sample: t2.iter().filter(|b| b.per_sample_analysis).count(),
     }
 }
+
+rkvc_tensor::json_unit_enum!(Family { Quant, Sparse, Hybrid });
+rkvc_tensor::json_unit_enum!(Framework {
+    Transformers,
+    DeepSpeed,
+    FlashInfer,
+    Vllm,
+});
+rkvc_tensor::json_to_struct!(SurveyEntry {
+    date,
+    name,
+    family,
+    feature,
+    max_model_b,
+    max_batch,
+    max_prompt,
+    mem_reduction,
+    prefill_speedup,
+    decode_speedup,
+    frameworks,
+});
+rkvc_tensor::json_to_struct!(BenchmarkStudy {
+    name,
+    measures_accuracy,
+    measures_throughput,
+    covers_sparsity,
+    per_sample_analysis,
+});
+rkvc_tensor::json_struct!(SurveyStats {
+    total,
+    transformers_only,
+    report_prefill,
+    report_decode,
+    quant_small_scale,
+    quant_total,
+    sparse_large_scale,
+    sparse_total,
+    benchmarks_with_throughput,
+    benchmarks_with_per_sample,
+});
 
 #[cfg(test)]
 mod tests {

@@ -10,12 +10,11 @@ use rkvc_kvcache::CompressionConfig;
 use rkvc_model::vocab::{self, TokenId};
 use rkvc_tensor::Matrix;
 use rkvc_workload::TaskType;
-use serde::{Deserialize, Serialize};
 
 use crate::RidgeRegression;
 
 /// Prompt-structure features for task classification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskFeatures {
     /// Prompt length in tokens.
     pub prompt_len: f32,
@@ -80,7 +79,7 @@ impl TaskFeatures {
 }
 
 /// One-vs-rest task-type classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaskPredictor {
     scorers: Vec<(TaskType, RidgeRegression)>,
 }
@@ -156,6 +155,18 @@ pub fn task_aware_policy(
         TaskType::Code | TaskType::FewShot => aggressive,
     }
 }
+
+rkvc_tensor::json_struct!(TaskFeatures {
+    prompt_len,
+    eos_count,
+    sep_count,
+    query_count,
+    distinct_frac,
+    ends_with_query,
+    eos_spacing,
+});
+
+rkvc_tensor::json_struct!(TaskPredictor { scorers });
 
 #[cfg(test)]
 mod tests {

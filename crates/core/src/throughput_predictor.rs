@@ -7,13 +7,12 @@
 
 use rkvc_gpu::DeploymentSpec;
 use rkvc_kvcache::CompressionConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::{ProfileGrid, ProfileTable};
 
 /// A fitted throughput predictor for one deployment and one compression
 /// algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputPredictor {
     dep: DeploymentSpec,
     algo: CompressionConfig,
@@ -147,7 +146,6 @@ impl ThroughputPredictor {
     /// log-normal measurement noise with sigma `noise_std` (the "measured
     /// hardware" stand-in).
     pub fn accuracy_with_noise(&self, noise_std: f64, seed: u64) -> f64 {
-        use rand::Rng;
         let mut rng = rkvc_tensor::seeded_rng(seed);
         let dep = self.dep.clone();
         let algo = self.algo;
@@ -163,6 +161,17 @@ impl ThroughputPredictor {
         })
     }
 }
+
+rkvc_tensor::json_struct!(ThroughputPredictor {
+    dep,
+    algo,
+    prefill_attention,
+    decode_attention,
+    decode_fixed_s,
+    decode_per_seq_s,
+    prefill_fixed_s,
+    prefill_per_token_s,
+});
 
 #[cfg(test)]
 mod tests {

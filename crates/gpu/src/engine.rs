@@ -1,9 +1,8 @@
 //! Serving-engine kernel models.
 
-use serde::{Deserialize, Serialize};
 
 /// The three serving stacks the paper measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// HuggingFace Transformers, eager PyTorch: naive multi-pass attention
     /// (score matrix materialized in HBM), heavy per-op launch overhead,
@@ -101,6 +100,8 @@ impl std::fmt::Display for EngineKind {
         f.write_str(self.label())
     }
 }
+
+rkvc_tensor::json_unit_enum!(EngineKind { TrlEager, TrlFlash, LmDeploy });
 
 #[cfg(test)]
 mod tests {

@@ -1,13 +1,12 @@
 //! GPU hardware specifications.
 
-use serde::{Deserialize, Serialize};
 
 /// A GPU's relevant capabilities for the roofline model.
 ///
 /// `compute_efficiency` and `memory_efficiency` are the achievable fractions
 /// of peak (MFU/MBU); they are calibration constants chosen so the FP16
 /// baseline lands near the paper's measured throughput on the same hardware.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name, e.g. `"A6000"`.
     pub name: String,
@@ -77,6 +76,17 @@ impl GpuSpec {
         (bytes / self.effective_bandwidth()).max(flops / self.effective_flops())
     }
 }
+
+rkvc_tensor::json_struct!(GpuSpec {
+    name,
+    fp16_tflops,
+    mem_bw_gbs,
+    hbm_gib,
+    interconnect_gbs,
+    compute_efficiency,
+    memory_efficiency,
+    collective_latency_s,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,11 +1,10 @@
 //! LLM architecture specifications (the real model dimensions, used
 //! analytically).
 
-use serde::{Deserialize, Serialize};
 
 /// Transformer dimensions of an LLM, carrying exactly the numbers the cost
 /// model needs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LlmSpec {
     /// Model family label, e.g. `"LLaMA-2-7B"`.
     pub name: String,
@@ -123,6 +122,16 @@ impl LlmSpec {
         (2 * self.n_layers * self.kv_dim() * 2) as u64
     }
 }
+
+rkvc_tensor::json_struct!(LlmSpec {
+    name,
+    n_layers,
+    d_model,
+    n_heads,
+    n_kv_heads,
+    d_ff,
+    vocab,
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,12 +7,11 @@
 //! (Figure 1(l), Figure 10) because of transient dequantization workspace.
 
 use rkvc_kvcache::CompressionConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::{EngineKind, GpuSpec, LlmSpec};
 
 /// Per-GPU memory breakdown for a decode configuration (bytes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemoryBreakdown {
     /// Model weights (FP16, sharded by TP).
     pub weights: u64,
@@ -140,6 +139,13 @@ pub fn decode_memory_bytes(
 pub fn fits_in_memory(gpu: &GpuSpec, breakdown: &MemoryBreakdown) -> bool {
     breakdown.total() <= gpu.hbm_bytes()
 }
+
+rkvc_tensor::json_struct!(MemoryBreakdown {
+    weights,
+    kv_cache,
+    workspace,
+    activations,
+});
 
 #[cfg(test)]
 mod tests {

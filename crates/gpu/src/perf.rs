@@ -1,7 +1,6 @@
 //! Whole-model step costs and throughput.
 
 use rkvc_kvcache::CompressionConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::{attention_decode_time, attention_prefill_time, AttentionEnv, EngineKind, GpuSpec, LlmSpec};
 
@@ -9,7 +8,7 @@ use crate::{attention_decode_time, attention_prefill_time, AttentionEnv, EngineK
 ///
 /// All cost methods return per-GPU-synchronized wall-clock estimates; under
 /// tensor parallelism all GPUs finish a step together.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentSpec {
     /// Target GPU model.
     pub gpu: GpuSpec,
@@ -22,7 +21,7 @@ pub struct DeploymentSpec {
 }
 
 /// Cost breakdown of one stage execution (seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageTime {
     /// GEMM/linear-layer time (weights traffic + matmul compute).
     pub linear_s: f64,
@@ -183,6 +182,19 @@ impl DeploymentSpec {
         t
     }
 }
+
+rkvc_tensor::json_struct!(DeploymentSpec {
+    gpu,
+    llm,
+    engine,
+    tensor_parallel,
+});
+rkvc_tensor::json_struct!(StageTime {
+    linear_s,
+    attention_s,
+    overhead_s,
+    comm_s,
+});
 
 #[cfg(test)]
 mod tests {

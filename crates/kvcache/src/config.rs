@@ -1,6 +1,5 @@
 //! Unified configuration for all compression policies.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{
     FullPrecisionCache, GearCache, GearParams, H2OCache, H2OParams, KiviCache, KiviParams,
@@ -12,7 +11,7 @@ use crate::{
 /// (Zhang et al., 2024): per-layer prompt-KV budgets decline linearly from
 /// `first_layer_budget` to `last_layer_budget` ("pyramidal information
 /// funneling" — early layers need broad attention, deep layers concentrate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PyramidKvParams {
     /// Prompt-KV budget at layer 0 (the widest level of the pyramid).
     pub first_layer_budget: usize,
@@ -52,7 +51,7 @@ impl PyramidKvParams {
 }
 
 /// Coarse family of a compression policy, as the paper classifies them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompressionFamily {
     /// No compression (FP16 baseline).
     None,
@@ -87,7 +86,7 @@ impl std::fmt::Display for CompressionFamily {
 /// let cache = cfg.build(64);
 /// assert_eq!(cache.name(), "h2o-512");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CompressionConfig {
     /// FP16 baseline — no compression.
     Fp16,
@@ -316,6 +315,78 @@ impl std::fmt::Display for CompressionConfig {
     }
 }
 
+rkvc_tensor::json_struct!(PyramidKvParams {
+    first_layer_budget,
+    last_layer_budget,
+    obs_window,
+});
+rkvc_tensor::json_unit_enum!(CompressionFamily {
+    None,
+    Quantization,
+    Sparsity,
+});
+
+// `CompressionConfig` carries per-algorithm parameter payloads, so the
+// unit-enum macro does not apply; serialize in serde's externally-tagged
+// shape by hand: `"Fp16"` for the unit variant, `{"Kivi": {...}}` for
+// newtype variants.
+impl rkvc_tensor::json::ToJson for CompressionConfig {
+    fn to_json(&self) -> rkvc_tensor::json::JsonValue {
+        use rkvc_tensor::json::JsonValue;
+        let tagged = |tag: &str, inner: JsonValue| {
+            JsonValue::Object(vec![(tag.to_owned(), inner)])
+        };
+        match self {
+            CompressionConfig::Fp16 => JsonValue::Str("Fp16".to_owned()),
+            CompressionConfig::Kivi(p) => tagged("Kivi", p.to_json()),
+            CompressionConfig::Gear(p) => tagged("Gear", p.to_json()),
+            CompressionConfig::H2O(p) => tagged("H2O", p.to_json()),
+            CompressionConfig::Streaming(p) => tagged("Streaming", p.to_json()),
+            CompressionConfig::SnapKv(p) => tagged("SnapKv", p.to_json()),
+            CompressionConfig::Tova(p) => tagged("Tova", p.to_json()),
+            CompressionConfig::Think(p) => tagged("Think", p.to_json()),
+            CompressionConfig::PyramidKv(p) => tagged("PyramidKv", p.to_json()),
+            CompressionConfig::Quest(p) => tagged("Quest", p.to_json()),
+        }
+    }
+}
+
+impl rkvc_tensor::json::FromJson for CompressionConfig {
+    fn from_json(
+        v: &rkvc_tensor::json::JsonValue,
+    ) -> Result<Self, rkvc_tensor::json::JsonError> {
+        use rkvc_tensor::json::{FromJson, JsonError, JsonValue};
+        match v {
+            JsonValue::Str(s) if s == "Fp16" => Ok(CompressionConfig::Fp16),
+            JsonValue::Object(fields) if fields.len() == 1 => {
+                let (tag, inner) = &fields[0];
+                match tag.as_str() {
+                    "Kivi" => Ok(CompressionConfig::Kivi(FromJson::from_json(inner)?)),
+                    "Gear" => Ok(CompressionConfig::Gear(FromJson::from_json(inner)?)),
+                    "H2O" => Ok(CompressionConfig::H2O(FromJson::from_json(inner)?)),
+                    "Streaming" => {
+                        Ok(CompressionConfig::Streaming(FromJson::from_json(inner)?))
+                    }
+                    "SnapKv" => Ok(CompressionConfig::SnapKv(FromJson::from_json(inner)?)),
+                    "Tova" => Ok(CompressionConfig::Tova(FromJson::from_json(inner)?)),
+                    "Think" => Ok(CompressionConfig::Think(FromJson::from_json(inner)?)),
+                    "PyramidKv" => {
+                        Ok(CompressionConfig::PyramidKv(FromJson::from_json(inner)?))
+                    }
+                    "Quest" => Ok(CompressionConfig::Quest(FromJson::from_json(inner)?)),
+                    other => Err(JsonError::new(format!(
+                        "unknown CompressionConfig variant '{other}'"
+                    ))),
+                }
+            }
+            other => Err(JsonError::new(format!(
+                "expected CompressionConfig, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,10 +424,10 @@ mod tests {
     }
 
     #[test]
-    fn config_round_trips_through_serde() {
+    fn config_round_trips_through_json() {
         let cfg = CompressionConfig::kivi(2);
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: CompressionConfig = serde_json::from_str(&json).unwrap();
+        let json = rkvc_tensor::json::to_string(&cfg);
+        let back: CompressionConfig = rkvc_tensor::json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
     }
 

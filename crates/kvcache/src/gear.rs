@@ -9,13 +9,12 @@
 //! which is precisely the overhead the paper measures in Figure 3.
 
 use rkvc_tensor::{low_rank_approximate, round_slice_to_f16, round_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::quantizer::{GroupLayout, QuantizedMatrix, SupportedBits};
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`GearCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GearParams {
     /// Quantization bit width (paper evaluates 4 and 2).
     pub bits: u8,
@@ -309,11 +308,17 @@ impl KvCache for GearCache {
     }
 }
 
+rkvc_tensor::json_struct!(GearParams {
+    bits,
+    outlier_ratio,
+    rank_ratio,
+    buffer,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{KiviCache, KiviParams};
-    use rand::Rng;
     use rkvc_tensor::seeded_rng;
 
     fn fill(cache: &mut dyn KvCache, n: usize, dim: usize, seed: u64) {

@@ -8,12 +8,11 @@
 //! paper identifies as incompatible with one-pass FlashAttention.
 
 use rkvc_tensor::{round_slice_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`H2OCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct H2OParams {
     /// Heavy-hitter budget (paper: 64).
     pub heavy: usize,
@@ -187,6 +186,8 @@ impl KvCache for H2OCache {
         format!("h2o-{}", self.params.budget())
     }
 }
+
+rkvc_tensor::json_struct!(H2OParams { heavy, recent });
 
 #[cfg(test)]
 mod tests {

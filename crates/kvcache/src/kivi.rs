@@ -9,13 +9,12 @@
 //! PagedAttention (two tensor types per page).
 
 use rkvc_tensor::{round_slice_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::quantizer::{GroupLayout, QuantizedMatrix, SupportedBits};
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`KiviCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KiviParams {
     /// Quantization bit width (paper evaluates 2 and 4).
     pub bits: u8,
@@ -228,10 +227,11 @@ impl KvCache for KiviCache {
     }
 }
 
+rkvc_tensor::json_struct!(KiviParams { bits, group_size, residual });
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use rkvc_tensor::seeded_rng;
 
     fn small_params() -> KiviParams {

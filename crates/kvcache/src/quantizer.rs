@@ -12,12 +12,11 @@
 //! FP16 precision — matching what a production kernel would keep in memory.
 
 use rkvc_tensor::{round_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::CacheError;
 
 /// Bit widths the packer supports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SupportedBits {
     /// 1-bit (binary) quantization.
     B1,
@@ -68,7 +67,7 @@ impl SupportedBits {
 }
 
 /// A quantized group: packed codes plus FP16 scale/zero constants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedGroup {
     packed: Vec<u8>,
     scale: f32,
@@ -115,7 +114,7 @@ impl QuantizedGroup {
 }
 
 /// Quantization error statistics for a group.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QuantError {
     /// Mean absolute reconstruction error.
     pub mean_abs: f32,
@@ -201,7 +200,7 @@ pub fn measure_error(original: &[f32], group: &QuantizedGroup) -> QuantError {
 }
 
 /// Layout of group boundaries for a quantized matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GroupLayout {
     /// One group per column chunk: channel `c`'s values across a token chunk
     /// share constants (KIVI key layout).
@@ -214,7 +213,7 @@ pub enum GroupLayout {
 /// A matrix stored in quantized form with a chosen group layout.
 ///
 /// Rows are tokens, columns are head channels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedMatrix {
     groups: Vec<QuantizedGroup>,
     layout: GroupLayout,
@@ -285,10 +284,22 @@ impl QuantizedMatrix {
     }
 }
 
+rkvc_tensor::json_unit_enum!(SupportedBits { B1, B2, B4, B8 });
+rkvc_tensor::json_struct!(QuantError { mean_abs, max_abs });
+rkvc_tensor::json_unit_enum!(GroupLayout { PerChannel, PerToken });
+
+rkvc_tensor::json_struct!(QuantizedGroup {
+    packed,
+    scale,
+    zero,
+    len,
+    bits,
+});
+rkvc_tensor::json_struct!(QuantizedMatrix { groups, layout, rows, cols });
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use rkvc_tensor::seeded_rng;
 
     #[test]

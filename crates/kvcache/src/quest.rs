@@ -13,12 +13,11 @@
 //! information is ever lost, so negative samples largely disappear.
 
 use rkvc_tensor::{round_slice_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`QuestCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuestParams {
     /// Tokens per page.
     pub page_size: usize,
@@ -227,6 +226,8 @@ impl KvCache for QuestCache {
         format!("quest-{}", self.params.budget())
     }
 }
+
+rkvc_tensor::json_struct!(QuestParams { page_size, top_k_pages });
 
 #[cfg(test)]
 mod tests {

@@ -9,13 +9,12 @@
 //! eviction. The appendix (Figure 9) measures its throughput profile.
 
 use rkvc_tensor::{round_slice_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`SnapKvCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapKvParams {
     /// Prompt KV budget retained after prefill compression (excluding the
     /// observation window, which is always kept).
@@ -221,6 +220,8 @@ impl KvCache for SnapKvCache {
         format!("snapkv-{}", self.params.budget)
     }
 }
+
+rkvc_tensor::json_struct!(SnapKvParams { budget, obs_window, kernel });
 
 #[cfg(test)]
 mod tests {

@@ -1,9 +1,8 @@
 //! Cache statistics reported by every policy.
 
-use serde::{Deserialize, Serialize};
 
 /// Aggregate statistics of a KV cache instance.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CacheStats {
     /// Tokens ever appended.
     pub tokens_seen: usize,
@@ -40,6 +39,15 @@ impl CacheStats {
         }
     }
 }
+
+rkvc_tensor::json_struct!(CacheStats {
+    tokens_seen,
+    tokens_retained,
+    tokens_evicted,
+    memory_bytes,
+    fp16_baseline_bytes,
+    mean_quant_error,
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,12 +7,11 @@
 //! its near-baseline prefill throughput.
 
 use rkvc_tensor::{round_slice_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`StreamingLlmCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamingParams {
     /// Number of initial sink tokens retained forever (paper: 64).
     pub sinks: usize,
@@ -148,6 +147,8 @@ impl KvCache for StreamingLlmCache {
         format!("stream-{}", self.params.budget())
     }
 }
+
+rkvc_tensor::json_struct!(StreamingParams { sinks, recent });
 
 #[cfg(test)]
 mod tests {

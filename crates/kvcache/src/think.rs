@@ -8,12 +8,11 @@
 //! of prefill; pruned channels read back as zero.
 
 use rkvc_tensor::{round_slice_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`ThinkCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThinkParams {
     /// Fraction of key channels retained (paper evaluates ~0.4–0.8,
     /// reporting 1.25x memory reduction at 0.8).
@@ -177,10 +176,11 @@ impl KvCache for ThinkCache {
     }
 }
 
+rkvc_tensor::json_struct!(ThinkParams { keep_ratio });
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use rkvc_tensor::seeded_rng;
 
     fn filled(keep: f32, n: usize) -> ThinkCache {

@@ -7,12 +7,11 @@
 //! for the ablation studies.
 
 use rkvc_tensor::{round_slice_to_f16, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{CacheError, CacheStats, KvCache, KvView};
 
 /// Hyper-parameters for [`TovaCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TovaParams {
     /// Maximum retained tokens.
     pub budget: usize,
@@ -158,6 +157,8 @@ impl KvCache for TovaCache {
         format!("tova-{}", self.params.budget)
     }
 }
+
+rkvc_tensor::json_struct!(TovaParams { budget });
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,5 @@
 //! TinyLM architecture configuration.
 
-use serde::{Deserialize, Serialize};
 
 use crate::vocab;
 
@@ -10,7 +9,7 @@ use crate::vocab;
 /// [`ModelConfig::induction_mha`] (LLaMA-style multi-head attention, one KV
 /// head per query head) and [`ModelConfig::induction_gqa`] (Mistral-style
 /// grouped-query attention, query heads sharing KV heads).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelConfig {
     /// Vocabulary size (special ids + content symbols).
     pub vocab_size: usize,
@@ -154,6 +153,21 @@ impl ModelConfig {
         );
     }
 }
+
+rkvc_tensor::json_struct!(ModelConfig {
+    vocab_size,
+    code_dim,
+    pos_dim,
+    n_layers,
+    n_heads,
+    n_kv_heads,
+    mlp_hidden,
+    induction_layer,
+    beta,
+    gain,
+    noise_scale,
+    seed,
+});
 
 #[cfg(test)]
 mod tests {

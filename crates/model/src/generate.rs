@@ -1,13 +1,12 @@
 //! End-to-end generation with EOS handling.
 
 use rkvc_kvcache::{CacheStats, CompressionConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::vocab::{self, TokenId};
 use crate::{Sampler, TinyLm};
 
 /// Generation hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenerateParams {
     /// Maximum new tokens to emit (the paper caps ShareGPT runs at 1024).
     pub max_new_tokens: usize,
@@ -38,7 +37,7 @@ impl GenerateParams {
 }
 
 /// The outcome of a generation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenerationOutput {
     /// Emitted tokens, excluding the terminating EOS symbol.
     pub tokens: Vec<TokenId>,
@@ -106,6 +105,18 @@ impl TinyLm {
         }
     }
 }
+
+rkvc_tensor::json_struct!(GenerateParams {
+    max_new_tokens,
+    temperature,
+    seed,
+});
+rkvc_tensor::json_struct!(GenerationOutput {
+    tokens,
+    stopped_by_eos,
+    prompt_len,
+    cache_stats,
+});
 
 #[cfg(test)]
 mod tests {

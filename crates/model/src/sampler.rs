@@ -1,6 +1,5 @@
 //! Token sampling.
 
-use rand::Rng;
 use rkvc_tensor::{argmax, seeded_rng, softmax_row, SeededRng};
 
 use crate::vocab::TokenId;

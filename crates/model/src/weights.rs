@@ -5,7 +5,6 @@
 //! small deterministic random weights so the full transformer code path is
 //! exercised without disturbing the mechanism.
 
-use rand::Rng;
 use rkvc_tensor::{seeded_rng, Matrix, SeededRng};
 
 use crate::ModelConfig;

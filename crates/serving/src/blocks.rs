@@ -5,11 +5,10 @@
 //! manager tracks per-sequence block lists and exposes the fragmentation
 //! statistics the paper's §2.2 discussion turns on.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Error returned when the block pool is exhausted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutOfBlocks {
     /// Blocks requested.
     pub requested: usize,
@@ -186,6 +185,8 @@ impl BlockManager {
         self.used_blocks -= blocks;
     }
 }
+
+rkvc_tensor::json_struct!(OutOfBlocks { requested, available });
 
 #[cfg(test)]
 mod tests {

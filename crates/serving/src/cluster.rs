@@ -1,11 +1,10 @@
 //! Multi-GPU cluster with the paper's four routing policies (§5.4).
 
-use serde::{Deserialize, Serialize};
 
 use crate::{CompletedRequest, ServerSim, SimRequest};
 
 /// Routing policies from Table 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoutingPolicy {
     /// Route to the server with minimum KV-memory utilization (the paper's
     /// *Baseline* load balancing).
@@ -185,6 +184,13 @@ impl Cluster {
         done
     }
 }
+
+rkvc_tensor::json_unit_enum!(RoutingPolicy {
+    LoadBalance,
+    ThroughputAware,
+    LengthAware,
+    Both,
+});
 
 #[cfg(test)]
 mod tests {

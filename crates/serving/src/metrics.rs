@@ -1,9 +1,8 @@
 //! Latency reductions: percentiles and CDFs.
 
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics over a set of latencies (seconds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencySummary {
     sorted: Vec<f64>,
 }
@@ -89,6 +88,8 @@ impl LatencySummary {
             .collect()
     }
 }
+
+rkvc_tensor::json_struct!(LatencySummary { sorted });
 
 #[cfg(test)]
 mod tests {

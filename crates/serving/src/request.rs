@@ -1,9 +1,8 @@
 //! Requests flowing through the serving simulator.
 
-use serde::{Deserialize, Serialize};
 
 /// A request submitted to a server or cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimRequest {
     /// Unique request id.
     pub id: u64,
@@ -42,7 +41,7 @@ impl SimRequest {
 }
 
 /// A finished request with its measured latencies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompletedRequest {
     /// The request id.
     pub id: u64,
@@ -70,6 +69,22 @@ impl CompletedRequest {
         }
     }
 }
+
+rkvc_tensor::json_struct!(SimRequest {
+    id,
+    arrival_s,
+    prompt_len,
+    response_len,
+    response_len_by_server,
+});
+rkvc_tensor::json_struct!(CompletedRequest {
+    id,
+    server_id,
+    arrival_s,
+    ttft_s,
+    e2e_s,
+    generated,
+});
 
 #[cfg(test)]
 mod tests {

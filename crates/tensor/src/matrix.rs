@@ -1,6 +1,6 @@
 //! Row-major dense f32 matrix.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, FromJson, JsonError, JsonValue, ToJson};
 
 /// A row-major dense matrix of `f32` values.
 ///
@@ -17,11 +17,39 @@ use serde::{Deserialize, Serialize};
 /// let m = Matrix::zeros(2, 3);
 /// assert_eq!(m.shape(), (2, 3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl ToJson for Matrix {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| JsonError::new("expected object for Matrix"))?;
+        let rows: usize = json::field(fields, "rows")?;
+        let cols: usize = json::field(fields, "cols")?;
+        let data: Vec<f32> = json::field(fields, "data")?;
+        if data.len() != rows * cols {
+            return Err(JsonError::new(format!(
+                "matrix buffer length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
 }
 
 impl Matrix {

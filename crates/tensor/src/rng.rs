@@ -1,28 +1,26 @@
 //! Deterministic random initialization helpers.
 //!
 //! All randomness in the workspace flows through seeded [`SeededRng`]
-//! instances so every experiment is bit-reproducible.
+//! instances (the in-repo PCG64 generator from [`crate::det`]) so every
+//! experiment is bit-reproducible and the build stays offline.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::det;
 use crate::Matrix;
 
 /// The deterministic RNG used across the workspace.
-pub type SeededRng = StdRng;
+pub type SeededRng = det::SeededRng;
 
 /// Creates a deterministic RNG from a `u64` seed.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::Rng;
 /// let mut a = rkvc_tensor::seeded_rng(7);
 /// let mut b = rkvc_tensor::seeded_rng(7);
 /// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
 /// ```
 pub fn seeded_rng(seed: u64) -> SeededRng {
-    StdRng::seed_from_u64(seed)
+    SeededRng::new(seed)
 }
 
 /// Samples a `rows x cols` matrix with Xavier/Glorot-uniform entries:

@@ -4,7 +4,6 @@
 //! uncompressed response length and `L_cs` the compressed one. `D < 0`
 //! means compression made the response *longer*.
 
-use serde::{Deserialize, Serialize};
 
 /// The paper's length-difference statistic `D = (L_un - L_cs) / L_un`.
 ///
@@ -28,7 +27,7 @@ pub fn length_difference(l_un: usize, l_cs: usize) -> f64 {
 }
 
 /// Distribution statistics over a collection of `D` values.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LengthStats {
     values: Vec<f64>,
 }
@@ -141,6 +140,8 @@ impl LengthStats {
             .collect()
     }
 }
+
+rkvc_tensor::json_struct!(LengthStats { values });
 
 #[cfg(test)]
 mod tests {

@@ -11,16 +11,14 @@
 //! context surrounds it, and how much must be reproduced — the knobs that
 //! differentiate their fragility under compression.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use rkvc_tensor::det::Shuffle;
 use rkvc_model::vocab::{self, TokenId};
 use rkvc_tensor::{seeded_rng, SeededRng};
-use serde::{Deserialize, Serialize};
 
 use crate::semantic::token_f1;
 
 /// LongBench task categories (paper Figure 7 / Table 7 granularity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskType {
     /// Single-document question answering.
     SingleDocQA,
@@ -80,7 +78,7 @@ impl std::fmt::Display for TaskType {
 }
 
 /// How a response is scored, on a 0–100 scale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Scorer {
     /// Full credit iff the response starts with exactly these tokens.
     ExactPrefix(Vec<TokenId>),
@@ -126,7 +124,7 @@ impl Scorer {
 }
 
 /// One evaluation sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSample {
     /// Stable sample id.
     pub id: usize,
@@ -141,7 +139,7 @@ pub struct TaskSample {
 }
 
 /// Suite configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LongBenchConfig {
     /// Samples per task type.
     pub samples_per_task: usize,
@@ -384,6 +382,62 @@ pub fn generate_sample(
                 scorer: Scorer::PrefixFraction(nv.to_vec()),
                 max_new_tokens: 6,
             }
+        }
+    }
+}
+
+rkvc_tensor::json_unit_enum!(TaskType {
+    SingleDocQA,
+    MultiDocQA,
+    Summarization,
+    FewShot,
+    Code,
+    Synthetic,
+});
+rkvc_tensor::json_struct!(TaskSample {
+    id,
+    task,
+    prompt,
+    scorer,
+    max_new_tokens,
+});
+rkvc_tensor::json_struct!(LongBenchConfig {
+    samples_per_task,
+    context_len,
+    vocab_size,
+    seed,
+});
+
+// `Scorer` variants carry token payloads; serialize externally tagged,
+// matching serde's default for newtype variants.
+impl rkvc_tensor::json::ToJson for Scorer {
+    fn to_json(&self) -> rkvc_tensor::json::JsonValue {
+        use rkvc_tensor::json::JsonValue;
+        let (tag, tokens) = match self {
+            Scorer::ExactPrefix(t) => ("ExactPrefix", t),
+            Scorer::PrefixFraction(t) => ("PrefixFraction", t),
+            Scorer::TokenF1(t) => ("TokenF1", t),
+        };
+        JsonValue::Object(vec![(tag.to_owned(), tokens.to_json())])
+    }
+}
+
+impl rkvc_tensor::json::FromJson for Scorer {
+    fn from_json(
+        v: &rkvc_tensor::json::JsonValue,
+    ) -> Result<Self, rkvc_tensor::json::JsonError> {
+        use rkvc_tensor::json::{FromJson, JsonError};
+        let fields = v
+            .as_object()
+            .filter(|f| f.len() == 1)
+            .ok_or_else(|| JsonError::new("expected single-field object for Scorer"))?;
+        let (tag, inner) = &fields[0];
+        let tokens: Vec<TokenId> = FromJson::from_json(inner)?;
+        match tag.as_str() {
+            "ExactPrefix" => Ok(Scorer::ExactPrefix(tokens)),
+            "PrefixFraction" => Ok(Scorer::PrefixFraction(tokens)),
+            "TokenF1" => Ok(Scorer::TokenF1(tokens)),
+            other => Err(JsonError::new(format!("unknown Scorer variant '{other}'"))),
         }
     }
 }

@@ -7,14 +7,12 @@
 //! continuation of an embedded pattern), so compression-induced length and
 //! quality shifts are measured on real generations rather than assumed.
 
-use rand::Rng;
-use rand_distr::{Distribution, Exp, LogNormal};
+use rkvc_tensor::det::{Exp, LogNormal};
 use rkvc_model::vocab::{self, TokenId};
 use rkvc_tensor::{seeded_rng, SeededRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration for the conversation sampler.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShareGptConfig {
     /// Number of requests to draw.
     pub n_requests: usize,
@@ -71,7 +69,7 @@ impl ShareGptConfig {
 }
 
 /// One conversation request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConversationRequest {
     /// Sequential request id.
     pub id: usize,
@@ -162,11 +160,11 @@ pub fn sample_conversations(
     vocab_size: usize,
 ) -> Vec<ConversationRequest> {
     let mut rng = seeded_rng(cfg.seed);
-    let prompt_dist = LogNormal::new(cfg.prompt_log_mean, cfg.prompt_log_std)
+    let mut prompt_dist = LogNormal::new(cfg.prompt_log_mean, cfg.prompt_log_std)
         .expect("valid log-normal parameters");
-    let resp_dist = LogNormal::new(cfg.response_log_mean, cfg.response_log_std)
+    let mut resp_dist = LogNormal::new(cfg.response_log_mean, cfg.response_log_std)
         .expect("valid log-normal parameters");
-    let interarrival = Exp::new(cfg.arrival_rps).expect("positive rate");
+    let mut interarrival = Exp::new(cfg.arrival_rps).expect("positive rate");
 
     let mut t = 0.0f64;
     (0..cfg.n_requests)
@@ -192,6 +190,26 @@ pub fn sample_conversations(
         })
         .collect()
 }
+
+rkvc_tensor::json_struct!(ShareGptConfig {
+    n_requests,
+    seed,
+    prompt_log_mean,
+    prompt_log_std,
+    response_log_mean,
+    response_log_std,
+    prompt_clamp,
+    response_clamp,
+    arrival_rps,
+});
+rkvc_tensor::json_struct!(ConversationRequest {
+    id,
+    arrival_s,
+    prompt_len,
+    reference_response_len,
+    prompt,
+    reference_response,
+});
 
 #[cfg(test)]
 mod tests {

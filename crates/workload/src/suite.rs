@@ -7,10 +7,9 @@
 //! widths carry over unchanged.
 
 use rkvc_kvcache::{CompressionConfig, GearParams, KiviParams};
-use serde::{Deserialize, Serialize};
 
 /// A labelled compression configuration scaled for TinyLM experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScaledAlgo {
     /// Paper-style label (`KIVI-4`, `H2O-64`, ...).
     pub label: String,
@@ -100,6 +99,8 @@ pub fn compression_ratio_sweep() -> Vec<ScaledAlgo> {
         ScaledAlgo::new("Stream-32", scaled_streaming(32)),
     ]
 }
+
+rkvc_tensor::json_struct!(ScaledAlgo { label, config });
 
 #[cfg(test)]
 mod tests {

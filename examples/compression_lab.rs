@@ -6,7 +6,6 @@
 //! cargo run --release --example compression_lab
 //! ```
 
-use rand::Rng;
 use rethink_kv_compression::gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rethink_kv_compression::kvcache::{
     dequantize_group, quantize_group, CompressionConfig, SupportedBits,

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point: proves the workspace builds and tests
+# entirely offline, with zero crates.io dependencies.
+#
+#   ./scripts/check_hermetic.sh
+#
+# Three gates, all hard failures:
+#   1. `cargo tree` must list only workspace packages (rkvc-* plus the
+#      root facade crate) — no external crate may sneak back in, even as
+#      a dev-dependency or bench dependency.
+#   2. `cargo build --release --offline --workspace --all-targets` —
+#      every lib, bin, test, example, and bench compiles with the
+#      network unreachable.
+#   3. `cargo test -q --offline --workspace` — the full test suite
+#      passes offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gate 1: dependency closure is workspace-only =="
+# --no-dedupe + -e all covers normal, dev, and build dependencies of
+# every workspace member.
+deps=$(cargo tree --offline --workspace -e all --prefix none | awk '{print $1}' | sort -u)
+bad=$(echo "$deps" | grep -v -e '^rkvc-' -e '^rethink-kv-compression$' -e '^$' || true)
+if [ -n "$bad" ]; then
+    echo "error: non-workspace packages in the dependency tree:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "ok: $(echo "$deps" | grep -c .) packages, all workspace-local"
+
+echo "== gate 2: offline release build (all targets) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== gate 3: offline test suite =="
+cargo test -q --offline --workspace
+
+echo "hermetic check passed"

@@ -1,0 +1,88 @@
+//! Hermetic-build guarantees: experiments are bit-reproducible and the
+//! in-repo JSON layer round-trips every value it can print.
+
+use rethink_kv_compression::core::experiments::{run_by_id, RunOptions};
+use rkvc_tensor::det::SeededRng;
+use rkvc_tensor::json::{to_string_pretty, JsonValue};
+
+/// Running the same experiment twice with the same options must produce
+/// byte-identical JSON — the whole point of the seeded in-repo RNG.
+#[test]
+fn fig1_is_bit_reproducible() {
+    let opts = RunOptions::quick();
+    let a = run_by_id("fig1", &opts).expect("fig1 exists");
+    let b = run_by_id("fig1", &opts).expect("fig1 exists");
+    let ja = to_string_pretty(&a);
+    let jb = to_string_pretty(&b);
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "same seed must give bit-identical experiment JSON");
+}
+
+/// Builds an arbitrary JSON tree, depth-bounded so it stays small.
+fn random_json(rng: &mut SeededRng, depth: u32) -> JsonValue {
+    let max_kind = if depth == 0 { 5 } else { 7 };
+    match rng.gen_range(0u32..max_kind) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.gen_bool(0.5)),
+        2 => JsonValue::Int(rng.gen::<u64>() as i64),
+        3 => {
+            // Finite floats only; the printer maps non-finite to null.
+            let f = rng.gen_range(-1.0e12..1.0e12);
+            JsonValue::Float(f)
+        }
+        4 => JsonValue::Str(random_string(rng)),
+        5 => {
+            let n = rng.gen_range(0usize..4);
+            JsonValue::Array((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..4);
+            JsonValue::Object(
+                (0..n)
+                    .map(|i| (format!("k{i}_{}", random_string(rng)), random_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Strings that exercise the escape paths: quotes, backslashes, control
+/// characters, and non-ASCII (forces `\u` handling on the parse side).
+fn random_string(rng: &mut SeededRng) -> String {
+    const POOL: &[&str] = &["a", "B", "7", " ", "\"", "\\", "\n", "\t", "\u{1}", "é", "日", "𝄞"];
+    let n = rng.gen_range(0usize..8);
+    (0..n).map(|_| *rng.choose(POOL)).collect()
+}
+
+rkvc_tensor::det_cases! {
+    fn json_round_trips_pretty_and_compact(rng, cases = 200) {
+        let v = random_json(rng, 3);
+        let pretty = v.to_pretty_string();
+        let compact = v.to_compact_string();
+        let from_pretty = JsonValue::parse(&pretty).expect("pretty output parses");
+        let from_compact = JsonValue::parse(&compact).expect("compact output parses");
+        assert_eq!(from_pretty, v, "pretty round-trip");
+        assert_eq!(from_compact, v, "compact round-trip");
+    }
+}
+
+#[test]
+fn parser_rejects_non_finite_floats() {
+    for src in ["NaN", "Infinity", "-Infinity", "1e999", "-1e999"] {
+        assert!(
+            JsonValue::parse(src).is_err(),
+            "{src:?} must not parse as JSON"
+        );
+    }
+}
+
+/// Non-finite floats never become `Float` nodes: `ToJson` maps them to
+/// null, so the printer only ever sees finite values.
+#[test]
+fn to_json_maps_non_finite_floats_to_null() {
+    use rkvc_tensor::json::ToJson;
+    for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert_eq!(f.to_json(), JsonValue::Null);
+        assert_eq!((f as f32).to_json(), JsonValue::Null);
+    }
+}

@@ -6,7 +6,7 @@ use rethink_kv_compression::core::negative::{
     collect_negatives, evaluate_suite, NegativeBenchmark,
 };
 use rethink_kv_compression::core::task_predictor::{task_aware_policy, TaskPredictor};
-use rethink_kv_compression::kvcache::{CompressionConfig, KvCache};
+use rethink_kv_compression::kvcache::CompressionConfig;
 use rethink_kv_compression::model::{vocab, GenerateParams, ModelConfig, TinyLm};
 use rethink_kv_compression::workload::{generate_suite, LongBenchConfig, TaskType};
 

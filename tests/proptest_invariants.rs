@@ -1,90 +1,90 @@
 //! Property-based invariants across the workspace's core data structures.
+//!
+//! Runs on the in-repo seeded property harness (`rkvc_tensor::det_cases!`):
+//! every property draws its inputs from a deterministic per-case RNG, so
+//! failures replay exactly from the printed seed.
 
-use proptest::prelude::*;
 use rethink_kv_compression::kvcache::{
-    dequantize_group, quantize_group, CompressionConfig, SupportedBits,
+    dequantize_group, quantize_group, CompressionConfig, GearParams, KiviParams, SnapKvParams,
+    SupportedBits,
 };
 use rethink_kv_compression::serving::{BlockManager, LatencySummary};
-use rethink_kv_compression::tensor::{round_to_f16, Matrix};
+use rethink_kv_compression::tensor::{det::SeededRng, round_to_f16, Matrix};
 use rethink_kv_compression::workload::{length_difference, token_f1, LengthStats};
 
-fn bits_strategy() -> impl Strategy<Value = SupportedBits> {
-    prop_oneof![
-        Just(SupportedBits::B1),
-        Just(SupportedBits::B2),
-        Just(SupportedBits::B4),
-        Just(SupportedBits::B8),
-    ]
+fn random_bits(rng: &mut SeededRng) -> SupportedBits {
+    match rng.gen_range(0u32..4) {
+        0 => SupportedBits::B1,
+        1 => SupportedBits::B2,
+        2 => SupportedBits::B4,
+        _ => SupportedBits::B8,
+    }
 }
 
-fn algo_strategy() -> impl Strategy<Value = CompressionConfig> {
-    prop_oneof![
-        Just(CompressionConfig::Fp16),
-        (1usize..6, 1usize..12).prop_map(|(s, r)| CompressionConfig::streaming(s, r)),
-        (1usize..6, 1usize..12).prop_map(|(h, r)| CompressionConfig::h2o(h, r)),
-        prop_oneof![Just(2u8), Just(4u8)].prop_map(|b| CompressionConfig::Kivi(
-            rethink_kv_compression::kvcache::KiviParams {
-                bits: b,
-                group_size: 4,
-                residual: 8
-            }
-        )),
-        prop_oneof![Just(2u8), Just(4u8)].prop_map(|b| CompressionConfig::Gear(
-            rethink_kv_compression::kvcache::GearParams {
-                bits: b,
-                outlier_ratio: 0.05,
-                rank_ratio: 0.2,
-                buffer: 4
-            }
-        )),
-        (2usize..10).prop_map(|b| CompressionConfig::SnapKv(
-            rethink_kv_compression::kvcache::SnapKvParams {
-                budget: b,
-                obs_window: 2,
-                kernel: 3
-            }
-        )),
-    ]
+fn random_algo(rng: &mut SeededRng) -> CompressionConfig {
+    match rng.gen_range(0u32..6) {
+        0 => CompressionConfig::Fp16,
+        1 => CompressionConfig::streaming(rng.gen_range(1usize..6), rng.gen_range(1usize..12)),
+        2 => CompressionConfig::h2o(rng.gen_range(1usize..6), rng.gen_range(1usize..12)),
+        3 => CompressionConfig::Kivi(KiviParams {
+            bits: if rng.gen_bool(0.5) { 2 } else { 4 },
+            group_size: 4,
+            residual: 8,
+        }),
+        4 => CompressionConfig::Gear(GearParams {
+            bits: if rng.gen_bool(0.5) { 2 } else { 4 },
+            outlier_ratio: 0.05,
+            rank_ratio: 0.2,
+            buffer: 4,
+        }),
+        _ => CompressionConfig::SnapKv(SnapKvParams {
+            budget: rng.gen_range(2usize..10),
+            obs_window: 2,
+            kernel: 3,
+        }),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_vec_f32(rng: &mut SeededRng, len: std::ops::Range<usize>, lo: f32, hi: f32) -> Vec<f32> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    #[test]
-    fn quantizer_round_trip_error_bounded(
-        values in prop::collection::vec(-100.0f32..100.0, 1..128),
-        bits in bits_strategy(),
-    ) {
+rkvc_tensor::det_cases! {
+    fn quantizer_round_trip_error_bounded(rng) {
+        let values = random_vec_f32(rng, 1..128, -100.0, 100.0);
+        let bits = random_bits(rng);
         let group = quantize_group(&values, bits);
         let recon = dequantize_group(&group);
-        prop_assert_eq!(recon.len(), values.len());
+        assert_eq!(recon.len(), values.len());
         let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let step = (hi - lo) / bits.max_code() as f32;
         // Half a quantization step plus FP16 slack on constants.
         let slack = (hi.abs() + lo.abs() + 1.0) * 2.0 * 2.0f32.powi(-11) + step * 0.1;
         for (a, b) in values.iter().zip(&recon) {
-            prop_assert!((a - b).abs() <= step * 0.5 + slack,
-                "value {} reconstructed {} (step {})", a, b, step);
+            assert!(
+                (a - b).abs() <= step * 0.5 + slack,
+                "value {} reconstructed {} (step {})",
+                a,
+                b,
+                step
+            );
         }
     }
 
-    #[test]
-    fn quantized_codes_fit_bit_width(
-        values in prop::collection::vec(-10.0f32..10.0, 1..64),
-        bits in bits_strategy(),
-    ) {
+    fn quantized_codes_fit_bit_width(rng) {
+        let values = random_vec_f32(rng, 1..64, -10.0, 10.0);
+        let bits = random_bits(rng);
         let group = quantize_group(&values, bits);
         for i in 0..group.len() {
-            prop_assert!(group.code(i) <= bits.max_code());
+            assert!(group.code(i) <= bits.max_code());
         }
     }
 
-    #[test]
-    fn cache_policies_preserve_order_and_bounds(
-        algo in algo_strategy(),
-        n in 1usize..60,
-    ) {
+    fn cache_policies_preserve_order_and_bounds(rng) {
+        let algo = random_algo(rng);
+        let n = rng.gen_range(1usize..60);
         let mut cache = algo.build(8);
         for pos in 0..n {
             let k = [pos as f32 * 0.01; 8];
@@ -96,25 +96,23 @@ proptest! {
         let view = cache.view();
         // Retained never exceeds seen; view matches len; positions are
         // strictly increasing and all within what was appended.
-        prop_assert_eq!(cache.seen(), n);
-        prop_assert!(cache.len() <= n);
-        prop_assert_eq!(view.positions.len(), cache.len());
-        prop_assert!(view.positions.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(view.positions.iter().all(|&p| p < n));
-        prop_assert_eq!(view.keys.rows(), cache.len());
-        prop_assert_eq!(view.values.rows(), cache.len());
+        assert_eq!(cache.seen(), n);
+        assert!(cache.len() <= n);
+        assert_eq!(view.positions.len(), cache.len());
+        assert!(view.positions.windows(2).all(|w| w[0] < w[1]));
+        assert!(view.positions.iter().all(|&p| p < n));
+        assert_eq!(view.keys.rows(), cache.len());
+        assert_eq!(view.values.rows(), cache.len());
         // Stats agree with the cache.
         let stats = cache.stats();
-        prop_assert_eq!(stats.tokens_retained, cache.len());
-        prop_assert_eq!(stats.memory_bytes, cache.memory_bytes());
+        assert_eq!(stats.tokens_retained, cache.len());
+        assert_eq!(stats.memory_bytes, cache.memory_bytes());
     }
 
-    #[test]
-    fn eviction_budgets_are_hard_caps(
-        sinks in 1usize..8,
-        recent in 1usize..16,
-        n in 1usize..100,
-    ) {
+    fn eviction_budgets_are_hard_caps(rng) {
+        let sinks = rng.gen_range(1usize..8);
+        let recent = rng.gen_range(1usize..16);
+        let n = rng.gen_range(1usize..100);
         let mut stream = CompressionConfig::streaming(sinks, recent).build(4);
         let mut h2o = CompressionConfig::h2o(sinks, recent).build(4);
         for pos in 0..n {
@@ -123,14 +121,14 @@ proptest! {
             let len = h2o.len();
             h2o.observe_attention(&vec![1.0 / len as f32; len]);
         }
-        prop_assert!(stream.len() <= sinks + recent);
-        prop_assert!(h2o.len() <= sinks + recent);
+        assert!(stream.len() <= sinks + recent);
+        assert!(h2o.len() <= sinks + recent);
     }
 
-    #[test]
-    fn block_manager_conserves_blocks(
-        ops in prop::collection::vec((0u64..8, 1usize..40), 1..40),
-    ) {
+    fn block_manager_conserves_blocks(rng) {
+        let ops: Vec<(u64, usize)> = (0..rng.gen_range(1usize..40))
+            .map(|_| (rng.gen_range(0u64..8), rng.gen_range(1usize..40)))
+            .collect();
         let mut m = BlockManager::new(256, 4);
         let mut live: std::collections::HashSet<u64> = Default::default();
         for (seq, tokens) in ops {
@@ -140,64 +138,63 @@ proptest! {
             } else if m.register_seq(seq, tokens).is_ok() {
                 live.insert(seq);
             }
-            prop_assert_eq!(m.used_blocks() + m.free_blocks(), m.total_blocks());
-            prop_assert_eq!(m.seq_count(), live.len());
+            assert_eq!(m.used_blocks() + m.free_blocks(), m.total_blocks());
+            assert_eq!(m.seq_count(), live.len());
         }
     }
 
-    #[test]
-    fn f16_rounding_is_idempotent(x in -1.0e4f32..1.0e4) {
+    fn f16_rounding_is_idempotent(rng) {
+        let x: f32 = rng.gen_range(-1.0e4f32..1.0e4);
         let once = round_to_f16(x);
-        prop_assert_eq!(round_to_f16(once), once);
-        prop_assert!((once - x).abs() <= x.abs() * 2.0f32.powi(-11) + 1e-7);
+        assert_eq!(round_to_f16(once), once);
+        assert!((once - x).abs() <= x.abs() * 2.0f32.powi(-11) + 1e-7);
     }
 
-    #[test]
-    fn token_f1_is_symmetric_and_bounded(
-        a in prop::collection::vec(0usize..20, 0..20),
-        b in prop::collection::vec(0usize..20, 0..20),
-    ) {
+    fn token_f1_is_symmetric_and_bounded(rng) {
+        let draw = |rng: &mut SeededRng| -> Vec<usize> {
+            let n = rng.gen_range(0usize..20);
+            (0..n).map(|_| rng.gen_range(0usize..20)).collect()
+        };
+        let a = draw(rng);
+        let b = draw(rng);
         let ab = token_f1(&a, &b);
         let ba = token_f1(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&ab));
-        prop_assert_eq!(token_f1(&a, &a), if a.is_empty() { 1.0 } else { 1.0 });
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+        assert_eq!(token_f1(&a, &a), 1.0);
     }
 
-    #[test]
-    fn length_stats_fractions_are_consistent(
-        pairs in prop::collection::vec((1usize..500, 1usize..500), 1..60),
-    ) {
+    fn length_stats_fractions_are_consistent(rng) {
+        let pairs: Vec<(usize, usize)> = (0..rng.gen_range(1usize..60))
+            .map(|_| (rng.gen_range(1usize..500), rng.gen_range(1usize..500)))
+            .collect();
         let stats = LengthStats::from_pairs(pairs.clone());
         let ge = stats.frac_ge(0.5);
         let le = stats.frac_le(-0.5);
-        prop_assert!(ge + le <= 1.0 + 1e-12);
+        assert!(ge + le <= 1.0 + 1e-12);
         for ((u, c), d) in pairs.iter().zip(stats.values()) {
-            prop_assert!((d - length_difference(*u, *c)).abs() < 1e-12);
+            assert!((d - length_difference(*u, *c)).abs() < 1e-12);
         }
     }
 
-    #[test]
-    fn latency_cdf_is_monotone(
-        lat in prop::collection::vec(0.0f64..100.0, 1..50),
-    ) {
+    fn latency_cdf_is_monotone(rng) {
+        let n = rng.gen_range(1usize..50);
+        let lat: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..100.0)).collect();
         let s = LatencySummary::new(lat);
         let points: Vec<f64> = (0..=20).map(|i| i as f64 * 5.0).collect();
         let cdf = s.cdf(&points);
-        prop_assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert!(*cdf.last().unwrap() <= 1.0);
-        prop_assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*cdf.last().unwrap() <= 1.0);
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
     }
 
-    #[test]
-    fn cost_model_is_monotone_in_batch_and_length(
-        algo in algo_strategy(),
-        b1 in 1usize..16,
-        extra_b in 1usize..16,
-        kv1 in 128usize..4096,
-        extra_kv in 1usize..4096,
-    ) {
+    fn cost_model_is_monotone_in_batch_and_length(rng) {
         use rethink_kv_compression::gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+        let algo = random_algo(rng);
+        let b1 = rng.gen_range(1usize..16);
+        let extra_b = rng.gen_range(1usize..16);
+        let kv1 = rng.gen_range(128usize..4096);
+        let extra_kv = rng.gen_range(1usize..4096);
         let dep = DeploymentSpec {
             gpu: GpuSpec::a6000(),
             llm: LlmSpec::llama2_7b(),
@@ -207,29 +204,37 @@ proptest! {
         let t_base = dep.decode_step(&algo, b1, kv1).total();
         let t_more_batch = dep.decode_step(&algo, b1 + extra_b, kv1).total();
         let t_more_kv = dep.decode_step(&algo, b1, kv1 + extra_kv).total();
-        prop_assert!(t_base > 0.0 && t_base.is_finite());
-        prop_assert!(t_more_batch >= t_base * 0.999,
-            "batch monotonicity: {} vs {}", t_more_batch, t_base);
-        prop_assert!(t_more_kv >= t_base * 0.999,
-            "kv monotonicity: {} vs {}", t_more_kv, t_base);
+        assert!(t_base > 0.0 && t_base.is_finite());
+        assert!(
+            t_more_batch >= t_base * 0.999,
+            "batch monotonicity: {} vs {}",
+            t_more_batch,
+            t_base
+        );
+        assert!(
+            t_more_kv >= t_base * 0.999,
+            "kv monotonicity: {} vs {}",
+            t_more_kv,
+            t_base
+        );
         // Prefill likewise.
         let p_base = dep.prefill(&algo, b1, kv1).total();
         let p_long = dep.prefill(&algo, b1, kv1 + extra_kv).total();
-        prop_assert!(p_long >= p_base * 0.999);
+        assert!(p_long >= p_base * 0.999);
     }
 
-    #[test]
-    fn generation_is_deterministic_per_seed_and_policy(
-        algo in algo_strategy(),
-        seed in 0u64..1000,
-        pattern_len in 2usize..6,
-    ) {
+    fn generation_is_deterministic_per_seed_and_policy(rng, cases = 24) {
         use rethink_kv_compression::kvcache::CompressionConfig as CC;
         use rethink_kv_compression::model::{vocab, GenerateParams, ModelConfig, TinyLm};
+        let algo = random_algo(rng);
+        let seed = rng.gen_range(0u64..1000);
+        let pattern_len = rng.gen_range(2usize..6);
         // Skip the heavyweight quantizers in this fuzz loop (covered by
         // their own tests); keep the fast policies.
-        let fast = matches!(algo,
-            CC::Fp16 | CC::Streaming(_) | CC::H2O(_) | CC::SnapKv(_));
+        let fast = matches!(
+            algo,
+            CC::Fp16 | CC::Streaming(_) | CC::H2O(_) | CC::SnapKv(_)
+        );
         if fast {
             let model = TinyLm::new(ModelConfig::induction_mha());
             let mut prompt = vec![vocab::BOS];
@@ -241,22 +246,20 @@ proptest! {
             let params = GenerateParams::sampled(12, 1.0, seed);
             let a = model.generate(&prompt, &algo, &params);
             let b = model.generate(&prompt, &algo, &params);
-            prop_assert_eq!(a.tokens, b.tokens);
-            prop_assert_eq!(a.stopped_by_eos, b.stopped_by_eos);
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.stopped_by_eos, b.stopped_by_eos);
         }
     }
 
-    #[test]
-    fn matrix_select_rows_matches_manual(
-        rows in 1usize..12,
-        cols in 1usize..6,
-    ) {
+    fn matrix_select_rows_matches_manual(rng) {
+        let rows = rng.gen_range(1usize..12);
+        let cols = rng.gen_range(1usize..6);
         let data: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
         let m = Matrix::from_vec(rows, cols, data);
         let idx: Vec<usize> = (0..rows).rev().collect();
         let sel = m.select_rows(&idx);
         for (out_r, &src_r) in idx.iter().enumerate() {
-            prop_assert_eq!(sel.row(out_r), m.row(src_r));
+            assert_eq!(sel.row(out_r), m.row(src_r));
         }
     }
 }

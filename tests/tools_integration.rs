@@ -33,7 +33,9 @@ fn throughput_predictor_meets_paper_bar_for_all_algorithms() {
 #[test]
 fn length_predictor_learns_real_generation_lengths() {
     let model = TinyLm::new(ModelConfig::induction_mha());
-    let requests = sample_conversations(&ShareGptConfig::tiny_scale(48, 5), 64);
+    // ~144 conversations (36 held out) keeps the measured accuracy stable
+    // across RNG streams; at 48 it swings several points around the 0.8 bar.
+    let requests = sample_conversations(&ShareGptConfig::tiny_scale(144, 5), 64);
     let mut data = LengthDataset::new();
     for r in &requests {
         let out = model.generate(
@@ -94,7 +96,7 @@ fn quick_experiment_harness_produces_paper_shaped_tables() {
 #[test]
 fn experiment_results_serialize_to_json() {
     let result = run_by_id("table3", &RunOptions::quick()).unwrap();
-    let json = serde_json::to_string(&result).unwrap();
+    let json = rkvc_tensor::json::to_string(&result);
     assert!(json.contains("table3"));
     let dir = std::env::temp_dir().join("rkvc_tools_integration");
     rethink_kv_compression::core::report::save_json(&dir, "table3", &result).unwrap();
