@@ -1,0 +1,278 @@
+//! H001 — the dependency-closure check, on manifests instead of `cargo
+//! tree` text scraping.
+//!
+//! Gate 1 of `check_hermetic.sh` shells out to `cargo tree | awk`; that
+//! pipeline needs a Unix shell and a functioning cargo cache. This module
+//! re-derives the same invariant from the `Cargo.toml` files alone: every
+//! dependency of every workspace member must resolve *inside* the
+//! workspace — declared via `path = …` or `workspace = true` — and must
+//! name a workspace member. Registry versions (`foo = "1.0"`), `git`, and
+//! alternate-`registry` sources are violations.
+//!
+//! The parser covers the TOML subset the workspace uses: `[section]`
+//! headers, `key = value` pairs with string / inline-table / bool / array
+//! values, dotted keys (`foo.workspace = true`), and `[dependencies.foo]`
+//! sub-tables.
+
+use crate::lints::Violation;
+use std::path::Path;
+
+/// Dependency-carrying section kinds we police.
+fn is_dep_section(section: &str) -> Option<&str> {
+    // Returns the sub-table dependency name when the section itself names
+    // one (`[dependencies.foo]` → `foo`), or "" for a plain dep section.
+    for base in [
+        "dependencies",
+        "dev-dependencies",
+        "build-dependencies",
+        "workspace.dependencies",
+    ] {
+        if section == base {
+            return Some("");
+        }
+        if let Some(rest) = section.strip_prefix(base) {
+            if let Some(name) = rest.strip_prefix('.') {
+                return Some(name);
+            }
+        }
+    }
+    // `[target.'cfg(..)'.dependencies]` and friends.
+    if section.starts_with("target.") {
+        if let Some(pos) = section.rfind("dependencies") {
+            let tail = &section[pos + "dependencies".len()..];
+            if tail.is_empty() {
+                return Some("");
+            }
+            if let Some(name) = tail.strip_prefix('.') {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Strips a trailing line comment from a TOML line (respecting quotes).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `"name"` → `name`; leaves bare keys alone.
+fn unquote(s: &str) -> &str {
+    s.trim().trim_matches('"').trim_matches('\'')
+}
+
+/// Reads the `[package] name` out of one manifest, if present.
+pub fn package_name(toml: &str) -> Option<String> {
+    let mut section = String::new();
+    for line in toml.lines() {
+        let line = strip_comment(line).trim();
+        if let Some(header) = line.strip_prefix('[') {
+            section = header.trim_end_matches(']').trim().to_owned();
+        } else if section == "package" {
+            if let Some((k, v)) = line.split_once('=') {
+                if k.trim() == "name" {
+                    return Some(unquote(v).to_owned());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One manifest to check: workspace-relative path plus contents.
+pub struct Manifest {
+    /// Workspace-relative path (`crates/tensor/Cargo.toml`).
+    pub path: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Loads `Cargo.toml` plus every `crates/*/Cargo.toml` under `root`,
+/// sorted by path for deterministic reports.
+///
+/// # Errors
+///
+/// Returns the underlying IO error with the offending path.
+pub fn load_manifests(root: &Path) -> Result<Vec<Manifest>, String> {
+    let mut paths = vec!["Cargo.toml".to_owned()];
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+        if entry.path().join("Cargo.toml").is_file() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    paths.extend(names.iter().map(|n| format!("crates/{n}/Cargo.toml")));
+    let mut out = Vec::new();
+    for p in paths {
+        let text = std::fs::read_to_string(root.join(&p))
+            .map_err(|e| format!("{p}: {e}"))?;
+        out.push(Manifest { path: p, text });
+    }
+    Ok(out)
+}
+
+/// Checks the dependency closure across the given manifests.
+pub fn check_manifests(manifests: &[Manifest]) -> Vec<Violation> {
+    let members: Vec<String> = manifests
+        .iter()
+        .filter_map(|m| package_name(&m.text))
+        .collect();
+    let mut out = Vec::new();
+    for m in manifests {
+        check_one(m, &members, &mut out);
+    }
+    out
+}
+
+fn check_one(m: &Manifest, members: &[String], out: &mut Vec<Violation>) {
+    let mut section = String::new();
+    for (idx, raw) in m.text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            section = header.trim_end_matches(']').trim().to_owned();
+            // `[dependencies.foo]` sub-table: validate the name here; the
+            // body keys are checked as they stream past below.
+            if let Some(name) = is_dep_section(&section) {
+                if !name.is_empty() {
+                    check_name(m, line_no, raw, unquote(name), members, out);
+                }
+            }
+            continue;
+        }
+        let Some(sub) = is_dep_section(&section) else { continue };
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let value = value.trim();
+        if sub.is_empty() {
+            // `name = …` or `name.workspace = true` inside a dep section.
+            let (name, dotted) = match key.split_once('.') {
+                Some((n, rest)) => (unquote(n), Some(rest.trim())),
+                None => (unquote(key), None),
+            };
+            check_name(m, line_no, raw, name, members, out);
+            match dotted {
+                Some("workspace") => {} // `foo.workspace = true` — hermetic.
+                Some(other) => check_source_key(m, line_no, raw, name, other, out),
+                None => check_value(m, line_no, raw, name, value, out),
+            }
+        } else {
+            // Inside `[dependencies.foo]`: each key is a source attribute.
+            check_source_key(m, line_no, raw, unquote(sub), key, out);
+        }
+    }
+}
+
+/// A dependency name must be a workspace member.
+fn check_name(
+    m: &Manifest,
+    line: u32,
+    raw: &str,
+    name: &str,
+    members: &[String],
+    out: &mut Vec<Violation>,
+) {
+    if !members.iter().any(|mem| mem == name) {
+        out.push(violation(
+            m,
+            line,
+            raw,
+            format!("dependency '{name}' is not a workspace member — the build must stay registry-free"),
+        ));
+    }
+}
+
+/// Keys that point a dependency outside the workspace.
+fn check_source_key(
+    m: &Manifest,
+    line: u32,
+    raw: &str,
+    name: &str,
+    key: &str,
+    out: &mut Vec<Violation>,
+) {
+    if matches!(key, "git" | "registry" | "registry-index" | "branch" | "tag" | "rev") {
+        out.push(violation(
+            m,
+            line,
+            raw,
+            format!("dependency '{name}' uses '{key}', an out-of-workspace source"),
+        ));
+    }
+}
+
+/// Validates an inline dependency value: must carry `path` or
+/// `workspace = true`; a bare version string is a registry fetch.
+fn check_value(
+    m: &Manifest,
+    line: u32,
+    raw: &str,
+    name: &str,
+    value: &str,
+    out: &mut Vec<Violation>,
+) {
+    if value.starts_with('"') || value.starts_with('\'') {
+        out.push(violation(
+            m,
+            line,
+            raw,
+            format!("dependency '{name}' pins a registry version; use a workspace path dependency"),
+        ));
+        return;
+    }
+    if value.starts_with('{') {
+        let has = |k: &str| {
+            value
+                .trim_start_matches('{')
+                .split(',')
+                .any(|part| part.split('=').next().map(str::trim) == Some(k))
+        };
+        for bad in ["git", "registry", "registry-index"] {
+            if has(bad) {
+                out.push(violation(
+                    m,
+                    line,
+                    raw,
+                    format!("dependency '{name}' uses '{bad}', an out-of-workspace source"),
+                ));
+                return;
+            }
+        }
+        if !has("path") && !has("workspace") {
+            out.push(violation(
+                m,
+                line,
+                raw,
+                format!("dependency '{name}' lacks 'path'/'workspace = true'; it would resolve to a registry"),
+            ));
+        }
+    }
+}
+
+fn violation(m: &Manifest, line: u32, raw: &str, message: String) -> Violation {
+    Violation {
+        lint: "H001",
+        file: m.path.clone(),
+        line,
+        message,
+        excerpt: raw.trim().to_owned(),
+        suppressed: false,
+        reason: None,
+    }
+}

@@ -1,0 +1,495 @@
+//! Hand-written Rust surface lexer for the lint engine.
+//!
+//! The lint catalog only needs a token stream that is *faithful about what
+//! is code and what is not*: identifiers inside string literals, comments,
+//! or doc examples must never trigger a lint, `'a` must lex as a lifetime
+//! while `'a'` lexes as a character literal, and `/* /* */ */` must nest.
+//! This module provides exactly that — a lossy but sound tokenizer that
+//! keeps identifiers, punctuation, literals, and line comments (the
+//! carrier for `rkvc-allow` suppressions), each tagged with its 1-based
+//! source line.
+//!
+//! It deliberately does **not** build an AST: the lints are token-pattern
+//! checks plus a region tracker (see [`test_mask`]) that marks
+//! `#[cfg(test)]` items and `mod tests { .. }` bodies so test-only code is
+//! exempt from the library-hygiene lints.
+
+/// A lexed token's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Lifetime or loop label (`'a`, `'static`), without the quote.
+    Lifetime(String),
+    /// Character or byte literal (`'x'`, `'\n'`, `b'0'`).
+    CharLit,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// Numeric literal.
+    NumLit,
+    /// Single punctuation character (`{`, `}`, `#`, `!`, `:`, …).
+    Punct(char),
+    /// Line comment text (everything after `//`, including doc comments).
+    LineComment(String),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Payload.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Lexing failure (unterminated comment/string), with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What was left open.
+    pub what: &'static str,
+    /// 1-based line where the construct started.
+    pub line: u32,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unterminated {} starting on line {}", self.what, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes Rust source.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on an unterminated block comment, string, or
+/// character literal — anything else lexes (unknown characters become
+/// [`Tok::Punct`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let line = lx.line;
+        match c {
+            c if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek(1) == Some('/') => {
+                lx.bump();
+                lx.bump();
+                let mut text = String::new();
+                while let Some(c) = lx.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    lx.bump();
+                }
+                out.push(Token {
+                    tok: Tok::LineComment(text),
+                    line,
+                });
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump();
+                lx.bump();
+                let mut depth = 1u32;
+                loop {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(_), _) => {
+                            lx.bump();
+                        }
+                        (None, _) => {
+                            return Err(LexError {
+                                what: "block comment",
+                                line,
+                            })
+                        }
+                    }
+                }
+            }
+            '\'' => {
+                lex_quote(&mut lx, &mut out, line)?;
+            }
+            '"' => {
+                lex_string(&mut lx, line)?;
+                out.push(Token {
+                    tok: Tok::StrLit,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut ident = String::new();
+                while let Some(c) = lx.peek(0) {
+                    if is_ident_continue(c) {
+                        ident.push(c);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // String-literal prefixes: r"", r#""#, b"", br#""#, c"",
+                // cr#""#, plus byte chars b'x'.
+                let next = lx.peek(0);
+                let raw_capable = matches!(ident.as_str(), "r" | "br" | "cr");
+                let plain_capable = matches!(ident.as_str(), "b" | "c");
+                if raw_capable && matches!(next, Some('"') | Some('#')) {
+                    if lex_raw_string(&mut lx, line)? {
+                        out.push(Token {
+                            tok: Tok::StrLit,
+                            line,
+                        });
+                        continue;
+                    }
+                    // Not actually a raw string (e.g. `r #[...]` cannot
+                    // occur, but `br#` in macros could): fall through.
+                    out.push(Token {
+                        tok: Tok::Ident(ident),
+                        line,
+                    });
+                    continue;
+                }
+                if plain_capable && next == Some('"') {
+                    lex_string(&mut lx, line)?;
+                    out.push(Token {
+                        tok: Tok::StrLit,
+                        line,
+                    });
+                    continue;
+                }
+                if ident == "b" && next == Some('\'') {
+                    lex_quote(&mut lx, &mut out, line)?;
+                    continue;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Digits, type suffixes, hex/underscores; one optional
+                // fraction part. `0..10` stops before the range dots.
+                lx.bump();
+                while let Some(c) = lx.peek(0) {
+                    if is_ident_continue(c) {
+                        lx.bump();
+                    } else if c == '.'
+                        && lx.peek(1).map_or(false, |d| d.is_ascii_digit())
+                    {
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::NumLit,
+                    line,
+                });
+            }
+            other => {
+                lx.bump();
+                out.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lexes from a `'`: either a char literal or a lifetime/label.
+fn lex_quote(lx: &mut Lexer, out: &mut Vec<Token>, line: u32) -> Result<(), LexError> {
+    lx.bump(); // the opening '
+    match lx.peek(0) {
+        Some('\\') => {
+            // Escaped char literal: skip the escape, then scan to the
+            // closing quote (covers '\u{1F600}').
+            lx.bump();
+            lx.bump();
+            loop {
+                match lx.bump() {
+                    Some('\'') => break,
+                    Some(_) => {}
+                    None => {
+                        return Err(LexError {
+                            what: "character literal",
+                            line,
+                        })
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::CharLit,
+                line,
+            });
+        }
+        Some(c) if lx.peek(1) == Some('\'') => {
+            // 'x' — a one-scalar char literal. ''' (c == '\'') also lands
+            // here and is invalid Rust; treat as a char literal anyway.
+            let _ = c;
+            lx.bump();
+            lx.bump();
+            out.push(Token {
+                tok: Tok::CharLit,
+                line,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            // Lifetime or loop label: 'a, 'static, '_.
+            let mut name = String::new();
+            while let Some(c) = lx.peek(0) {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                tok: Tok::Lifetime(name),
+                line,
+            });
+        }
+        Some(_) => {
+            // Some other single char then no closing quote — emit as punct
+            // to stay lossless-ish; real Rust never reaches this.
+            out.push(Token {
+                tok: Tok::Punct('\''),
+                line,
+            });
+        }
+        None => {
+            return Err(LexError {
+                what: "character literal",
+                line,
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Lexes a `"…"` body (cursor on the opening quote), honoring `\` escapes.
+fn lex_string(lx: &mut Lexer, line: u32) -> Result<(), LexError> {
+    lx.bump(); // opening "
+    loop {
+        match lx.bump() {
+            Some('"') => return Ok(()),
+            Some('\\') => {
+                lx.bump();
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    what: "string literal",
+                    line,
+                })
+            }
+        }
+    }
+}
+
+/// Lexes a raw string body (cursor on `#` or `"` after the `r`/`br`/`cr`
+/// prefix). Returns `false` without consuming if it isn't one (a lone `#`
+/// not followed by `"`).
+fn lex_raw_string(lx: &mut Lexer, line: u32) -> Result<bool, LexError> {
+    let mut hashes = 0usize;
+    while lx.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if lx.peek(hashes) != Some('"') {
+        return Ok(false);
+    }
+    for _ in 0..=hashes {
+        lx.bump(); // the #s and the opening "
+    }
+    // Scan for `"` followed by `hashes` #s.
+    loop {
+        match lx.bump() {
+            Some('"') => {
+                let mut matched = 0usize;
+                while matched < hashes && lx.peek(0) == Some('#') {
+                    lx.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return Ok(true);
+                }
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    what: "raw string literal",
+                    line,
+                })
+            }
+        }
+    }
+}
+
+/// Marks which tokens sit in test-only code.
+///
+/// A token is test code when it is inside the braces of an item annotated
+/// `#[cfg(test)]` (attributes stacked above it included), or inside a
+/// `mod tests { … }` body. Attribute arguments are bracket-matched, so
+/// `#[cfg(all(test, unix))]` is recognized too.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // `#[…]` attribute: scan its contents for a `test` ident.
+        if tokens[i].tok == Tok::Punct('#')
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+        {
+            let (attr_end, has_test) = scan_attribute(tokens, i + 1);
+            if has_test {
+                mark_item(tokens, &mut mask, attr_end);
+            }
+            i = attr_end;
+            continue;
+        }
+        // `mod tests {` without an attribute.
+        if tokens[i].tok == Tok::Ident("mod".to_owned())
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Ident("tests".to_owned()))
+            && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('{'))
+        {
+            let end = match_brace(tokens, i + 2);
+            for m in mask.iter_mut().take(end).skip(i) {
+                *m = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans `[…]` starting at the `[` index; returns (index past `]`, whether
+/// a bare `test` ident occurs inside).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut negated = false;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    // `cfg(not(test))` guards *production* code.
+                    return (i + 1, has_test && !negated);
+                }
+            }
+            Tok::Ident(ref id) if id == "test" => has_test = true,
+            Tok::Ident(ref id) if id == "not" => negated = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (tokens.len(), has_test && !negated)
+}
+
+/// Marks the item starting at `start` (after its attributes) as test code:
+/// everything through the matching `}` of its first brace, or through a
+/// terminating `;` if one comes first (e.g. `#[cfg(test)] use x;`).
+fn mark_item(tokens: &[Token], mask: &mut [bool], start: usize) {
+    let mut i = start;
+    // Skip stacked attributes between the cfg(test) and the item.
+    while i < tokens.len()
+        && tokens[i].tok == Tok::Punct('#')
+        && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('['))
+    {
+        let (end, _) = scan_attribute(tokens, i + 1);
+        i = end;
+    }
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('{') => {
+                let end = match_brace(tokens, j);
+                for m in mask.iter_mut().take(end).skip(start) {
+                    *m = true;
+                }
+                return;
+            }
+            Tok::Punct(';') => {
+                for m in mask.iter_mut().take(j + 1).skip(start) {
+                    *m = true;
+                }
+                return;
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+/// Index one past the `}` matching the `{` at `open`.
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}

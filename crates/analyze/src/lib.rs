@@ -1,0 +1,93 @@
+//! `rkvc-analyze` — the workspace's standing static-analysis gate.
+//!
+//! The repository's claim to reproducing *Rethinking KV Cache
+//! Compression* rests on results being a pure function of the source
+//! tree. The hermetic build (PR 1) removed external crates; this tool
+//! keeps the tree that way *and* mechanically enforces the determinism
+//! and hygiene invariants the golden `results/` files depend on:
+//!
+//! - [`lints`] — the catalog (D001 wall-clock, D002 unordered maps, D003
+//!   RNG bypass, E001 panics in serving-path crates, A001 malformed
+//!   suppressions) and the per-file scanner.
+//! - [`lexer`] — the hand-written Rust lexer behind it: nested block
+//!   comments, raw strings, char-vs-lifetime disambiguation, and
+//!   `#[cfg(test)]` / `mod tests` region tracking.
+//! - [`hermetic`] — H001, the manifest-level dependency-closure check
+//!   (the portable re-implementation of gate 1's `cargo tree | awk`).
+//! - [`report`] — `file:line` diagnostics plus the machine-readable
+//!   report written to `results/analyze.json`.
+//!
+//! The binary (`cargo run -p rkvc-analyze`) runs as **gate 0** of
+//! `./scripts/check_hermetic.sh` and exits non-zero on any unsuppressed
+//! violation. Violations are suppressed only by
+//! `// rkvc-allow(LINT_ID): reason` with a written reason.
+
+pub mod hermetic;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use lints::Violation;
+use report::Report;
+use std::path::{Path, PathBuf};
+
+/// The source roots the scanner walks, relative to the workspace root.
+/// `crates/*/src` is expanded by [`scan_workspace`].
+pub const EXTRA_ROOTS: [&str; 3] = ["src", "tests", "examples"];
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// reports. Missing directories contribute nothing.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Every Rust file the lints cover: `crates/*/src/**`, `src/**`,
+/// `tests/**`, `examples/**` — sorted, workspace-relative.
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for c in crates {
+            dirs.push(c.join("src"));
+        }
+    }
+    dirs.extend(EXTRA_ROOTS.iter().map(|r| root.join(r)));
+    let mut files = Vec::new();
+    for d in dirs {
+        collect_rs(&d, &mut files);
+    }
+    files
+}
+
+/// Runs every lint over the workspace at `root`.
+///
+/// # Errors
+///
+/// Returns a message if a source file or manifest cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    let files = source_files(root);
+    let mut violations: Vec<Violation> = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(lints::scan_source(&rel, &text));
+    }
+    let manifests = hermetic::load_manifests(root)?;
+    violations.extend(hermetic::check_manifests(&manifests));
+    Ok(Report::new(files.len(), manifests.len(), violations))
+}

@@ -1,0 +1,306 @@
+//! The lint catalog and the per-file scan.
+//!
+//! | ID   | Invariant |
+//! |------|-----------|
+//! | D001 | No wall-clock reads (`Instant`, `SystemTime`, `UNIX_EPOCH`) outside `crates/bench` — experiment outputs must be a pure function of the source tree. |
+//! | D002 | No `HashMap`/`HashSet` in non-test code — hash iteration order leaks into reports; use `BTreeMap`/`BTreeSet` or sort before emission. |
+//! | D003 | No RNG construction outside `rkvc_tensor::det`/`rng`: no external RNG crates anywhere, and no `SeededRng::new`/`splitmix64` in non-test code outside `crates/tensor/src` (call `rkvc_tensor::seeded_rng`). |
+//! | E001 | No `unwrap()`/`expect()`/`panic!` in non-test library code of `rkvc-kvcache` and `rkvc-serving` — the serving stack must degrade via `Result`, not abort. |
+//! | H001 | Every manifest dependency resolves inside the workspace (see [`crate::hermetic`]). |
+//! | A001 | An `rkvc-allow` suppression must name a known lint and carry a reason; a malformed one is itself a violation and suppresses nothing. |
+//!
+//! A violation is suppressed by `// rkvc-allow(LINT_ID): reason` on the
+//! same line, or on the line directly above when the comment stands alone.
+
+use crate::lexer::{lex, test_mask, Tok};
+
+/// All catalog lint ids, in report order.
+pub const LINT_IDS: [&str; 6] = ["D001", "D002", "D003", "E001", "H001", "A001"];
+
+/// One reported finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Lint id (`D001`, …).
+    pub lint: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was found.
+    pub message: String,
+    /// The trimmed source line.
+    pub excerpt: String,
+    /// Whether a valid `rkvc-allow` covers it.
+    pub suppressed: bool,
+    /// The suppression's reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+impl Violation {
+    /// `file:line: [lint] message` — the human diagnostic header.
+    pub fn header(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// A parsed `rkvc-allow(ID): reason` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The lint it targets.
+    pub lint: String,
+    /// The justification after the colon.
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line it covers (same line, or the next when the comment stands
+    /// alone).
+    pub covers: u32,
+}
+
+/// Outcome of parsing one line comment for a suppression.
+enum AllowParse {
+    /// No `rkvc-allow` marker present.
+    None,
+    /// Well-formed suppression.
+    Ok { lint: String, reason: String },
+    /// Marker present but malformed (A001), with a description.
+    Bad(String),
+}
+
+/// Parses `rkvc-allow(LINT_ID): reason` out of a line comment's text.
+///
+/// The directive must *lead* the comment (`// rkvc-allow(...)`), so prose
+/// and doc examples that merely mention the syntax never parse as
+/// suppressions.
+fn parse_allow(text: &str) -> AllowParse {
+    let lead = text.trim_start();
+    if !lead.starts_with("rkvc-allow") {
+        return AllowParse::None;
+    }
+    let rest = &lead["rkvc-allow".len()..];
+    let Some(rest) = rest.strip_prefix('(') else {
+        return AllowParse::Bad("missing '(LINT_ID)' after rkvc-allow".to_owned());
+    };
+    let Some(close) = rest.find(')') else {
+        return AllowParse::Bad("unclosed '(' in rkvc-allow".to_owned());
+    };
+    let lint = rest[..close].trim().to_owned();
+    if !LINT_IDS.contains(&lint.as_str()) {
+        return AllowParse::Bad(format!("unknown lint id '{lint}' in rkvc-allow"));
+    }
+    let tail = &rest[close + 1..];
+    let Some(reason) = tail.trim_start().strip_prefix(':') else {
+        return AllowParse::Bad("missing ': reason' after rkvc-allow(ID)".to_owned());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return AllowParse::Bad("empty reason in rkvc-allow — every suppression must say why".to_owned());
+    }
+    AllowParse::Ok {
+        lint,
+        reason: reason.to_owned(),
+    }
+}
+
+/// Which lint scopes a file falls into, derived from its workspace path.
+#[derive(Debug, Clone, Copy)]
+struct FileScope {
+    /// `crates/bench/**` — the only place wall-clock reads are allowed.
+    bench: bool,
+    /// `crates/kvcache/src/**` or `crates/serving/src/**` — E001 applies.
+    panic_free: bool,
+    /// `crates/tensor/src/**` — home of the RNG substrate (D003 exempt).
+    tensor: bool,
+    /// Workspace `tests/**` — entirely test code.
+    test_file: bool,
+}
+
+fn scope_of(path: &str) -> FileScope {
+    FileScope {
+        bench: path.starts_with("crates/bench/"),
+        panic_free: path.starts_with("crates/kvcache/src/")
+            || path.starts_with("crates/serving/src/"),
+        tensor: path.starts_with("crates/tensor/src/"),
+        test_file: path.starts_with("tests/"),
+    }
+}
+
+/// External RNG entry points that bypass the deterministic substrate.
+const RNG_BYPASS_IDENTS: [&str; 8] = [
+    "thread_rng",
+    "ThreadRng",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "from_entropy",
+    "getrandom",
+    "RandomState",
+];
+
+/// Wall-clock identifiers.
+const CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "UNIX_EPOCH"];
+
+/// Scans one Rust source file. `path` must be workspace-relative with `/`
+/// separators; `src` is the file contents.
+pub fn scan_source(path: &str, src: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let excerpt = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    };
+    let scope = scope_of(path);
+
+    let tokens = match lex(src) {
+        Ok(t) => t,
+        Err(e) => {
+            return vec![Violation {
+                lint: "A001",
+                file: path.to_owned(),
+                line: e.line,
+                message: format!("file does not lex: {e}"),
+                excerpt: excerpt(e.line),
+                suppressed: false,
+                reason: None,
+            }]
+        }
+    };
+    let in_test = test_mask(&tokens);
+
+    // Pass 1: collect suppressions (and flag malformed ones).
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut raw = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::LineComment(text) = &t.tok else { continue };
+        match parse_allow(text) {
+            AllowParse::None => {}
+            AllowParse::Bad(msg) => raw.push(Violation {
+                lint: "A001",
+                file: path.to_owned(),
+                line: t.line,
+                message: msg,
+                excerpt: excerpt(t.line),
+                suppressed: false,
+                reason: None,
+            }),
+            AllowParse::Ok { lint, reason } => {
+                // A standalone comment covers the next line; a trailing
+                // comment covers its own line.
+                let standalone = !tokens[..i]
+                    .iter()
+                    .rev()
+                    .take_while(|p| p.line == t.line)
+                    .any(|p| !matches!(p.tok, Tok::LineComment(_)));
+                suppressions.push(Suppression {
+                    covers: if standalone { t.line + 1 } else { t.line },
+                    lint,
+                    reason,
+                    line: t.line,
+                });
+            }
+        }
+    }
+
+    // Pass 2: token-pattern lints.
+    let ident_at = |i: usize| -> Option<&str> {
+        match &tokens[i].tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct_at =
+        |i: usize, c: char| -> bool { tokens.get(i).map(|t| &t.tok) == Some(&Tok::Punct(c)) };
+
+    for i in 0..tokens.len() {
+        let Some(id) = ident_at(i) else { continue };
+        let line = tokens[i].line;
+        let mut push = |lint: &'static str, message: String| {
+            raw.push(Violation {
+                lint,
+                file: path.to_owned(),
+                line,
+                message,
+                excerpt: excerpt(line),
+                suppressed: false,
+                reason: None,
+            });
+        };
+
+        // D001 — wall-clock reads outside the bench harness.
+        if !scope.bench && CLOCK_IDENTS.contains(&id) {
+            push(
+                "D001",
+                format!("wall-clock type `{id}` outside crates/bench breaks run-to-run determinism"),
+            );
+            continue;
+        }
+
+        // D002 — unordered containers in non-test code.
+        if !scope.test_file
+            && !in_test[i]
+            && (id == "HashMap" || id == "HashSet")
+        {
+            push(
+                "D002",
+                format!("`{id}` iteration order is nondeterministic; use BTreeMap/BTreeSet or sort before emission"),
+            );
+            continue;
+        }
+
+        // D003 — RNG bypasses.
+        if RNG_BYPASS_IDENTS.contains(&id) {
+            push(
+                "D003",
+                format!("`{id}` bypasses the deterministic rkvc_tensor::det RNG substrate"),
+            );
+            continue;
+        }
+        if !scope.tensor && !scope.test_file && !in_test[i] {
+            let seeded_new = id == "SeededRng"
+                && punct_at(i + 1, ':')
+                && punct_at(i + 2, ':')
+                && ident_at(i + 3) == Some("new");
+            if seeded_new || id == "splitmix64" {
+                push(
+                    "D003",
+                    "construct RNGs via rkvc_tensor::seeded_rng so every stream is seed-auditable"
+                        .to_owned(),
+                );
+                continue;
+            }
+        }
+
+        // E001 — panicking calls in the panic-free crates.
+        if scope.panic_free && !in_test[i] {
+            let call = punct_at(i + 1, '(');
+            let bang = punct_at(i + 1, '!');
+            let hit = match id {
+                "unwrap" | "expect" if call => true,
+                "panic" if bang => true,
+                _ => false,
+            };
+            if hit {
+                push(
+                    "E001",
+                    format!("`{id}` in non-test library code of a panic-free crate; propagate a typed error instead"),
+                );
+            }
+        }
+    }
+
+    // Pass 3: apply suppressions.
+    for v in &mut raw {
+        if v.lint == "A001" {
+            continue; // Never suppressable.
+        }
+        if let Some(s) = suppressions
+            .iter()
+            .find(|s| s.lint == v.lint && s.covers == v.line)
+        {
+            v.suppressed = true;
+            v.reason = Some(s.reason.clone());
+        }
+    }
+    raw
+}

@@ -1,0 +1,41 @@
+//! Tier-1 gate 0: scan the workspace, print diagnostics, persist
+//! `results/analyze.json`, and exit non-zero on unsuppressed violations.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The binary lives at crates/analyze; the workspace root is two up.
+    // Running from a checkout via `cargo run -p rkvc-analyze` therefore
+    // needs no arguments; an explicit root can be passed for testing.
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let report = match rkvc_analyze::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rkvc-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_human());
+
+    let results_dir = root.join("results");
+    let json_path = results_dir.join("analyze.json");
+    let body = report.to_json().to_pretty_string() + "\n";
+    if let Err(e) = std::fs::create_dir_all(&results_dir)
+        .and_then(|()| std::fs::write(&json_path, body))
+    {
+        eprintln!("rkvc-analyze: writing {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    if report.unsuppressed().next().is_some() {
+        eprintln!("rkvc-analyze: FAILED — fix the findings above or add `// rkvc-allow(LINT_ID): reason`");
+        ExitCode::FAILURE
+    } else {
+        println!("rkvc-analyze: clean");
+        ExitCode::SUCCESS
+    }
+}

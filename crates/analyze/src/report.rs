@@ -1,0 +1,115 @@
+//! Diagnostic rendering: human `file:line` output plus the machine
+//! report persisted at `results/analyze.json`.
+
+use crate::lints::{Violation, LINT_IDS};
+use rkvc_tensor::json::JsonValue;
+
+/// The full scan outcome.
+#[derive(Debug)]
+pub struct Report {
+    /// Rust files scanned.
+    pub files_scanned: usize,
+    /// Manifests checked for H001.
+    pub manifests_checked: usize,
+    /// Every finding, suppressed or not, sorted by (file, line, lint).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Builds a report, sorting findings deterministically.
+    pub fn new(
+        files_scanned: usize,
+        manifests_checked: usize,
+        mut violations: Vec<Violation>,
+    ) -> Self {
+        violations.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
+        });
+        Report {
+            files_scanned,
+            manifests_checked,
+            violations,
+        }
+    }
+
+    /// Findings not covered by a valid suppression.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.suppressed)
+    }
+
+    /// Unsuppressed count for a lint id.
+    pub fn count(&self, lint: &str) -> usize {
+        self.unsuppressed().filter(|v| v.lint == lint).count()
+    }
+
+    /// Human-readable diagnostics: one block per unsuppressed finding and
+    /// a per-lint summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in self.unsuppressed() {
+            out.push_str(&v.header());
+            out.push('\n');
+            if !v.excerpt.is_empty() {
+                out.push_str("    | ");
+                out.push_str(&v.excerpt);
+                out.push('\n');
+            }
+        }
+        let suppressed = self.violations.iter().filter(|v| v.suppressed).count();
+        let total: usize = LINT_IDS.iter().map(|id| self.count(id)).sum();
+        out.push_str(&format!(
+            "rkvc-analyze: {} files + {} manifests scanned; {} violation(s) ({} suppressed)",
+            self.files_scanned, self.manifests_checked, total, suppressed
+        ));
+        out.push('\n');
+        for id in LINT_IDS {
+            let n = self.count(id);
+            if n > 0 {
+                out.push_str(&format!("  {id}: {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// The machine report for `results/analyze.json`.
+    pub fn to_json(&self) -> JsonValue {
+        let violations = JsonValue::Array(
+            self.violations
+                .iter()
+                .map(|v| {
+                    JsonValue::object(vec![
+                        ("lint", JsonValue::Str(v.lint.to_owned())),
+                        ("file", JsonValue::Str(v.file.clone())),
+                        ("line", JsonValue::Int(v.line as i64)),
+                        ("message", JsonValue::Str(v.message.clone())),
+                        ("excerpt", JsonValue::Str(v.excerpt.clone())),
+                        ("suppressed", JsonValue::Bool(v.suppressed)),
+                        (
+                            "reason",
+                            match &v.reason {
+                                Some(r) => JsonValue::Str(r.clone()),
+                                None => JsonValue::Null,
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let counts = JsonValue::Object(
+            LINT_IDS
+                .iter()
+                .map(|id| ((*id).to_owned(), JsonValue::Int(self.count(id) as i64)))
+                .collect(),
+        );
+        JsonValue::object(vec![
+            ("tool", JsonValue::Str("rkvc-analyze".to_owned())),
+            ("files_scanned", JsonValue::Int(self.files_scanned as i64)),
+            (
+                "manifests_checked",
+                JsonValue::Int(self.manifests_checked as i64),
+            ),
+            ("unsuppressed_by_lint", counts),
+            ("violations", violations),
+        ])
+    }
+}

@@ -1,0 +1,18 @@
+// One planted violation per source lint id (D001, D002, D003, E001,
+// A001); H001 is manifest-level — see the inline manifests in
+// planted_fixture.rs. This file is a test fixture: it is never compiled
+// and never scanned by gate 0 (the analyzer only walks src trees).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn planted() -> u128 {
+    let t = Instant::now();
+    let m: HashMap<u32, u32> = HashMap::new();
+    let mut rng = thread_rng();
+    let v = m.get(&0).copied().unwrap();
+    // rkvc-allow(FAKE): not a real lint id
+    // rkvc-allow(E001): fixture demonstrating a valid standalone suppression
+    let w = m.get(&1).copied().expect("covered by the line above");
+    t.elapsed().as_nanos() + u128::from(v + w)
+}

@@ -1,0 +1,166 @@
+//! Golden tests for the hand-written lexer: the constructs that make a
+//! naive text scan unsound — raw strings holding comment markers, nested
+//! block comments, lifetimes vs char literals — plus the suppression
+//! grammar and `#[cfg(test)]` region tracking.
+
+use rkvc_analyze::lexer::{lex, test_mask, Tok};
+use rkvc_analyze::lints::scan_source;
+
+fn kinds(src: &str) -> Vec<Tok> {
+    lex(src).expect("fixture lexes").into_iter().map(|t| t.tok).collect()
+}
+
+#[test]
+fn raw_string_hides_line_comment_markers() {
+    let toks = kinds(r##"let s = r#"// not a comment"#;"##);
+    assert_eq!(
+        toks,
+        vec![
+            Tok::Ident("let".to_owned()),
+            Tok::Ident("s".to_owned()),
+            Tok::Punct('='),
+            Tok::StrLit,
+            Tok::Punct(';'),
+        ]
+    );
+}
+
+#[test]
+fn raw_string_hash_counting_passes_inner_terminators() {
+    // The `"#` inside must not close an `r##"…"##` string.
+    let toks = kinds(r####"let s = r##"has "# inside"##;"####);
+    assert_eq!(toks.iter().filter(|t| **t == Tok::StrLit).count(), 1);
+    assert_eq!(*toks.last().unwrap(), Tok::Punct(';'));
+    // Byte raw strings take the same path.
+    let toks = kinds(r##"br#"bytes // too"#"##);
+    assert_eq!(toks, vec![Tok::StrLit]);
+}
+
+#[test]
+fn nested_block_comments_are_skipped_entirely() {
+    let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+    assert_eq!(toks[0], Tok::Ident("fn".to_owned()));
+    assert!(!toks.contains(&Tok::Ident("inner".to_owned())));
+}
+
+#[test]
+fn unterminated_nested_block_comment_is_an_error() {
+    // Depth 2 opened, only depth 1 closed.
+    let err = lex("/* /* */").unwrap_err();
+    assert_eq!(err.what, "block comment");
+    assert_eq!(err.line, 1);
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes = toks
+        .iter()
+        .filter(|t| **t == Tok::Lifetime("a".to_owned()))
+        .count();
+    let chars = toks.iter().filter(|t| **t == Tok::CharLit).count();
+    assert_eq!(lifetimes, 2, "<'a> and &'a are lifetimes");
+    assert_eq!(chars, 1, "'a' is a char literal");
+}
+
+#[test]
+fn escaped_and_byte_char_literals() {
+    let toks = kinds(r"let a = b'x'; let b = '\n'; let c = '\u{1F600}';");
+    assert_eq!(toks.iter().filter(|t| **t == Tok::CharLit).count(), 3);
+}
+
+#[test]
+fn tokens_carry_one_based_lines() {
+    let toks = lex("a\n\nb").unwrap();
+    assert_eq!(toks[0].line, 1);
+    assert_eq!(toks[1].line, 3);
+}
+
+#[test]
+fn cfg_test_and_mod_tests_regions_are_masked() {
+    let src = "fn prod() { x(); }\n\
+               #[cfg(test)]\n\
+               mod t { fn inner() { y(); } }\n\
+               mod tests { fn z() {} }\n\
+               fn prod2() {}";
+    let toks = lex(src).unwrap();
+    let mask = test_mask(&toks);
+    let in_test = |name: &str| {
+        let i = toks
+            .iter()
+            .position(|t| t.tok == Tok::Ident(name.to_owned()))
+            .unwrap_or_else(|| panic!("{name} missing"));
+        mask[i]
+    };
+    assert!(!in_test("x"), "production body");
+    assert!(in_test("y"), "#[cfg(test)] mod body");
+    assert!(in_test("z"), "bare `mod tests` body");
+    assert!(!in_test("prod2"), "code after a test region");
+}
+
+#[test]
+fn cfg_not_test_guards_production_code() {
+    let src = "#[cfg(not(test))]\nfn prod() { x(); }";
+    let toks = lex(src).unwrap();
+    let mask = test_mask(&toks);
+    assert!(mask.iter().all(|&m| !m), "cfg(not(test)) is production code");
+}
+
+// ---- Suppression grammar (via scan_source on a panic-free path) ----
+
+const PANIC_FREE: &str = "crates/kvcache/src/snippet.rs";
+
+#[test]
+fn trailing_suppression_covers_its_own_line() {
+    let src = "fn f(o: Option<u32>) -> u32 {\n    o.unwrap() // rkvc-allow(E001): caller validated\n}\n";
+    let vs = scan_source(PANIC_FREE, src);
+    assert_eq!(vs.len(), 1);
+    assert!(vs[0].suppressed);
+    assert_eq!(vs[0].reason.as_deref(), Some("caller validated"));
+}
+
+#[test]
+fn standalone_suppression_covers_only_the_next_line() {
+    let src = "fn f(o: Option<u32>) -> u32 {\n    // rkvc-allow(E001): only the next line\n    let a = o.unwrap();\n    a + o.unwrap()\n}\n";
+    let vs = scan_source(PANIC_FREE, src);
+    let suppressed: Vec<bool> = vs.iter().map(|v| v.suppressed).collect();
+    assert_eq!(suppressed, vec![true, false], "line 4 is not covered");
+}
+
+#[test]
+fn mismatched_lint_id_does_not_suppress() {
+    let src = "// rkvc-allow(D001): wrong lint\nfn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let vs = scan_source(PANIC_FREE, src);
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].lint, "E001");
+    assert!(!vs[0].suppressed);
+}
+
+#[test]
+fn prose_mentions_of_the_directive_are_ignored() {
+    let src = "//! Suppress via `rkvc-allow(E001): reason` comments.\nfn ok() {}\n";
+    let vs = scan_source(PANIC_FREE, src);
+    assert!(vs.is_empty(), "doc prose must not parse as a directive: {vs:?}");
+}
+
+#[test]
+fn malformed_directives_are_a001_and_unsuppressable() {
+    for (src, what) in [
+        ("// rkvc-allow(E001) no colon\n", "missing ': reason'"),
+        ("// rkvc-allow(E001):\n", "empty reason"),
+        ("// rkvc-allow(QQQ1): unknown id\n", "unknown lint id"),
+        ("// rkvc-allow E001: no parens\n", "missing '(LINT_ID)'"),
+    ] {
+        let vs = scan_source(PANIC_FREE, src);
+        assert_eq!(vs.len(), 1, "{src:?}");
+        assert_eq!(vs[0].lint, "A001", "{src:?}");
+        assert!(vs[0].message.contains(what), "{src:?} -> {}", vs[0].message);
+        assert!(!vs[0].suppressed);
+    }
+    // A001 cannot be silenced, even by a well-formed A001 suppression.
+    let src = "// rkvc-allow(A001): trying to silence the meta-lint\n// rkvc-allow(BAD): malformed\nfn ok() {}\n";
+    let vs = scan_source(PANIC_FREE, src);
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].lint, "A001");
+    assert!(!vs[0].suppressed, "A001 is never suppressable");
+}

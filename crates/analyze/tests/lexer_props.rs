@@ -1,0 +1,61 @@
+//! Seeded property tests: random concatenations of adversarial fragments
+//! must lex soundly — literal counts match construction, comment markers
+//! inside strings never produce comment tokens, and lexing is
+//! deterministic.
+
+use rkvc_analyze::lexer::{lex, Tok};
+
+/// (source fragment, string literals, char literals, line comments).
+/// Every fragment is self-delimiting, so any concatenation (joined by
+/// spaces) is lexable and its expected counts are the per-fragment sums.
+const FRAGMENTS: &[(&str, usize, usize, usize)] = &[
+    ("plain_ident", 0, 0, 0),
+    ("42.5f32", 0, 0, 0),
+    ("\"plain // not a comment\"", 1, 0, 0),
+    ("\"escaped \\\" quote /* x */\"", 1, 0, 0),
+    ("r\"raw /* not a comment */\"", 1, 0, 0),
+    ("r#\"// hash raw\"#", 1, 0, 0),
+    ("r##\"has \"# inside\"##", 1, 0, 0),
+    ("br#\"bytes // too\"#", 1, 0, 0),
+    ("b\"byte str\"", 1, 0, 0),
+    ("'x'", 0, 1, 0),
+    ("'\\n'", 0, 1, 0),
+    ("b'q'", 0, 1, 0),
+    ("&'a str_ty", 0, 0, 0),
+    ("/* block /* nested */ done */", 0, 0, 0),
+    ("// trailing comment\n", 0, 0, 1),
+];
+
+rkvc_tensor::det_cases! {
+    fn fragment_soup_lexes_with_exact_literal_counts(rng, cases = 200) {
+        let n = rng.gen_range(1usize..12);
+        let mut src = String::new();
+        let (mut strs, mut chars, mut comments) = (0usize, 0usize, 0usize);
+        for _ in 0..n {
+            let &(frag, s, c, l) = rng.choose(FRAGMENTS);
+            src.push_str(frag);
+            src.push(' ');
+            strs += s;
+            chars += c;
+            comments += l;
+        }
+        let toks = lex(&src).expect("fragment soup must lex");
+        let count = |want: &Tok| toks.iter().filter(|t| &t.tok == want).count();
+        assert_eq!(count(&Tok::StrLit), strs, "{src:?}");
+        assert_eq!(count(&Tok::CharLit), chars, "{src:?}");
+        let got_comments = toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::LineComment(_)))
+            .count();
+        assert_eq!(got_comments, comments, "{src:?}");
+    }
+
+    fn lexing_is_deterministic(rng, cases = 50) {
+        let n = rng.gen_range(1usize..20);
+        let src: String = (0..n)
+            .map(|_| rng.choose(FRAGMENTS).0)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(lex(&src), lex(&src));
+    }
+}

@@ -1,0 +1,109 @@
+//! Golden test: the planted fixture must produce exactly one violation
+//! per lint id, each at its exact `file:line`.
+
+use rkvc_analyze::hermetic::{check_manifests, Manifest};
+use rkvc_analyze::lints::scan_source;
+
+const FIXTURE: &str = include_str!("fixtures/planted.rs");
+
+/// The fixture path used for scanning: inside `crates/serving/src`, where
+/// every source lint (D001/D002/D003/E001) is in scope.
+const AS_SERVING: &str = "crates/serving/src/planted.rs";
+
+#[test]
+fn planted_fixture_reports_every_lint_at_exact_lines() {
+    let vs = scan_source(AS_SERVING, FIXTURE);
+    let mut got: Vec<(u32, &str, bool)> =
+        vs.iter().map(|v| (v.line, v.lint, v.suppressed)).collect();
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            (6, "D002", false),  // use ... HashMap
+            (7, "D001", false),  // use ... Instant
+            (10, "D001", false), // Instant::now()
+            (11, "D002", false), // HashMap (type annotation)
+            (11, "D002", false), // HashMap::new()
+            (12, "D003", false), // thread_rng()
+            (13, "E001", false), // .unwrap()
+            (14, "A001", false), // rkvc-allow(FAKE)
+            (16, "E001", true),  // .expect(..) under a valid suppression
+        ]
+    );
+}
+
+#[test]
+fn diagnostics_carry_exact_file_line_headers() {
+    let vs = scan_source(AS_SERVING, FIXTURE);
+    let d003 = vs.iter().find(|v| v.lint == "D003").expect("D003 planted");
+    assert!(
+        d003.header().starts_with("crates/serving/src/planted.rs:12: [D003]"),
+        "got {:?}",
+        d003.header()
+    );
+    assert_eq!(d003.excerpt, "let mut rng = thread_rng();");
+    let suppressed = vs.iter().find(|v| v.suppressed).expect("one suppressed");
+    assert_eq!(
+        suppressed.reason.as_deref(),
+        Some("fixture demonstrating a valid standalone suppression")
+    );
+}
+
+#[test]
+fn bench_scope_permits_wall_clock_but_not_hash_maps() {
+    let vs = scan_source("crates/bench/src/planted.rs", FIXTURE);
+    assert!(vs.iter().all(|v| v.lint != "D001"), "bench may read clocks");
+    assert!(vs.iter().any(|v| v.lint == "D002"), "D002 still applies");
+    // E001 only covers kvcache/serving.
+    assert!(vs.iter().all(|v| v.lint != "E001"));
+}
+
+#[test]
+fn workspace_test_files_are_exempt_from_library_hygiene() {
+    let vs = scan_source("tests/planted.rs", FIXTURE);
+    assert!(vs.iter().all(|v| v.lint != "D002" && v.lint != "E001"));
+    // Clock reads and RNG bypasses stay banned even in tests.
+    assert!(vs.iter().any(|v| v.lint == "D001"));
+    assert!(vs.iter().any(|v| v.lint == "D003"));
+    // Malformed suppressions are reported everywhere.
+    assert!(vs.iter().any(|v| v.lint == "A001"));
+}
+
+#[test]
+fn planted_manifest_reports_h001_at_exact_lines() {
+    let root = Manifest {
+        path: "Cargo.toml".to_owned(),
+        text: concat!(
+            "[package]\n",                                       // 1
+            "name = \"planted\"\n",                              // 2
+            "\n",                                                // 3
+            "[dependencies]\n",                                  // 4
+            "planted-helper = { path = \"../helper\" }\n",       // 5: ok
+            "serde = \"1.0\"\n",                                 // 6: registry pin
+            "rand = { git = \"https://example.invalid/r\" }\n",  // 7: git source
+            "mystery = { version = \"1\" }\n",                   // 8: no path
+        )
+        .to_owned(),
+    };
+    let helper = Manifest {
+        path: "crates/helper/Cargo.toml".to_owned(),
+        text: "[package]\nname = \"planted-helper\"\n".to_owned(),
+    };
+    let vs = check_manifests(&[root, helper]);
+    assert!(vs.iter().all(|v| v.lint == "H001"));
+    let mut lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
+    lines.sort_unstable();
+    // Each bad dependency trips both the membership check and its source
+    // check; the hermetic line 5 trips neither.
+    assert_eq!(lines, vec![6, 6, 7, 7, 8, 8]);
+    assert!(vs
+        .iter()
+        .any(|v| v.line == 6 && v.message.contains("registry version")));
+    assert!(vs.iter().any(|v| v.line == 7 && v.message.contains("'git'")));
+    assert!(vs
+        .iter()
+        .any(|v| v.line == 8 && v.message.contains("lacks 'path'")));
+    assert!(vs
+        .iter()
+        .all(|v| v.file == "Cargo.toml"), "helper manifest is clean");
+}

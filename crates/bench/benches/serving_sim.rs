@@ -59,7 +59,10 @@ fn bench_cluster(h: &mut Harness) {
                     ServerSim::new(2, dep(), algo, 16),
                     ServerSim::new(3, dep(), algo, 16),
                 ];
-                let done = Cluster::new(servers, policy).run(requests(64), &OraclePredictor);
+                let done = Cluster::new(servers, policy)
+                    .expect("four servers")
+                    .run(requests(64), &OraclePredictor)
+                    .expect("sorted arrivals");
                 black_box(done.len())
             })
         });

@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn ids_are_unique() {
         let ids = experiment_ids();
-        let set: std::collections::HashSet<_> = ids.iter().collect();
+        let set: std::collections::BTreeSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len());
     }
 }

@@ -147,7 +147,9 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
             .map(|i| ServerSim::new(i, dep.clone(), CompressionConfig::Fp16, MAX_BATCH))
             .collect();
         let done = Cluster::new(servers, RoutingPolicy::LoadBalance)
-            .run(fp16_requests, &OraclePredictor);
+            .expect("four servers")
+            .run(fp16_requests, &OraclePredictor)
+            .expect("arrivals sorted by construction");
         mean_e2e(&done)
     };
 
@@ -233,7 +235,10 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
                     r.response_len_by_server = vec![comp; 4];
                 }
             }
-            let done = Cluster::new(servers, policy).run(reqs, &router);
+            let done = Cluster::new(servers, policy)
+                .expect("four servers")
+                .run(reqs, &router)
+                .expect("arrivals sorted by construction");
             rows[row].push(format!("{:.1}", mean_e2e(&done)));
         }
     }

@@ -282,7 +282,7 @@ mod tests {
             "fig6_negatives.svg",
         ]
         .to_vec();
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }
 }

@@ -55,7 +55,7 @@ impl LengthFeatures {
             Some(&p) => (prompt.len() - 1 - p) as f32,
             None => prompt.len() as f32,
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &t in prompt {
             seen.insert(t);
         }

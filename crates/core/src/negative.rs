@@ -8,7 +8,7 @@
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::{GenerateParams, TinyLm};
 use rkvc_workload::{TaskSample, TaskType};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-sample evaluation record: FP16 score plus each algorithm's score.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +106,9 @@ pub fn threshold_sweep(
 pub fn task_breakdown(
     scores: &[SampleScores],
     negative_ids: &[usize],
-) -> HashMap<TaskType, usize> {
-    let by_id: HashMap<usize, TaskType> = scores.iter().map(|s| (s.id, s.task)).collect();
-    let mut out = HashMap::new();
+) -> BTreeMap<TaskType, usize> {
+    let by_id: BTreeMap<usize, TaskType> = scores.iter().map(|s| (s.id, s.task)).collect();
+    let mut out = BTreeMap::new();
     for id in negative_ids {
         if let Some(task) = by_id.get(id) {
             *out.entry(*task).or_insert(0) += 1;
@@ -123,9 +123,9 @@ pub fn task_breakdown(
 pub fn negative_benchmark_scores(
     scores: &[SampleScores],
     negative_ids: &[usize],
-) -> HashMap<&'static str, Vec<(String, f64)>> {
-    let mut grouped: HashMap<&'static str, Vec<&SampleScores>> = HashMap::new();
-    let idset: std::collections::HashSet<usize> = negative_ids.iter().copied().collect();
+) -> BTreeMap<&'static str, Vec<(String, f64)>> {
+    let mut grouped: BTreeMap<&'static str, Vec<&SampleScores>> = BTreeMap::new();
+    let idset: BTreeSet<usize> = negative_ids.iter().copied().collect();
     for s in scores.iter().filter(|s| idset.contains(&s.id)) {
         grouped.entry(s.task.table7_group()).or_default().push(s);
     }
@@ -172,7 +172,7 @@ impl NegativeBenchmark {
         negative_ids: &[usize],
         threshold: f64,
     ) -> Self {
-        let idset: std::collections::HashSet<usize> = negative_ids.iter().copied().collect();
+        let idset: BTreeSet<usize> = negative_ids.iter().copied().collect();
         let mined_against = scores
             .first()
             .map(|s| s.by_algo.iter().map(|(l, _)| l.clone()).collect())

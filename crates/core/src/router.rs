@@ -4,7 +4,7 @@
 //! the serving simulator's [`rkvc_serving::Cluster`] routing hooks.
 
 use rkvc_serving::{RoutePredictor, ServerSim, SimRequest};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ThroughputPredictor;
 
@@ -16,14 +16,14 @@ pub struct ToolRouter {
     /// One throughput predictor per server (index = server id).
     throughput: Vec<ThroughputPredictor>,
     /// Predicted response length per `(request id, server id)`.
-    predicted_len: HashMap<(u64, usize), f64>,
+    predicted_len: BTreeMap<(u64, usize), f64>,
 }
 
 impl ToolRouter {
     /// Creates the router from fitted predictors.
     pub fn new(
         throughput: Vec<ThroughputPredictor>,
-        predicted_len: HashMap<(u64, usize), f64>,
+        predicted_len: BTreeMap<(u64, usize), f64>,
     ) -> Self {
         ToolRouter {
             throughput,
@@ -77,7 +77,7 @@ mod tests {
                 ThroughputPredictor::fit(&d, &CompressionConfig::Fp16, ProfileGrid::standard(), 0.0, 1),
                 ThroughputPredictor::fit(&d, &algo, ProfileGrid::standard(), 0.0, 2),
             ],
-            HashMap::from([((7, 0), 100.0), ((7, 1), 140.0)]),
+            BTreeMap::from([((7, 0), 100.0), ((7, 1), 140.0)]),
         );
         let s0 = ServerSim::new(0, d.clone(), CompressionConfig::Fp16, 8);
         let s1 = ServerSim::new(1, d, algo, 8);
@@ -95,7 +95,7 @@ mod tests {
         let d = dep();
         let router = ToolRouter::new(
             vec![ThroughputPredictor::fit(&d, &CompressionConfig::Fp16, ProfileGrid::standard(), 0.0, 1)],
-            HashMap::new(),
+            BTreeMap::new(),
         );
         let s0 = ServerSim::new(0, d, CompressionConfig::Fp16, 8);
         let req = SimRequest::new(1, 0.0, 512, 42);

@@ -37,7 +37,7 @@ impl TaskFeatures {
     pub fn extract(prompt: &[TokenId]) -> Self {
         let n = prompt.len().max(1);
         let eos_count = prompt.iter().filter(|&&t| t == vocab::EOS_SYM).count();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &t in prompt {
             seen.insert(t);
         }

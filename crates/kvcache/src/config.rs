@@ -191,53 +191,53 @@ impl CompressionConfig {
 
     /// Instantiates a cache for one attention head of dimension `head_dim`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration carries invalid parameters (callers
-    /// constructing configs from untrusted input should validate via the
-    /// per-algorithm constructors, which return `Result`).
-    pub fn build(&self, head_dim: usize) -> Box<dyn KvCache> {
-        match *self {
+    /// Returns [`CacheError::InvalidParameter`](crate::CacheError) if the
+    /// configuration carries invalid parameters (e.g. a config deserialized
+    /// from untrusted JSON; the per-algorithm constructors on
+    /// `CompressionConfig` never produce such values).
+    pub fn try_build(&self, head_dim: usize) -> Result<Box<dyn KvCache>, crate::CacheError> {
+        Ok(match *self {
             CompressionConfig::Fp16 => Box::new(FullPrecisionCache::new(head_dim)),
-            CompressionConfig::Kivi(p) => {
-                Box::new(KiviCache::new(head_dim, p).expect("invalid KIVI params"))
-            }
-            CompressionConfig::Gear(p) => {
-                Box::new(GearCache::new(head_dim, p).expect("invalid GEAR params"))
-            }
-            CompressionConfig::H2O(p) => {
-                Box::new(H2OCache::new(head_dim, p).expect("invalid H2O params"))
-            }
-            CompressionConfig::Streaming(p) => {
-                Box::new(StreamingLlmCache::new(head_dim, p).expect("invalid Streaming params"))
-            }
-            CompressionConfig::SnapKv(p) => {
-                Box::new(SnapKvCache::new(head_dim, p).expect("invalid SnapKV params"))
-            }
-            CompressionConfig::Tova(p) => {
-                Box::new(TovaCache::new(head_dim, p).expect("invalid TOVA params"))
-            }
-            CompressionConfig::Quest(p) => {
-                Box::new(QuestCache::new(head_dim, p).expect("invalid Quest params"))
-            }
-            CompressionConfig::Think(p) => {
-                Box::new(ThinkCache::new(head_dim, p).expect("invalid ThinK params"))
-            }
+            CompressionConfig::Kivi(p) => Box::new(KiviCache::new(head_dim, p)?),
+            CompressionConfig::Gear(p) => Box::new(GearCache::new(head_dim, p)?),
+            CompressionConfig::H2O(p) => Box::new(H2OCache::new(head_dim, p)?),
+            CompressionConfig::Streaming(p) => Box::new(StreamingLlmCache::new(head_dim, p)?),
+            CompressionConfig::SnapKv(p) => Box::new(SnapKvCache::new(head_dim, p)?),
+            CompressionConfig::Tova(p) => Box::new(TovaCache::new(head_dim, p)?),
+            CompressionConfig::Quest(p) => Box::new(QuestCache::new(head_dim, p)?),
+            CompressionConfig::Think(p) => Box::new(ThinkCache::new(head_dim, p)?),
             CompressionConfig::PyramidKv(p) => {
                 // Layer-agnostic fallback: the mean budget. Callers that
                 // know the layer use `build_for_layer`.
-                Box::new(
-                    SnapKvCache::new(
-                        head_dim,
-                        SnapKvParams {
-                            budget: p.mean_budget(),
-                            obs_window: p.obs_window,
-                            kernel: 5,
-                        },
-                    )
-                    .expect("invalid PyramidKV params"),
-                )
+                Box::new(SnapKvCache::new(
+                    head_dim,
+                    SnapKvParams {
+                        budget: p.mean_budget(),
+                        obs_window: p.obs_window,
+                        kernel: 5,
+                    },
+                )?)
             }
+        })
+    }
+
+    /// Instantiates a cache for one attention head of dimension `head_dim`,
+    /// panicking on invalid parameters.
+    ///
+    /// The convenience entry point for experiment drivers whose configs come
+    /// from the validated constructors; code handling untrusted configs
+    /// should call [`try_build`](CompressionConfig::try_build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration carries invalid parameters.
+    pub fn build(&self, head_dim: usize) -> Box<dyn KvCache> {
+        match self.try_build(head_dim) {
+            Ok(cache) => cache,
+            // rkvc-allow(E001): documented panicking convenience wrapper over try_build
+            Err(e) => panic!("CompressionConfig::build({self}): {e}"),
         }
     }
 
@@ -245,7 +245,33 @@ impl CompressionConfig {
     ///
     /// Layer-level policies (PyramidKV) allocate different budgets per
     /// layer; every other policy ignores the layer and behaves like
-    /// [`build`](CompressionConfig::build).
+    /// [`try_build`](CompressionConfig::try_build).
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as
+    /// [`try_build`](CompressionConfig::try_build).
+    pub fn try_build_for_layer(
+        &self,
+        head_dim: usize,
+        layer: usize,
+        n_layers: usize,
+    ) -> Result<Box<dyn KvCache>, crate::CacheError> {
+        match *self {
+            CompressionConfig::PyramidKv(p) => Ok(Box::new(SnapKvCache::new(
+                head_dim,
+                SnapKvParams {
+                    budget: p.budget_for_layer(layer, n_layers),
+                    obs_window: p.obs_window,
+                    kernel: 5,
+                },
+            )?)),
+            _ => self.try_build(head_dim),
+        }
+    }
+
+    /// Panicking convenience wrapper over
+    /// [`try_build_for_layer`](CompressionConfig::try_build_for_layer).
     ///
     /// # Panics
     ///
@@ -256,19 +282,10 @@ impl CompressionConfig {
         layer: usize,
         n_layers: usize,
     ) -> Box<dyn KvCache> {
-        match *self {
-            CompressionConfig::PyramidKv(p) => Box::new(
-                SnapKvCache::new(
-                    head_dim,
-                    SnapKvParams {
-                        budget: p.budget_for_layer(layer, n_layers),
-                        obs_window: p.obs_window,
-                        kernel: 5,
-                    },
-                )
-                .expect("invalid PyramidKV params"),
-            ),
-            _ => self.build(head_dim),
+        match self.try_build_for_layer(head_dim, layer, n_layers) {
+            Ok(cache) => cache,
+            // rkvc-allow(E001): documented panicking convenience wrapper over try_build_for_layer
+            Err(e) => panic!("CompressionConfig::build_for_layer({self}): {e}"),
         }
     }
 

@@ -89,8 +89,8 @@ impl CorrectedTensor {
         let rank = ((max_rank as f32 * params.rank_ratio).round() as usize)
             .max(1)
             .min(max_rank);
-        let factors =
-            low_rank_approximate(&error, rank, 6).expect("rank validated against shape");
+        // rkvc-allow(E001): rank is clamped to [1, min(rows, cols)] above, so this cannot fail
+        let factors = low_rank_approximate(&error, rank, 6).expect("rank validated");
 
         let residual_err = factors.reconstruct().sub(&error).frobenius_norm()
             / (error.len().max(1) as f32).sqrt();

@@ -117,14 +117,12 @@ impl KvCache for TovaCache {
         // query only, everything (including the newest token) evictable.
         if self.positions.len() > self.params.budget {
             let n = weights.len().min(self.positions.len());
-            if n > 0 {
-                let min_idx = (0..n)
-                    .min_by(|&a, &b| {
-                        weights[a]
-                            .partial_cmp(&weights[b])
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("non-empty");
+            let min_idx = (0..n).min_by(|&a, &b| {
+                weights[a]
+                    .partial_cmp(&weights[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            if let Some(min_idx) = min_idx {
                 self.remove_row(min_idx);
             }
         }

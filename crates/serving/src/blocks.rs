@@ -5,28 +5,59 @@
 //! manager tracks per-sequence block lists and exposes the fragmentation
 //! statistics the paper's §2.2 discussion turns on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-/// Error returned when the block pool is exhausted.
+/// Typed error for every fallible [`BlockManager`] operation. The serving
+/// stack must degrade via `Result`, never abort, so malformed sequence ids
+/// are errors rather than panics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OutOfBlocks {
-    /// Blocks requested.
-    pub requested: usize,
-    /// Blocks available.
-    pub available: usize,
+pub enum BlockError {
+    /// The pool cannot cover an allocation.
+    OutOfBlocks {
+        /// Blocks requested.
+        requested: usize,
+        /// Blocks available.
+        available: usize,
+    },
+    /// The sequence id is not registered.
+    UnknownSeq {
+        /// The offending id.
+        seq: u64,
+    },
+    /// The sequence id is already registered.
+    DuplicateSeq {
+        /// The offending id.
+        seq: u64,
+    },
+    /// `truncate_seq` was asked to *grow* a sequence.
+    TruncateGrow {
+        /// The sequence.
+        seq: u64,
+        /// Tokens currently stored.
+        have: usize,
+        /// Tokens requested.
+        want: usize,
+    },
 }
 
-impl std::fmt::Display for OutOfBlocks {
+impl std::fmt::Display for BlockError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "out of KV blocks: requested {}, available {}",
-            self.requested, self.available
-        )
+        match *self {
+            BlockError::OutOfBlocks { requested, available } => write!(
+                f,
+                "out of KV blocks: requested {requested}, available {available}"
+            ),
+            BlockError::UnknownSeq { seq } => write!(f, "unknown sequence {seq}"),
+            BlockError::DuplicateSeq { seq } => write!(f, "sequence {seq} already registered"),
+            BlockError::TruncateGrow { seq, have, want } => write!(
+                f,
+                "cannot grow sequence {seq} via truncate ({have} -> {want} tokens)"
+            ),
+        }
     }
 }
 
-impl std::error::Error for OutOfBlocks {}
+impl std::error::Error for BlockError {}
 
 /// Fixed-size KV block allocator with per-sequence accounting.
 #[derive(Debug, Clone)]
@@ -35,7 +66,7 @@ pub struct BlockManager {
     total_blocks: usize,
     used_blocks: usize,
     /// seq id -> (blocks held, tokens stored).
-    seqs: HashMap<u64, (usize, usize)>,
+    seqs: BTreeMap<u64, (usize, usize)>,
 }
 
 impl BlockManager {
@@ -50,7 +81,7 @@ impl BlockManager {
             block_size,
             total_blocks,
             used_blocks: 0,
-            seqs: HashMap::new(),
+            seqs: BTreeMap::new(),
         }
     }
 
@@ -111,17 +142,16 @@ impl BlockManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfBlocks`] (allocating nothing) if the pool cannot
+    /// [`BlockError::DuplicateSeq`] if `seq` is already registered;
+    /// [`BlockError::OutOfBlocks`] (allocating nothing) if the pool cannot
     /// cover it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is already registered.
-    pub fn register_seq(&mut self, seq: u64, tokens: usize) -> Result<(), OutOfBlocks> {
-        assert!(!self.seqs.contains_key(&seq), "sequence {seq} already registered");
+    pub fn register_seq(&mut self, seq: u64, tokens: usize) -> Result<(), BlockError> {
+        if self.seqs.contains_key(&seq) {
+            return Err(BlockError::DuplicateSeq { seq });
+        }
         let need = self.blocks_for(tokens.max(1));
         if need > self.free_blocks() {
-            return Err(OutOfBlocks {
+            return Err(BlockError::OutOfBlocks {
                 requested: need,
                 available: self.free_blocks(),
             });
@@ -135,17 +165,18 @@ impl BlockManager {
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfBlocks`] if a new block is needed and none is free.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` is not registered.
-    pub fn append_token(&mut self, seq: u64) -> Result<(), OutOfBlocks> {
+    /// [`BlockError::UnknownSeq`] if `seq` is not registered;
+    /// [`BlockError::OutOfBlocks`] if a new block is needed and none is
+    /// free (the sequence is left unchanged).
+    pub fn append_token(&mut self, seq: u64) -> Result<(), BlockError> {
         let free = self.free_blocks();
-        let entry = self.seqs.get_mut(&seq).expect("unknown sequence");
+        let entry = self
+            .seqs
+            .get_mut(&seq)
+            .ok_or(BlockError::UnknownSeq { seq })?;
         if entry.1 + 1 > entry.0 * self.block_size {
             if free == 0 {
-                return Err(OutOfBlocks {
+                return Err(BlockError::OutOfBlocks {
                     requested: 1,
                     available: 0,
                 });
@@ -160,33 +191,45 @@ impl BlockManager {
     /// Shrinks a sequence's token count (eviction policies), releasing
     /// whole blocks that become empty.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `seq` is not registered or `tokens` exceeds its current
-    /// count.
-    pub fn truncate_seq(&mut self, seq: u64, tokens: usize) {
-        let entry = self.seqs.get_mut(&seq).expect("unknown sequence");
-        assert!(tokens <= entry.1, "cannot grow via truncate");
+    /// [`BlockError::UnknownSeq`] if `seq` is not registered;
+    /// [`BlockError::TruncateGrow`] if `tokens` exceeds its current count.
+    pub fn truncate_seq(&mut self, seq: u64, tokens: usize) -> Result<(), BlockError> {
+        let entry = self
+            .seqs
+            .get_mut(&seq)
+            .ok_or(BlockError::UnknownSeq { seq })?;
+        if tokens > entry.1 {
+            return Err(BlockError::TruncateGrow {
+                seq,
+                have: entry.1,
+                want: tokens,
+            });
+        }
         entry.1 = tokens;
         let need = tokens.max(1).div_ceil(self.block_size);
         if need < entry.0 {
             self.used_blocks -= entry.0 - need;
             entry.0 = need;
         }
+        Ok(())
     }
 
     /// Releases all blocks of a sequence.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `seq` is not registered.
-    pub fn free_seq(&mut self, seq: u64) {
-        let (blocks, _) = self.seqs.remove(&seq).expect("unknown sequence");
+    /// [`BlockError::UnknownSeq`] if `seq` is not registered.
+    pub fn free_seq(&mut self, seq: u64) -> Result<(), BlockError> {
+        let (blocks, _) = self
+            .seqs
+            .remove(&seq)
+            .ok_or(BlockError::UnknownSeq { seq })?;
         self.used_blocks -= blocks;
+        Ok(())
     }
 }
-
-rkvc_tensor::json_struct!(OutOfBlocks { requested, available });
 
 #[cfg(test)]
 mod tests {
@@ -216,8 +259,13 @@ mod tests {
         let mut m = BlockManager::new(2, 4);
         m.register_seq(1, 8).unwrap();
         let err = m.register_seq(2, 1).unwrap_err();
-        assert_eq!(err.available, 0);
-        assert_eq!(err.requested, 1);
+        assert_eq!(
+            err,
+            BlockError::OutOfBlocks {
+                requested: 1,
+                available: 0
+            }
+        );
         // Failed registration must not leak state.
         assert_eq!(m.seq_count(), 1);
     }
@@ -227,18 +275,27 @@ mod tests {
         let mut m = BlockManager::new(4, 4);
         m.register_seq(1, 16).unwrap();
         assert_eq!(m.free_blocks(), 0);
-        m.free_seq(1);
+        m.free_seq(1).unwrap();
         assert_eq!(m.free_blocks(), 4);
         assert_eq!(m.seq_count(), 0);
+        assert_eq!(m.free_seq(1), Err(BlockError::UnknownSeq { seq: 1 }));
     }
 
     #[test]
     fn truncate_releases_whole_blocks() {
         let mut m = BlockManager::new(10, 4);
         m.register_seq(1, 16).unwrap(); // 4 blocks.
-        m.truncate_seq(1, 5); // Needs 2 blocks.
+        m.truncate_seq(1, 5).unwrap(); // Needs 2 blocks.
         assert_eq!(m.used_blocks(), 2);
         assert_eq!(m.internal_fragmentation_tokens(), 3);
+        assert_eq!(
+            m.truncate_seq(1, 6),
+            Err(BlockError::TruncateGrow {
+                seq: 1,
+                have: 5,
+                want: 6
+            })
+        );
     }
 
     #[test]
@@ -251,10 +308,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn duplicate_registration_panics() {
+    fn duplicate_registration_is_a_typed_error() {
         let mut m = BlockManager::new(4, 4);
         m.register_seq(1, 1).unwrap();
-        let _ = m.register_seq(1, 1);
+        assert_eq!(
+            m.register_seq(1, 1),
+            Err(BlockError::DuplicateSeq { seq: 1 })
+        );
+        // The rejected registration must not disturb accounting.
+        assert_eq!(m.used_blocks(), 1);
+        assert_eq!(m.seq_count(), 1);
     }
 }

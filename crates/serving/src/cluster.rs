@@ -75,6 +75,41 @@ impl RoutePredictor for OraclePredictor {
     }
 }
 
+/// Typed error for malformed cluster configurations and arrival streams —
+/// the serving stack reports these via `Result` rather than aborting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterError {
+    /// A cluster needs at least one server.
+    EmptyCluster,
+    /// The arrival stream is not sorted by arrival time.
+    UnsortedArrivals {
+        /// Index of the out-of-order request.
+        index: usize,
+        /// Its arrival time.
+        arrival_s: f64,
+        /// The preceding request's arrival time.
+        prev_s: f64,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ClusterError::EmptyCluster => write!(f, "cluster needs at least one server"),
+            ClusterError::UnsortedArrivals {
+                index,
+                arrival_s,
+                prev_s,
+            } => write!(
+                f,
+                "requests must be sorted by arrival time: request #{index} arrives at {arrival_s}s after {prev_s}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 /// A multi-server deployment fed by a global arrival stream.
 #[derive(Debug)]
 pub struct Cluster {
@@ -85,12 +120,14 @@ pub struct Cluster {
 impl Cluster {
     /// Creates a cluster over the given servers.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `servers` is empty.
-    pub fn new(servers: Vec<ServerSim>, policy: RoutingPolicy) -> Self {
-        assert!(!servers.is_empty(), "cluster needs at least one server");
-        Cluster { servers, policy }
+    /// [`ClusterError::EmptyCluster`] if `servers` is empty.
+    pub fn new(servers: Vec<ServerSim>, policy: RoutingPolicy) -> Result<Self, ClusterError> {
+        if servers.is_empty() {
+            return Err(ClusterError::EmptyCluster);
+        }
+        Ok(Cluster { servers, policy })
     }
 
     /// The configured policy.
@@ -146,26 +183,31 @@ impl Cluster {
                     .partial_cmp(&score(b))
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("non-empty cluster")
+            // The constructor guarantees at least one server.
+            .unwrap_or(0)
     }
 
     /// Runs the full arrival stream to completion and returns every
     /// request's measured latency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `requests` is not sorted by arrival time.
+    /// [`ClusterError::UnsortedArrivals`] if `requests` is not sorted by
+    /// arrival time.
     pub fn run(
         mut self,
         requests: Vec<SimRequest>,
         predictor: &dyn RoutePredictor,
-    ) -> Vec<CompletedRequest> {
+    ) -> Result<Vec<CompletedRequest>, ClusterError> {
         let mut last = f64::NEG_INFINITY;
-        for req in requests {
-            assert!(
-                req.arrival_s >= last,
-                "requests must be sorted by arrival time"
-            );
+        for (index, req) in requests.into_iter().enumerate() {
+            if req.arrival_s < last {
+                return Err(ClusterError::UnsortedArrivals {
+                    index,
+                    arrival_s: req.arrival_s,
+                    prev_s: last,
+                });
+            }
             last = req.arrival_s;
             // Bring every server's view of time up to this arrival so
             // routing sees current load.
@@ -181,7 +223,7 @@ impl Cluster {
             .flat_map(|s| s.run_to_completion())
             .collect();
         done.sort_by_key(|c| c.id);
-        done
+        Ok(done)
     }
 }
 
@@ -216,7 +258,7 @@ mod tests {
             ServerSim::new(2, dep(), algo, 8),
             ServerSim::new(3, dep(), algo, 8),
         ];
-        Cluster::new(servers, policy)
+        Cluster::new(servers, policy).unwrap()
     }
 
     fn stream(n: usize) -> Vec<SimRequest> {
@@ -233,7 +275,9 @@ mod tests {
     #[test]
     fn all_requests_complete_under_every_policy() {
         for policy in RoutingPolicy::all() {
-            let done = paper_cluster(policy).run(stream(24), &OraclePredictor);
+            let done = paper_cluster(policy)
+                .run(stream(24), &OraclePredictor)
+                .unwrap();
             assert_eq!(done.len(), 24, "{policy:?}");
             assert!(done.iter().all(|c| c.e2e_s > 0.0));
         }
@@ -241,7 +285,9 @@ mod tests {
 
     #[test]
     fn load_balance_spreads_requests() {
-        let done = paper_cluster(RoutingPolicy::LoadBalance).run(stream(32), &OraclePredictor);
+        let done = paper_cluster(RoutingPolicy::LoadBalance)
+            .run(stream(32), &OraclePredictor)
+            .unwrap();
         let mut counts = [0usize; 4];
         for c in &done {
             counts[c.server_id] += 1;
@@ -253,7 +299,9 @@ mod tests {
     fn length_aware_prefers_the_short_server() {
         // Server 0 (FP16) yields shorter responses; LengthAware should
         // favour it (with load-based spill once it saturates).
-        let done = paper_cluster(RoutingPolicy::LengthAware).run(stream(16), &OraclePredictor);
+        let done = paper_cluster(RoutingPolicy::LengthAware)
+            .run(stream(16), &OraclePredictor)
+            .unwrap();
         let mut counts = [0usize; 4];
         for c in &done {
             counts[c.server_id] += 1;
@@ -267,8 +315,12 @@ mod tests {
     #[test]
     fn combined_policy_beats_load_balance_on_average() {
         // Table 8's headline: w/ Both < Baseline in average E2E.
-        let base = paper_cluster(RoutingPolicy::LoadBalance).run(stream(48), &OraclePredictor);
-        let both = paper_cluster(RoutingPolicy::Both).run(stream(48), &OraclePredictor);
+        let base = paper_cluster(RoutingPolicy::LoadBalance)
+            .run(stream(48), &OraclePredictor)
+            .unwrap();
+        let both = paper_cluster(RoutingPolicy::Both)
+            .run(stream(48), &OraclePredictor)
+            .unwrap();
         let mean = |v: &[CompletedRequest]| {
             v.iter().map(|c| c.e2e_s).sum::<f64>() / v.len() as f64
         };
@@ -281,16 +333,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sorted by arrival")]
-    fn unsorted_arrivals_rejected() {
+    fn unsorted_arrivals_are_a_typed_error() {
         let mut reqs = stream(3);
         reqs[1].arrival_s = 100.0;
-        paper_cluster(RoutingPolicy::LoadBalance).run(reqs, &OraclePredictor);
+        let err = paper_cluster(RoutingPolicy::LoadBalance)
+            .run(reqs, &OraclePredictor)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::UnsortedArrivals {
+                index: 2,
+                arrival_s: 0.2,
+                prev_s: 100.0
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one server")]
-    fn empty_cluster_rejected() {
-        Cluster::new(Vec::new(), RoutingPolicy::LoadBalance);
+    fn empty_cluster_is_a_typed_error() {
+        let err = Cluster::new(Vec::new(), RoutingPolicy::LoadBalance).unwrap_err();
+        assert_eq!(err, ClusterError::EmptyCluster);
     }
 }

@@ -39,8 +39,8 @@ mod metrics;
 mod request;
 mod server;
 
-pub use blocks::{BlockManager, OutOfBlocks};
-pub use cluster::{Cluster, OraclePredictor, RoutePredictor, RoutingPolicy};
+pub use blocks::{BlockError, BlockManager};
+pub use cluster::{Cluster, ClusterError, OraclePredictor, RoutePredictor, RoutingPolicy};
 pub use metrics::LatencySummary;
 pub use request::{CompletedRequest, SimRequest};
 pub use server::ServerSim;

@@ -18,7 +18,7 @@ impl LatencySummary {
             latencies.iter().all(|l| !l.is_nan()),
             "latencies must not be NaN"
         );
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        latencies.sort_by(|a, b| a.total_cmp(b));
         LatencySummary { sorted: latencies }
     }
 

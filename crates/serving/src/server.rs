@@ -164,7 +164,7 @@ impl ServerSim {
             {
                 break; // No KV room; wait for completions.
             }
-            let req = self.queue.pop_front().expect("front exists");
+            let Some(req) = self.queue.pop_front() else { break };
             let prefill = self
                 .dep
                 .prefill(&self.algo, 1, req.prompt_len)
@@ -198,16 +198,19 @@ impl ServerSim {
             self.running[i].kv_len += 1;
             let retained = self.retained(self.running[i].kv_len);
             let seq = self.running[i].req.id;
-            // Grow or cap the sequence's block allocation.
+            // Grow or cap the sequence's block allocation. Append may hit a
+            // full pool — the sequence then runs on at its capped footprint
+            // and the follow-up truncate is a no-op error, not an abort.
             let _ = self.blocks.append_token(seq);
-            self.blocks.truncate_seq(seq, retained);
+            let _ = self.blocks.truncate_seq(seq, retained);
             if self.running[i].generated >= self.running[i].target_len {
                 finished.push(i);
             }
         }
         for &i in finished.iter().rev() {
             let r = self.running.swap_remove(i);
-            self.blocks.free_seq(r.req.id);
+            // Running sequences are registered by construction.
+            let _ = self.blocks.free_seq(r.req.id);
             self.completed.push(CompletedRequest {
                 id: r.req.id,
                 server_id: self.id,

@@ -25,7 +25,7 @@
 //! assert_eq!(back, v);
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A parsed or constructed JSON document.
@@ -770,26 +770,6 @@ impl<V: FromJson> FromJson for BTreeMap<String, V> {
     }
 }
 
-impl<V: ToJson> ToJson for HashMap<String, V> {
-    fn to_json(&self) -> JsonValue {
-        // Sort keys so hash iteration order never leaks into output.
-        let mut fields: Vec<(String, JsonValue)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
-        fields.sort_by(|a, b| a.0.cmp(&b.0));
-        JsonValue::Object(fields)
-    }
-}
-
-impl<V: FromJson> FromJson for HashMap<String, V> {
-    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
-        v.as_object()
-            .ok_or_else(|| JsonError::new(format!("expected object, got {}", v.kind())))?
-            .iter()
-            .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
-            .collect()
-    }
-}
-
 /// Implements [`ToJson`]/[`FromJson`] for a struct with named fields,
 /// serializing as an object in declaration order.
 ///
@@ -1042,8 +1022,8 @@ mod tests {
     }
 
     #[test]
-    fn hashmap_output_is_key_sorted() {
-        let mut m = HashMap::new();
+    fn btreemap_output_is_key_sorted() {
+        let mut m = BTreeMap::new();
         m.insert("zeta".to_owned(), 1u32);
         m.insert("alpha".to_owned(), 2u32);
         assert_eq!(to_string(&m), r#"{"alpha":2,"zeta":1}"#);

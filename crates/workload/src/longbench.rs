@@ -18,7 +18,10 @@ use rkvc_tensor::{seeded_rng, SeededRng};
 use crate::semantic::token_f1;
 
 /// LongBench task categories (paper Figure 7 / Table 7 granularity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order so `BTreeMap<TaskType, _>` breakdowns
+/// iterate (and serialize) in this fixed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TaskType {
     /// Single-document question answering.
     SingleDocQA,

@@ -6,19 +6,19 @@
 //! unavailable.
 
 use rkvc_model::vocab::TokenId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-fn counts<T: std::hash::Hash + Eq + Copy>(items: impl Iterator<Item = T>) -> HashMap<T, usize> {
-    let mut m = HashMap::new();
+fn counts<T: Ord + Copy>(items: impl Iterator<Item = T>) -> BTreeMap<T, usize> {
+    let mut m = BTreeMap::new();
     for it in items {
         *m.entry(it).or_insert(0) += 1;
     }
     m
 }
 
-fn overlap_f1<T: std::hash::Hash + Eq + Copy>(
-    a: HashMap<T, usize>,
-    b: HashMap<T, usize>,
+fn overlap_f1<T: Ord + Copy>(
+    a: BTreeMap<T, usize>,
+    b: BTreeMap<T, usize>,
     len_a: usize,
     len_b: usize,
 ) -> f64 {

@@ -59,7 +59,10 @@ fn main() {
             ServerSim::new(2, dep(), algo, 16),
             ServerSim::new(3, dep(), algo, 16),
         ];
-        let done = Cluster::new(servers, policy).run(requests.clone(), &OraclePredictor);
+        let done = Cluster::new(servers, policy)
+            .expect("four servers")
+            .run(requests.clone(), &OraclePredictor)
+            .expect("sorted arrivals");
         let mut mix = [0usize; 4];
         for c in &done {
             mix[c.server_id] += 1;

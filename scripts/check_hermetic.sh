@@ -4,17 +4,28 @@
 #
 #   ./scripts/check_hermetic.sh
 #
-# Three gates, all hard failures:
+# Four gates, all hard failures:
+#   0. `cargo run -p rkvc-analyze` — the in-repo static analyzer: no
+#      wall-clock reads outside crates/bench (D001), no HashMap/HashSet
+#      in non-test code (D002), no RNG construction outside the
+#      rkvc_tensor substrate (D003), no unwrap/expect/panic! in the
+#      panic-free crates (E001), and a manifest-level dependency-closure
+#      check (H001). Exits non-zero on any unsuppressed violation and
+#      writes results/analyze.json.
 #   1. `cargo tree` must list only workspace packages (rkvc-* plus the
 #      root facade crate) — no external crate may sneak back in, even as
-#      a dev-dependency or bench dependency.
-#   2. `cargo build --release --offline --workspace --all-targets` —
-#      every lib, bin, test, example, and bench compiles with the
-#      network unreachable.
+#      a dev-dependency or bench dependency. (The independent,
+#      toolchain-level cross-check of the analyzer's H001.)
+#   2. `cargo build --release --offline --workspace --all-targets` with
+#      RUSTFLAGS="-D warnings" — every lib, bin, test, example, and
+#      bench compiles warning-free with the network unreachable.
 #   3. `cargo test -q --offline --workspace` — the full test suite
 #      passes offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gate 0: static analysis (rkvc-analyze) =="
+cargo run --release --offline -p rkvc-analyze
 
 echo "== gate 1: dependency closure is workspace-only =="
 # --no-dedupe + -e all covers normal, dev, and build dependencies of
@@ -28,8 +39,8 @@ if [ -n "$bad" ]; then
 fi
 echo "ok: $(echo "$deps" | grep -c .) packages, all workspace-local"
 
-echo "== gate 2: offline release build (all targets) =="
-cargo build --release --offline --workspace --all-targets
+echo "== gate 2: offline warning-free release build (all targets) =="
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace --all-targets
 
 echo "== gate 3: offline test suite =="
 cargo test -q --offline --workspace

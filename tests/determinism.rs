@@ -18,6 +18,32 @@ fn fig1_is_bit_reproducible() {
     assert_eq!(ja, jb, "same seed must give bit-identical experiment JSON");
 }
 
+/// The length-predictor pipeline (feature extraction, ridge fit, error
+/// report) must be a pure function of the seed.
+#[test]
+fn table6_length_predictor_report_is_bit_reproducible() {
+    let opts = RunOptions::quick();
+    let a = run_by_id("table6", &opts).expect("table6 exists");
+    let b = run_by_id("table6", &opts).expect("table6 exists");
+    let ja = to_string_pretty(&a);
+    let jb = to_string_pretty(&b);
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "length-predictor report must be bit-identical across runs");
+}
+
+/// The full routing pipeline — workload synthesis, predictor fits, cluster
+/// simulation, per-policy routing decisions — must be bit-reproducible.
+#[test]
+fn table8_router_decisions_are_bit_reproducible() {
+    let opts = RunOptions::quick();
+    let a = run_by_id("table8", &opts).expect("table8 exists");
+    let b = run_by_id("table8", &opts).expect("table8 exists");
+    let ja = to_string_pretty(&a);
+    let jb = to_string_pretty(&b);
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "router decisions must be bit-identical across runs");
+}
+
 /// Builds an arbitrary JSON tree, depth-bounded so it stays small.
 fn random_json(rng: &mut SeededRng, depth: u32) -> JsonValue {
     let max_kind = if depth == 0 { 5 } else { 7 };

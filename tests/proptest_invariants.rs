@@ -130,10 +130,10 @@ rkvc_tensor::det_cases! {
             .map(|_| (rng.gen_range(0u64..8), rng.gen_range(1usize..40)))
             .collect();
         let mut m = BlockManager::new(256, 4);
-        let mut live: std::collections::HashSet<u64> = Default::default();
+        let mut live: std::collections::BTreeSet<u64> = Default::default();
         for (seq, tokens) in ops {
             if live.contains(&seq) {
-                m.free_seq(seq);
+                m.free_seq(seq).expect("live sequence");
                 live.remove(&seq);
             } else if m.register_seq(seq, tokens).is_ok() {
                 live.insert(seq);
