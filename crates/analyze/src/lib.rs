@@ -7,8 +7,9 @@
 //! and hygiene invariants the golden `results/` files depend on:
 //!
 //! - [`lints`] — the catalog (D001 wall-clock, D002 unordered maps, D003
-//!   RNG bypass, E001 panics in serving-path crates, A001 malformed
-//!   suppressions) and the per-file scanner.
+//!   RNG bypass, D004 ad-hoc threading outside `rkvc_tensor::par`, E001
+//!   panics in serving-path crates, A001 malformed suppressions) and the
+//!   per-file scanner.
 //! - [`lexer`] — the hand-written Rust lexer behind it: nested block
 //!   comments, raw strings, char-vs-lifetime disambiguation, and
 //!   `#[cfg(test)]` / `mod tests` region tracking.

@@ -5,6 +5,7 @@
 //! | D001 | No wall-clock reads (`Instant`, `SystemTime`, `UNIX_EPOCH`) outside `crates/bench` — experiment outputs must be a pure function of the source tree. |
 //! | D002 | No `HashMap`/`HashSet` in non-test code — hash iteration order leaks into reports; use `BTreeMap`/`BTreeSet` or sort before emission. |
 //! | D003 | No RNG construction outside `rkvc_tensor::det`/`rng`: no external RNG crates anywhere, and no `SeededRng::new`/`splitmix64` in non-test code outside `crates/tensor/src` (call `rkvc_tensor::seeded_rng`). |
+//! | D004 | No ad-hoc threading (`std::thread`, `thread::spawn`/`scope`/`Builder`) outside `crates/tensor/src/par.rs` and `#[cfg(test)]` regions — all concurrency goes through the deterministic `rkvc_tensor::par` pool so results stay bit-identical at any `RKVC_THREADS`. |
 //! | E001 | No `unwrap()`/`expect()`/`panic!` in non-test library code of `rkvc-kvcache` and `rkvc-serving` — the serving stack must degrade via `Result`, not abort. |
 //! | H001 | Every manifest dependency resolves inside the workspace (see [`crate::hermetic`]). |
 //! | A001 | An `rkvc-allow` suppression must name a known lint and carry a reason; a malformed one is itself a violation and suppresses nothing. |
@@ -15,7 +16,7 @@
 use crate::lexer::{lex, test_mask, Tok};
 
 /// All catalog lint ids, in report order.
-pub const LINT_IDS: [&str; 6] = ["D001", "D002", "D003", "E001", "H001", "A001"];
+pub const LINT_IDS: [&str; 7] = ["D001", "D002", "D003", "D004", "E001", "H001", "A001"];
 
 /// One reported finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +112,9 @@ struct FileScope {
     panic_free: bool,
     /// `crates/tensor/src/**` — home of the RNG substrate (D003 exempt).
     tensor: bool,
+    /// `crates/tensor/src/par.rs` — the one module allowed to touch
+    /// `std::thread` (D004 exempt).
+    par_home: bool,
     /// Workspace `tests/**` — entirely test code.
     test_file: bool,
 }
@@ -121,6 +125,7 @@ fn scope_of(path: &str) -> FileScope {
         panic_free: path.starts_with("crates/kvcache/src/")
             || path.starts_with("crates/serving/src/"),
         tensor: path.starts_with("crates/tensor/src/"),
+        par_home: path == "crates/tensor/src/par.rs",
         test_file: path.starts_with("tests/"),
     }
 }
@@ -265,6 +270,27 @@ pub fn scan_source(path: &str, src: &str) -> Vec<Violation> {
                 push(
                     "D003",
                     "construct RNGs via rkvc_tensor::seeded_rng so every stream is seed-auditable"
+                        .to_owned(),
+                );
+                continue;
+            }
+        }
+
+        // D004 — ad-hoc threading outside the deterministic pool. Anchored
+        // on the `thread` ident so `std::thread`, `thread::spawn`, and
+        // `std::thread::spawn(..)` each report exactly once.
+        if !scope.par_home && !scope.test_file && !in_test[i] && id == "thread" {
+            let std_prefixed = i >= 3
+                && punct_at(i - 1, ':')
+                && punct_at(i - 2, ':')
+                && ident_at(i - 3) == Some("std");
+            let pool_entry = punct_at(i + 1, ':')
+                && punct_at(i + 2, ':')
+                && matches!(ident_at(i + 3), Some("spawn" | "scope" | "Builder"));
+            if std_prefixed || pool_entry {
+                push(
+                    "D004",
+                    "ad-hoc `std::thread` use outside rkvc_tensor::par; route concurrency through the deterministic pool"
                         .to_owned(),
                 );
                 continue;

@@ -1,5 +1,5 @@
-// One planted violation per source lint id (D001, D002, D003, E001,
-// A001); H001 is manifest-level — see the inline manifests in
+// One planted violation per source lint id (D001, D002, D003, D004,
+// E001, A001); H001 is manifest-level — see the inline manifests in
 // planted_fixture.rs. This file is a test fixture: it is never compiled
 // and never scanned by gate 0 (the analyzer only walks src trees).
 
@@ -14,5 +14,6 @@ pub fn planted() -> u128 {
     // rkvc-allow(FAKE): not a real lint id
     // rkvc-allow(E001): fixture demonstrating a valid standalone suppression
     let w = m.get(&1).copied().expect("covered by the line above");
-    t.elapsed().as_nanos() + u128::from(v + w)
+    let s = std::thread::scope(|_| v + w);
+    t.elapsed().as_nanos() + u128::from(s)
 }

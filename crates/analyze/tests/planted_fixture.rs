@@ -7,7 +7,7 @@ use rkvc_analyze::lints::scan_source;
 const FIXTURE: &str = include_str!("fixtures/planted.rs");
 
 /// The fixture path used for scanning: inside `crates/serving/src`, where
-/// every source lint (D001/D002/D003/E001) is in scope.
+/// every source lint (D001/D002/D003/D004/E001) is in scope.
 const AS_SERVING: &str = "crates/serving/src/planted.rs";
 
 #[test]
@@ -28,8 +28,20 @@ fn planted_fixture_reports_every_lint_at_exact_lines() {
             (13, "E001", false), // .unwrap()
             (14, "A001", false), // rkvc-allow(FAKE)
             (16, "E001", true),  // .expect(..) under a valid suppression
+            (17, "D004", false), // std::thread::scope(..)
         ]
     );
+}
+
+#[test]
+fn par_home_is_exempt_from_d004_but_nothing_else() {
+    let vs = scan_source("crates/tensor/src/par.rs", FIXTURE);
+    assert!(
+        vs.iter().all(|v| v.lint != "D004"),
+        "the pool module may use std::thread"
+    );
+    // Clock reads stay banned even in the pool module.
+    assert!(vs.iter().any(|v| v.lint == "D001"));
 }
 
 #[test]
@@ -54,6 +66,7 @@ fn bench_scope_permits_wall_clock_but_not_hash_maps() {
     let vs = scan_source("crates/bench/src/planted.rs", FIXTURE);
     assert!(vs.iter().all(|v| v.lint != "D001"), "bench may read clocks");
     assert!(vs.iter().any(|v| v.lint == "D002"), "D002 still applies");
+    assert!(vs.iter().any(|v| v.lint == "D004"), "benches must use the pool too");
     // E001 only covers kvcache/serving.
     assert!(vs.iter().all(|v| v.lint != "E001"));
 }
@@ -61,7 +74,9 @@ fn bench_scope_permits_wall_clock_but_not_hash_maps() {
 #[test]
 fn workspace_test_files_are_exempt_from_library_hygiene() {
     let vs = scan_source("tests/planted.rs", FIXTURE);
-    assert!(vs.iter().all(|v| v.lint != "D002" && v.lint != "E001"));
+    assert!(vs
+        .iter()
+        .all(|v| v.lint != "D002" && v.lint != "E001" && v.lint != "D004"));
     // Clock reads and RNG bypasses stay banned even in tests.
     assert!(vs.iter().any(|v| v.lint == "D001"));
     assert!(vs.iter().any(|v| v.lint == "D003"));

@@ -1,0 +1,223 @@
+//! Bench: the deterministic parallel runtime (`rkvc_tensor::par`) and the
+//! blocked/memoized kernels behind the decode and experiment hot paths.
+//!
+//! Every comparison pits the seed single-threaded path (naive matmul,
+//! per-token prefill, re-dequantizing cache views) against the PR's path
+//! (blocked matmul over the pool, layer-batched prefill, flush-time
+//! dequant memoization), plus an explicit `RKVC_THREADS` sweep. On top of
+//! the usual `results/bench_par_scaling.json`, this suite writes a
+//! machine-readable `BENCH_par.json` at the workspace root summarizing
+//! the speedups and the machine parallelism they were measured at —
+//! thread-sweep ratios are only meaningful when the host has cores to
+//! scale onto, so the file records that context instead of hiding it.
+
+use rkvc_bench::{workspace_root, Harness};
+use rkvc_core::experiments::{run_by_id, RunOptions};
+use rkvc_kvcache::{GearCache, GearParams, KiviCache, KiviParams, KvCache};
+use rkvc_model::{vocab, GenerateParams, ModelConfig, TinyLm};
+use rkvc_tensor::json::{JsonValue, ToJson};
+use rkvc_tensor::{par, seeded_rng, Matrix};
+use std::hint::black_box;
+
+/// Deterministic dense-ish matrix for the matmul benches.
+fn bench_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = seeded_rng(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    )
+}
+
+/// The induction prompt shape shared with `model_decode`.
+fn copy_prompt(len: usize) -> Vec<usize> {
+    let seq: Vec<usize> = (0..len).map(|i| vocab::CONTENT_START + (i * 3) % 56).collect();
+    let mut p = vec![vocab::BOS];
+    p.extend(&seq);
+    p.push(vocab::EOS_SYM);
+    p.push(seq[0]);
+    p
+}
+
+fn bench_matmul(h: &mut Harness, threads: &[usize]) {
+    // 96x128x96 sits above PAR_MIN_WORK, so the blocked kernel engages
+    // the pool; naive is the seed oracle path.
+    let a = bench_matrix(96, 128, 0x9a11);
+    let b = bench_matrix(128, 96, 0x9a12);
+    let mut g = h.group("matmul_96x128x96");
+    g.sample_size(20);
+    g.bench_function("seed_naive", |ben| {
+        ben.iter(|| black_box(&a).matmul_naive(black_box(&b)))
+    });
+    for &t in threads {
+        par::set_threads(Some(t));
+        g.bench_function(format!("blocked_t{t}"), |ben| {
+            ben.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    par::set_threads(None);
+    g.finish();
+}
+
+fn bench_prefill(h: &mut Harness, threads: &[usize]) {
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let prompt = copy_prompt(61);
+    let mut g = h.group("prefill_fp16_64tok");
+    g.sample_size(10);
+    g.bench_function("seed_per_token", |b| {
+        b.iter(|| {
+            let mut s = model.start_session(&rkvc_kvcache::CompressionConfig::Fp16);
+            black_box(s.prefill_per_token(black_box(&prompt)).len())
+        })
+    });
+    for &t in threads {
+        par::set_threads(Some(t));
+        g.bench_function(format!("batched_t{t}"), |b| {
+            b.iter(|| {
+                let mut s = model.start_session(&rkvc_kvcache::CompressionConfig::Fp16);
+                black_box(s.prefill(black_box(&prompt)).len())
+            })
+        });
+    }
+    par::set_threads(None);
+    g.finish();
+}
+
+fn bench_decode_views(h: &mut Harness) {
+    // The decode-step hot loop materializes one view per (layer, kv-head)
+    // per token; at 256 retained tokens the seed path re-dequantizes every
+    // flushed chunk each step while the memoized path only re-reads them.
+    let mut rng = seeded_rng(0xdec0de);
+    let head_dim = 16;
+    let mut kivi = KiviCache::new(head_dim, KiviParams::default()).expect("valid params");
+    let mut gear = GearCache::new(head_dim, GearParams::default()).expect("valid params");
+    for pos in 0..256 {
+        let k: Vec<f32> = (0..head_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let v: Vec<f32> = (0..head_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        kivi.append(&k, &v, pos);
+        gear.append(&k, &v, pos);
+    }
+    let mut g = h.group("decode_view_256tok");
+    g.sample_size(20);
+    g.bench_function("kivi_seed_uncached", |b| b.iter(|| kivi.view_uncached().len()));
+    g.bench_function("kivi_memoized", |b| b.iter(|| KvCache::view(&kivi).len()));
+    g.bench_function("gear_seed_uncached", |b| b.iter(|| gear.view_uncached().len()));
+    g.bench_function("gear_memoized", |b| b.iter(|| KvCache::view(&gear).len()));
+    g.finish();
+}
+
+fn bench_single_stream_decode(h: &mut Harness) {
+    // End-to-end single stream: prefill a prompt, then decode greedily.
+    // The KIVI stream crosses several flush boundaries, so the memoized
+    // views and scratch-buffer reuse both show up here.
+    let model = TinyLm::new(ModelConfig::induction_mha());
+    let prompt = copy_prompt(45);
+    let algos = [
+        ("fp16", rkvc_kvcache::CompressionConfig::Fp16),
+        ("kivi4", rkvc_workload::scaled_kivi(4)),
+        ("gear4", rkvc_workload::scaled_gear(4)),
+    ];
+    let mut g = h.group("decode_stream_32tok");
+    g.sample_size(10);
+    for (name, cfg) in algos {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let out = model.generate(black_box(&prompt), &cfg, &GenerateParams::greedy(32));
+                black_box(out.response_len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1_grid(h: &mut Harness, threads: &[usize]) {
+    let opts = RunOptions::quick();
+    let mut g = h.group("fig1_grid_quick");
+    g.sample_size(10);
+    for &t in threads {
+        par::set_threads(Some(t));
+        g.bench_function(format!("t{t}"), |b| {
+            b.iter(|| run_by_id("fig1", black_box(&opts)).expect("fig1 exists").tables.len())
+        });
+    }
+    par::set_threads(None);
+    g.finish();
+}
+
+/// `median(group/base) / median(group/new)` — how many times faster the
+/// new path is.
+fn speedup(h: &Harness, group: &str, base: &str, new: &str) -> f64 {
+    let med = |name: &str| -> f64 {
+        h.records()
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map_or(f64::NAN, |r| r.median_ns)
+    };
+    med(base) / med(new)
+}
+
+fn main() {
+    let machine = par::machine_parallelism();
+    let sweep: Vec<usize> = if machine >= 4 { vec![1, 2, 4] } else { vec![1, machine.max(2)] };
+    let top = *sweep.last().expect("non-empty sweep");
+
+    let mut h = Harness::new("par_scaling");
+    bench_matmul(&mut h, &sweep);
+    bench_prefill(&mut h, &sweep);
+    bench_decode_views(&mut h);
+    bench_single_stream_decode(&mut h);
+    bench_fig1_grid(&mut h, &sweep);
+
+    let speedups = JsonValue::object(vec![
+        (
+            "matmul_blocked_t1_vs_seed_naive",
+            speedup(&h, "matmul_96x128x96", "seed_naive", "blocked_t1").to_json(),
+        ),
+        (
+            "matmul_blocked_topt_vs_seed_naive",
+            speedup(&h, "matmul_96x128x96", "seed_naive", &format!("blocked_t{top}")).to_json(),
+        ),
+        (
+            "prefill_batched_t1_vs_seed_per_token",
+            speedup(&h, "prefill_fp16_64tok", "seed_per_token", "batched_t1").to_json(),
+        ),
+        (
+            "prefill_batched_topt_vs_seed_per_token",
+            speedup(&h, "prefill_fp16_64tok", "seed_per_token", &format!("batched_t{top}"))
+                .to_json(),
+        ),
+        (
+            "kivi_decode_view_memo_vs_seed",
+            speedup(&h, "decode_view_256tok", "kivi_seed_uncached", "kivi_memoized").to_json(),
+        ),
+        (
+            "gear_decode_view_memo_vs_seed",
+            speedup(&h, "decode_view_256tok", "gear_seed_uncached", "gear_memoized").to_json(),
+        ),
+        (
+            "fig1_grid_topt_vs_t1",
+            speedup(&h, "fig1_grid_quick", "t1", &format!("t{top}")).to_json(),
+        ),
+    ]);
+    let doc = JsonValue::object(vec![
+        ("suite", "par_scaling".to_json()),
+        ("machine_parallelism", machine.to_json()),
+        ("thread_sweep", sweep.to_json()),
+        (
+            "note",
+            "speedups are median-over-median vs the seed single-threaded path; \
+             thread-sweep ratios saturate at machine_parallelism"
+                .to_json(),
+        ),
+        ("speedups", speedups),
+        ("records", h.records().to_json()),
+    ]);
+    let path = workspace_root().join("BENCH_par.json");
+    match std::fs::write(&path, doc.to_pretty_string()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    h.finish();
+}

@@ -119,6 +119,12 @@ impl Harness {
         g.finish();
     }
 
+    /// The records measured so far — for suites that post-process results
+    /// (speedup ratios, extra JSON artifacts) before `finish()`.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
     /// Prints the summary footer and writes
     /// `results/bench_<suite>.json` at the workspace root.
     pub fn finish(self) {
@@ -224,17 +230,17 @@ impl Group<'_> {
     pub fn finish(self) {}
 }
 
-/// The `results/` directory at the workspace root.
+/// The workspace root directory.
 ///
 /// `cargo bench` runs bench binaries with the *package* directory as cwd
-/// while `cargo run` keeps the caller's cwd, so a relative `results/`
-/// would scatter output. Cargo exports `CARGO_MANIFEST_DIR` into the
+/// while `cargo run` keeps the caller's cwd, so relative output paths
+/// would scatter artifacts. Cargo exports `CARGO_MANIFEST_DIR` into the
 /// runtime environment of anything it executes; climb from there to the
 /// outermost directory that still has a `Cargo.toml` (the workspace
-/// root). Outside cargo, fall back to plain `results/` under cwd.
-fn results_dir() -> std::path::PathBuf {
+/// root). Outside cargo, fall back to the current directory.
+pub fn workspace_root() -> std::path::PathBuf {
     let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") else {
-        return std::path::PathBuf::from("results");
+        return std::path::PathBuf::from(".");
     };
     let mut root = std::path::PathBuf::from(&manifest);
     let mut cursor = root.clone();
@@ -244,7 +250,12 @@ fn results_dir() -> std::path::PathBuf {
         }
         cursor = parent;
     }
-    root.join("results")
+    root
+}
+
+/// The `results/` directory at the workspace root.
+fn results_dir() -> std::path::PathBuf {
+    workspace_root().join("results")
 }
 
 /// Human formatting for nanosecond quantities.

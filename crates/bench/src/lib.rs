@@ -15,10 +15,13 @@
 //! * `ablations` — design-choice ablations from DESIGN.md (naive vs flash
 //!   traffic, KIVI residual window, GEAR rank, H2O budget, paged block
 //!   size).
+//! * `par_scaling` — the deterministic pool and blocked/memoized kernels
+//!   vs the seed single-threaded paths; also writes `BENCH_par.json` at
+//!   the workspace root.
 
 /// The default results directory the `repro` binary writes JSON into.
 pub const RESULTS_DIR: &str = "results";
 
 mod harness;
 
-pub use harness::{BenchRecord, Bencher, Group, Harness};
+pub use harness::{workspace_root, BenchRecord, Bencher, Group, Harness};

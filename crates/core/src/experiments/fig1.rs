@@ -18,93 +18,118 @@ pub const BATCHES: [usize; 5] = [1, 4, 8, 16, 32];
 /// Prompt/KV length axis.
 pub const LENGTHS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
 
+/// One independent panel of the Figure 1 grid; each job builds a whole
+/// table so the fan-out stays coarse enough to amortize the pool.
+enum PanelJob {
+    /// (a-b): FP16 decode throughput per engine at a fixed KV length.
+    EngineDecode { kv: usize },
+    /// (c-d): StreamingLLM decode speedup per engine at a fixed KV length.
+    StreamSpeedup { kv: usize },
+    /// (e-h): prefill throughput per algorithm at a fixed batch.
+    Prefill { batch: usize },
+    /// (i-l): decode throughput per algorithm (with OOM detection) at a
+    /// fixed batch.
+    DecodeAlgos { batch: usize },
+}
+
 /// Runs the Figure 1 sweeps for a given model spec (re-used by the
 /// appendix's Mistral-7B and LLaMA-13B variants).
+///
+/// The eight panels are independent (engine × batch × length cells of a
+/// pure analytic cost model), so they fan across the deterministic worker
+/// pool; the table order is fixed by the job list, not by completion.
 pub fn run_for_model(llm: LlmSpec, id: &str, title: &str) -> ExperimentResult {
-    let mut dep = a6000_lmdeploy(llm.clone());
-    let mut tables = Vec::new();
-
-    // (a-b): FP16 decode throughput per engine.
-    for kv in [1024usize, 4096] {
-        let mut t = Table::new(
-            format!("{id}(a-b) FP16 decode throughput (tok/s), kv={kv}"),
-            &["batch", "TRL", "TRL+FA", "LMD"],
-        );
-        for &b in &BATCHES {
-            let mut row = vec![b.to_string()];
-            for engine in EngineKind::all() {
-                dep.engine = engine;
-                row.push(fmt_thr(dep.decode_throughput(&CompressionConfig::Fp16, b, kv)));
-            }
-            t.push_row(row);
-        }
-        tables.push(t);
-    }
-
-    // (c-d): StreamingLLM relative decode speedup per engine.
-    let stream = CompressionConfig::streaming(64, 448);
-    for kv in [1024usize, 4096] {
-        let mut t = Table::new(
-            format!("{id}(c-d) StreamingLLM decode speedup vs FP16, kv={kv}"),
-            &["batch", "TRL", "TRL+FA", "LMD"],
-        );
-        for &b in &BATCHES {
-            let mut row = vec![b.to_string()];
-            for engine in EngineKind::all() {
-                dep.engine = engine;
-                let s = dep.decode_throughput(&stream, b, kv)
-                    / dep.decode_throughput(&CompressionConfig::Fp16, b, kv);
-                row.push(format!("{s:.2}x"));
-            }
-            t.push_row(row);
-        }
-        tables.push(t);
-    }
-
-    // (e-h): prefill throughput per algorithm.
-    dep.engine = EngineKind::LmDeploy;
+    let base = a6000_lmdeploy(llm.clone());
     let algos = paper_algos();
-    for batch in [1usize, 4] {
-        let headers: Vec<&str> = std::iter::once("prompt")
-            .chain(algos.iter().map(|(l, _)| l.as_str()))
-            .collect();
-        let mut t = Table::new(
-            format!("{id}(e-h) prefill throughput (tok/s), batch={batch}"),
-            &headers,
-        );
-        for &l in &LENGTHS {
-            let mut row = vec![l.to_string()];
-            for (_, cfg) in &algos {
-                row.push(fmt_thr(dep.prefill_throughput(cfg, batch, l)));
-            }
-            t.push_row(row);
-        }
-        tables.push(t);
-    }
+    let jobs = [
+        PanelJob::EngineDecode { kv: 1024 },
+        PanelJob::EngineDecode { kv: 4096 },
+        PanelJob::StreamSpeedup { kv: 1024 },
+        PanelJob::StreamSpeedup { kv: 4096 },
+        PanelJob::Prefill { batch: 1 },
+        PanelJob::Prefill { batch: 4 },
+        PanelJob::DecodeAlgos { batch: 8 },
+        PanelJob::DecodeAlgos { batch: 32 },
+    ];
 
-    // (i-l): decode throughput per algorithm, with OOM detection.
-    for batch in [8usize, 32] {
-        let headers: Vec<&str> = std::iter::once("kv_len")
-            .chain(algos.iter().map(|(l, _)| l.as_str()))
-            .collect();
-        let mut t = Table::new(
-            format!("{id}(i-l) decode throughput (tok/s), batch={batch}"),
-            &headers,
-        );
-        for &kv in &LENGTHS {
-            let mut row = vec![kv.to_string()];
-            for (_, cfg) in &algos {
-                let mem = decode_memory_bytes(&llm, dep.engine, cfg, batch, kv, 1, kv);
-                if fits_in_memory(&dep.gpu, &mem) {
-                    row.push(fmt_thr(dep.decode_throughput(cfg, batch, kv)));
-                } else {
-                    row.push("OOM".to_owned());
+    let tables = rkvc_tensor::par::par_map(&jobs, 1, |job| match *job {
+        PanelJob::EngineDecode { kv } => {
+            let mut dep = base.clone();
+            let mut t = Table::new(
+                format!("{id}(a-b) FP16 decode throughput (tok/s), kv={kv}"),
+                &["batch", "TRL", "TRL+FA", "LMD"],
+            );
+            for &b in &BATCHES {
+                let mut row = vec![b.to_string()];
+                for engine in EngineKind::all() {
+                    dep.engine = engine;
+                    row.push(fmt_thr(dep.decode_throughput(&CompressionConfig::Fp16, b, kv)));
                 }
+                t.push_row(row);
             }
-            t.push_row(row);
+            t
         }
-        tables.push(t);
-    }
+        PanelJob::StreamSpeedup { kv } => {
+            let mut dep = base.clone();
+            let stream = CompressionConfig::streaming(64, 448);
+            let mut t = Table::new(
+                format!("{id}(c-d) StreamingLLM decode speedup vs FP16, kv={kv}"),
+                &["batch", "TRL", "TRL+FA", "LMD"],
+            );
+            for &b in &BATCHES {
+                let mut row = vec![b.to_string()];
+                for engine in EngineKind::all() {
+                    dep.engine = engine;
+                    let s = dep.decode_throughput(&stream, b, kv)
+                        / dep.decode_throughput(&CompressionConfig::Fp16, b, kv);
+                    row.push(format!("{s:.2}x"));
+                }
+                t.push_row(row);
+            }
+            t
+        }
+        PanelJob::Prefill { batch } => {
+            let dep = base.clone();
+            let headers: Vec<&str> = std::iter::once("prompt")
+                .chain(algos.iter().map(|(l, _)| l.as_str()))
+                .collect();
+            let mut t = Table::new(
+                format!("{id}(e-h) prefill throughput (tok/s), batch={batch}"),
+                &headers,
+            );
+            for &l in &LENGTHS {
+                let mut row = vec![l.to_string()];
+                for (_, cfg) in &algos {
+                    row.push(fmt_thr(dep.prefill_throughput(cfg, batch, l)));
+                }
+                t.push_row(row);
+            }
+            t
+        }
+        PanelJob::DecodeAlgos { batch } => {
+            let dep = base.clone();
+            let headers: Vec<&str> = std::iter::once("kv_len")
+                .chain(algos.iter().map(|(l, _)| l.as_str()))
+                .collect();
+            let mut t = Table::new(
+                format!("{id}(i-l) decode throughput (tok/s), batch={batch}"),
+                &headers,
+            );
+            for &kv in &LENGTHS {
+                let mut row = vec![kv.to_string()];
+                for (_, cfg) in &algos {
+                    let mem = decode_memory_bytes(&llm, dep.engine, cfg, batch, kv, 1, kv);
+                    if fits_in_memory(&dep.gpu, &mem) {
+                        row.push(fmt_thr(dep.decode_throughput(cfg, batch, kv)));
+                    } else {
+                        row.push("OOM".to_owned());
+                    }
+                }
+                t.push_row(row);
+            }
+            t
+        }
+    });
 
     ExperimentResult {
         id: id.to_owned(),

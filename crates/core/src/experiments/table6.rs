@@ -20,15 +20,21 @@ fn length_dataset(
     seed: u64,
 ) -> LengthDataset {
     let requests = sample_conversations(&ShareGptConfig::tiny_scale(n, seed), 64);
-    let mut data = LengthDataset::new();
-    for r in &requests {
+    // Each request runs an independent generation session with a
+    // per-request seed, so the calibration corpus fans across the
+    // deterministic worker pool; responses come back in request order.
+    let lengths = rkvc_tensor::par::par_map(&requests, 1, |r| {
         let params = GenerateParams {
             max_new_tokens: (r.reference_response_len * 3).max(24).min(96),
             temperature: 1.0,
             seed: seed ^ r.id as u64,
         };
         let out = model.generate(&r.prompt, algo, &params);
-        data.push(&r.prompt, out.response_len().max(1));
+        out.response_len().max(1)
+    });
+    let mut data = LengthDataset::new();
+    for (r, len) in requests.iter().zip(lengths) {
+        data.push(&r.prompt, len);
     }
     data
 }
@@ -39,15 +45,15 @@ pub fn length_rows(model: &TinyLm, opts: &RunOptions) -> Vec<(String, f64)> {
     // the measured accuracy swings tens of points across RNG streams and
     // the calibration-band test below becomes a coin flip.
     let n = opts.pick(120, 400);
-    rkvc_workload::scaled_paper_suite()
-        .iter()
-        .map(|algo| {
-            let data = length_dataset(model, &algo.config, n, opts.seed ^ 0x7ab);
-            let (train, test) = data.split(0.75);
-            let predictor = LengthPredictor::fit(&train);
-            (algo.label.clone(), predictor.accuracy(&test))
-        })
-        .collect()
+    let suite = rkvc_workload::scaled_paper_suite();
+    // Algorithms are independent too; inner fan-outs run inline once a
+    // worker claims an algorithm.
+    rkvc_tensor::par::par_map(&suite, 1, |algo| {
+        let data = length_dataset(model, &algo.config, n, opts.seed ^ 0x7ab);
+        let (train, test) = data.split(0.75);
+        let predictor = LengthPredictor::fit(&train);
+        (algo.label.clone(), predictor.accuracy(&test))
+    })
 }
 
 /// Runs Table 6.

@@ -25,14 +25,16 @@ pub struct SampleScores {
 
 /// Evaluates every sample under FP16 and each algorithm, producing the raw
 /// score table Algorithm 1 consumes.
+///
+/// Samples are independent (each runs its own generation sessions with
+/// per-sample seeds), so they fan across the deterministic worker pool;
+/// results come back in suite order at any `RKVC_THREADS` value.
 pub fn evaluate_suite(
     model: &TinyLm,
     samples: &[TaskSample],
     algos: &[(String, CompressionConfig)],
 ) -> Vec<SampleScores> {
-    samples
-        .iter()
-        .map(|s| {
+    rkvc_tensor::par::par_map(samples, 1, |s| {
             let params = GenerateParams::greedy(s.max_new_tokens);
             let baseline = {
                 let out = model.generate(&s.prompt, &CompressionConfig::Fp16, &params);
@@ -51,8 +53,7 @@ pub fn evaluate_suite(
                 baseline,
                 by_algo,
             }
-        })
-        .collect()
+    })
 }
 
 /// Mean FP16 score — the benign-sample cutoff (footnote 2: samples at or

@@ -45,7 +45,7 @@ impl KvView {
 /// 3. [`finish_prefill`](KvCache::finish_prefill) — called once when the
 ///    prompt has been fully ingested. Prefill-compressing policies (SnapKV)
 ///    act here.
-pub trait KvCache: std::fmt::Debug {
+pub trait KvCache: std::fmt::Debug + Send {
     /// Appends the key/value vectors for the token at sequence position
     /// `pos`.
     ///

@@ -128,10 +128,19 @@ impl CorrectedTensor {
 }
 
 /// One chunk of tokens in corrected-quantized storage.
+///
+/// Chunks are immutable once flushed, so the reconstruction
+/// (`dequant(Q) + U·V + sparse`) is computed exactly once at flush time
+/// and memoized: `view()` used to redo the dequantize + low-rank matmul
+/// per chunk on every decode step. The memo is a host-side decode cache —
+/// the simulated device memory accounting counts only the compressed
+/// representation.
 #[derive(Debug, Clone)]
 struct GearChunk {
     keys: CorrectedTensor,
     values: CorrectedTensor,
+    recon_keys: Matrix,
+    recon_values: Matrix,
     positions: Vec<usize>,
 }
 
@@ -205,6 +214,35 @@ impl GearCache {
         self.chunks.iter().map(|c| c.positions.len()).sum()
     }
 
+    /// Rebuilds the view by re-running every chunk's reconstruction —
+    /// the pre-memoization decode path. Retained as the equality oracle
+    /// for the flush-time reconstruction cache and as the baseline the
+    /// `par_scaling` bench measures the decode-kernel win against.
+    pub fn view_uncached(&self) -> KvView {
+        let mut keys = Matrix::zeros(0, self.head_dim);
+        let mut values = Matrix::zeros(0, self.head_dim);
+        let mut positions = Vec::with_capacity(self.len());
+        for chunk in &self.chunks {
+            let dk = chunk.keys.reconstruct();
+            let dv = chunk.values.reconstruct();
+            for r in 0..dk.rows() {
+                keys.push_row(dk.row(r));
+                values.push_row(dv.row(r));
+            }
+            positions.extend_from_slice(&chunk.positions);
+        }
+        for r in 0..self.buf_keys.rows() {
+            keys.push_row(self.buf_keys.row(r));
+            values.push_row(self.buf_values.row(r));
+        }
+        positions.extend_from_slice(&self.buf_positions);
+        KvView {
+            keys,
+            values,
+            positions,
+        }
+    }
+
     fn maybe_flush(&mut self) {
         while self.buf_positions.len() >= 2 * self.params.buffer {
             let n = self.params.buffer;
@@ -218,9 +256,13 @@ impl GearCache {
             self.err_sum += (ek + ev) as f64 * 0.5;
             self.err_count += 1;
 
+            let rk = ck.reconstruct();
+            let rv = cv.reconstruct();
             self.chunks.push(GearChunk {
                 keys: ck,
                 values: cv,
+                recon_keys: rk,
+                recon_values: rv,
                 positions,
             });
 
@@ -251,18 +293,12 @@ impl KvCache for GearCache {
         let mut values = Matrix::zeros(0, self.head_dim);
         let mut positions = Vec::with_capacity(self.len());
         for chunk in &self.chunks {
-            let dk = chunk.keys.reconstruct();
-            let dv = chunk.values.reconstruct();
-            for r in 0..dk.rows() {
-                keys.push_row(dk.row(r));
-                values.push_row(dv.row(r));
-            }
+            keys.push_rows(&chunk.recon_keys);
+            values.push_rows(&chunk.recon_values);
             positions.extend_from_slice(&chunk.positions);
         }
-        for r in 0..self.buf_keys.rows() {
-            keys.push_row(self.buf_keys.row(r));
-            values.push_row(self.buf_values.row(r));
-        }
+        keys.push_rows(&self.buf_keys);
+        values.push_rows(&self.buf_values);
         positions.extend_from_slice(&self.buf_positions);
         KvView {
             keys,
@@ -399,6 +435,19 @@ mod tests {
         c.append(&[0.5, -0.5], &[0.25, 0.75], 20);
         let v = c.view();
         assert_eq!(v.keys.row(v.keys.rows() - 1), &[0.5, -0.5]);
+    }
+
+    /// The flush-time reconstruction memo must be indistinguishable from
+    /// re-running the reconstruction on every view call.
+    #[test]
+    fn memoized_view_matches_uncached_oracle() {
+        let mut c = GearCache::new(8, GearParams { buffer: 4, ..Default::default() }).unwrap();
+        fill(&mut c, 50, 8, 9);
+        let fast = c.view();
+        let slow = c.view_uncached();
+        assert_eq!(fast.positions, slow.positions);
+        assert_eq!(fast.keys, slow.keys);
+        assert_eq!(fast.values, slow.values);
     }
 
     #[test]

@@ -36,10 +36,18 @@ impl Default for KiviParams {
 }
 
 /// One flushed group of `G` tokens in quantized storage.
+///
+/// Chunks are immutable once flushed, so the dequantized form is computed
+/// exactly once (at flush time) and memoized: `view()` used to
+/// re-dequantize every chunk on every decode step, an O(n²) bit-unpacking
+/// cost over a generation. The memo is a host-side decode cache — the
+/// simulated device memory accounting counts only the quantized codes.
 #[derive(Debug, Clone)]
 struct QuantChunk {
     keys: QuantizedMatrix,
     values: QuantizedMatrix,
+    dequant_keys: Matrix,
+    dequant_values: Matrix,
     positions: Vec<usize>,
 }
 
@@ -117,6 +125,35 @@ impl KiviCache {
         self.res_positions.len()
     }
 
+    /// Rebuilds the view by re-dequantizing every chunk from its packed
+    /// codes — the pre-memoization decode path. Retained as the equality
+    /// oracle for the flush-time dequant cache and as the baseline the
+    /// `par_scaling` bench measures the decode-kernel win against.
+    pub fn view_uncached(&self) -> KvView {
+        let mut keys = Matrix::zeros(0, self.head_dim);
+        let mut values = Matrix::zeros(0, self.head_dim);
+        let mut positions = Vec::with_capacity(self.len());
+        for chunk in &self.chunks {
+            let dk = chunk.keys.dequantize();
+            let dv = chunk.values.dequantize();
+            for r in 0..dk.rows() {
+                keys.push_row(dk.row(r));
+                values.push_row(dv.row(r));
+            }
+            positions.extend_from_slice(&chunk.positions);
+        }
+        for r in 0..self.res_keys.rows() {
+            keys.push_row(self.res_keys.row(r));
+            values.push_row(self.res_values.row(r));
+        }
+        positions.extend_from_slice(&self.res_positions);
+        KvView {
+            keys,
+            values,
+            positions,
+        }
+    }
+
     /// Flushes aged-out residual tokens into quantized groups.
     fn maybe_flush(&mut self) {
         while self.res_positions.len() >= self.params.residual + self.params.group_size {
@@ -127,9 +164,11 @@ impl KiviCache {
 
             let qk = QuantizedMatrix::quantize(&key_chunk, GroupLayout::PerChannel, self.bits);
             let qv = QuantizedMatrix::quantize(&val_chunk, GroupLayout::PerToken, self.bits);
+            let dk = qk.dequantize();
+            let dv = qv.dequantize();
 
             // Track reconstruction error (keys dominate accuracy impact).
-            let err = qk.dequantize().sub(&key_chunk);
+            let err = dk.sub(&key_chunk);
             for e in err.as_slice() {
                 self.err_sum += e.abs() as f64;
             }
@@ -138,6 +177,8 @@ impl KiviCache {
             self.chunks.push(QuantChunk {
                 keys: qk,
                 values: qv,
+                dequant_keys: dk,
+                dequant_values: dv,
                 positions,
             });
 
@@ -169,18 +210,12 @@ impl KvCache for KiviCache {
         let mut values = Matrix::zeros(0, self.head_dim);
         let mut positions = Vec::with_capacity(self.len());
         for chunk in &self.chunks {
-            let dk = chunk.keys.dequantize();
-            let dv = chunk.values.dequantize();
-            for r in 0..dk.rows() {
-                keys.push_row(dk.row(r));
-                values.push_row(dv.row(r));
-            }
+            keys.push_rows(&chunk.dequant_keys);
+            values.push_rows(&chunk.dequant_values);
             positions.extend_from_slice(&chunk.positions);
         }
-        for r in 0..self.res_keys.rows() {
-            keys.push_row(self.res_keys.row(r));
-            values.push_row(self.res_values.row(r));
-        }
+        keys.push_rows(&self.res_keys);
+        values.push_rows(&self.res_values);
         positions.extend_from_slice(&self.res_positions);
         KvView {
             keys,
@@ -320,6 +355,19 @@ mod tests {
         let v = c.view();
         let last = v.keys.row(v.keys.rows() - 1);
         assert_eq!(last, &k_last[..]); // Representable in f16, kept in residual.
+    }
+
+    /// The flush-time dequant memo must be indistinguishable from
+    /// re-dequantizing the packed codes on every view call.
+    #[test]
+    fn memoized_view_matches_uncached_oracle() {
+        let mut c = KiviCache::new(8, small_params()).unwrap();
+        fill(&mut c, 70, 8, 8);
+        let fast = c.view();
+        let slow = c.view_uncached();
+        assert_eq!(fast.positions, slow.positions);
+        assert_eq!(fast.keys, slow.keys);
+        assert_eq!(fast.values, slow.values);
     }
 
     #[test]

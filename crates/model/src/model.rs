@@ -67,14 +67,24 @@ impl TinyLm {
             caches,
             pos: 0,
             prev_token: crate::vocab::BOS,
+            scratch: Scratch::default(),
         }
     }
 }
 
 /// Row-vector × matrix product.
 fn vec_mat(v: &[f32], m: &Matrix) -> Vec<f32> {
+    let mut out = Vec::new();
+    vec_mat_into(v, m, &mut out);
+    out
+}
+
+/// Row-vector × matrix product into a reusable buffer — bit-identical to
+/// [`vec_mat`] without the per-call allocation.
+fn vec_mat_into(v: &[f32], m: &Matrix, out: &mut Vec<f32>) {
     debug_assert_eq!(v.len(), m.rows());
-    let mut out = vec![0.0f32; m.cols()];
+    out.clear();
+    out.resize(m.cols(), 0.0);
     for (r, &x) in v.iter().enumerate() {
         if x == 0.0 {
             continue;
@@ -83,7 +93,80 @@ fn vec_mat(v: &[f32], m: &Matrix) -> Vec<f32> {
             *o += x * w;
         }
     }
-    out
+}
+
+/// Minimum `tokens_in_cache × group_size × head_dim` before the per-layer
+/// KV-head units fan across the worker pool; below this the pool's spawn
+/// cost dominates the attention arithmetic.
+const ATTN_PAR_MIN_WORK: usize = 1 << 14;
+
+/// Runs one KV head's work for `n_tokens` consecutive tokens: append the
+/// new K/V rows, then attend for every query head in the head's group.
+///
+/// This is the unit both [`Session::forward`] and the batched
+/// [`Session::prefill`] fan across [`rkvc_tensor::par`]: units touch
+/// disjoint caches and disjoint output stripes, and within a unit tokens
+/// are processed strictly in order, so each cache observes exactly the
+/// same call sequence — and produces exactly the same bits — as the
+/// seed's token-at-a-time loop, at any thread count.
+#[allow(clippy::too_many_arguments)]
+fn run_kv_unit(
+    cache: &mut dyn KvCache,
+    kvh: usize,
+    n_tokens: usize,
+    pos0: usize,
+    scale: f32,
+    group_size: usize,
+    hd: usize,
+    q_all: &[f32],
+    q_stride: usize,
+    k_all: &[f32],
+    v_all: &[f32],
+    kv_stride: usize,
+    out: &mut [f32],
+) {
+    let unit_width = group_size * hd;
+    for t in 0..n_tokens {
+        cache.append(
+            &k_all[t * kv_stride + kvh * hd..][..hd],
+            &v_all[t * kv_stride + kvh * hd..][..hd],
+            pos0 + t,
+        );
+        for g in 0..group_size {
+            let h = kvh * group_size + g;
+            let q = &q_all[t * q_stride + h * hd..][..hd];
+            let view = cache.view_for_query(q);
+            let n = view.len();
+            let mut scores = Vec::with_capacity(n);
+            for r in 0..n {
+                let dot: f32 = view.keys.row(r).iter().zip(q).map(|(a, b)| a * b).sum();
+                scores.push(dot * scale);
+            }
+            let weights = softmax_row(&scores);
+            cache.observe_attention(&weights);
+            let o = &mut out[t * unit_width + g * hd..][..hd];
+            for (r, &wgt) in weights.iter().enumerate() {
+                for (ov, v) in o.iter_mut().zip(view.values.row(r)) {
+                    *ov += wgt * v;
+                }
+            }
+        }
+    }
+}
+
+/// Reusable per-session activation buffers; [`Session::forward`] used to
+/// allocate each of these fresh for every token.
+#[derive(Debug, Default)]
+struct Scratch {
+    x: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<f32>,
+    proj: Vec<f32>,
+    gate: Vec<f32>,
+    up: Vec<f32>,
+    hidden: Vec<f32>,
 }
 
 /// A generation session: the mutable KV caches and stream position for one
@@ -99,6 +182,7 @@ pub struct Session<'m> {
     caches: Vec<Vec<Box<dyn KvCache>>>,
     pos: usize,
     prev_token: TokenId,
+    scratch: Scratch,
 }
 
 impl Session<'_> {
@@ -114,88 +198,232 @@ impl Session<'_> {
         let w = &self.model.weights;
         let d = cfg.d_model();
         let hd = cfg.head_dim();
+        let gs = cfg.group_size();
         let scale = 1.0 / (hd as f32).sqrt();
 
         // Embed: current code (A) + previous code (B) + position (P).
-        let mut x = vec![0.0f32; d];
+        self.scratch.x.clear();
+        self.scratch.x.resize(d, 0.0);
         for (i, &v) in w.codes.row(token).iter().enumerate() {
-            x[cfg.seg_a() + i] = v;
+            self.scratch.x[cfg.seg_a() + i] = v;
         }
         for (i, &v) in w.codes.row(self.prev_token).iter().enumerate() {
-            x[cfg.seg_b() + i] = v;
+            self.scratch.x[cfg.seg_b() + i] = v;
         }
         for (i, v) in self.model.posenc.encode(self.pos).into_iter().enumerate() {
-            x[cfg.seg_p() + i] = v;
+            self.scratch.x[cfg.seg_p() + i] = v;
         }
 
         for (l, lw) in w.layers.iter().enumerate() {
             // Projections.
-            let q_all = vec_mat(&x, &lw.wq);
-            let k_all = vec_mat(&x, &lw.wk);
-            let v_all = vec_mat(&x, &lw.wv);
+            vec_mat_into(&self.scratch.x, &lw.wq, &mut self.scratch.q);
+            vec_mat_into(&self.scratch.x, &lw.wk, &mut self.scratch.k);
+            vec_mat_into(&self.scratch.x, &lw.wv, &mut self.scratch.v);
 
-            // Append this token's K/V to every KV head's cache.
-            for kvh in 0..cfg.n_kv_heads {
-                self.caches[l][kvh].append(
-                    &k_all[kvh * hd..(kvh + 1) * hd],
-                    &v_all[kvh * hd..(kvh + 1) * hd],
-                    self.pos,
-                );
-            }
-
-            // Attention per query head. Query-aware policies (Quest) select
-            // a per-query subset; static policies return their full view.
-            let mut attn = vec![0.0f32; cfg.n_heads * hd];
-            for h in 0..cfg.n_heads {
-                let kvh = cfg.kv_head_of(h);
-                let q = &q_all[h * hd..(h + 1) * hd];
-                let view = &self.caches[l][kvh].view_for_query(q);
-                let n = view.len();
-                let mut scores = Vec::with_capacity(n);
-                for r in 0..n {
-                    let dot: f32 = view.keys.row(r).iter().zip(q).map(|(a, b)| a * b).sum();
-                    scores.push(dot * scale);
+            // Attention, one unit per KV head: append this token's K/V,
+            // then attend for the unit's query heads. Query-aware policies
+            // (Quest) select a per-query subset inside `view_for_query`;
+            // static policies return their full view. Units own disjoint
+            // caches and disjoint `attn` stripes, so they fan across the
+            // pool once the cache is long enough to pay for it.
+            self.scratch.attn.clear();
+            self.scratch.attn.resize(cfg.n_heads * hd, 0.0);
+            let q_all = &self.scratch.q;
+            let k_all = &self.scratch.k;
+            let v_all = &self.scratch.v;
+            let pos = self.pos;
+            let mut units: Vec<(usize, &mut Box<dyn KvCache>, &mut [f32])> = self.caches[l]
+                .iter_mut()
+                .zip(self.scratch.attn.chunks_mut(gs * hd))
+                .enumerate()
+                .map(|(kvh, (cache, out))| (kvh, cache, out))
+                .collect();
+            let grain = if (pos + 1) * gs * hd >= ATTN_PAR_MIN_WORK {
+                1
+            } else {
+                units.len()
+            };
+            rkvc_tensor::par::par_chunks_mut(&mut units, grain, |_, chunk| {
+                for (kvh, cache, out) in chunk.iter_mut() {
+                    run_kv_unit(
+                        cache.as_mut(),
+                        *kvh,
+                        1,
+                        pos,
+                        scale,
+                        gs,
+                        hd,
+                        q_all,
+                        0,
+                        k_all,
+                        v_all,
+                        0,
+                        out,
+                    );
                 }
-                let weights = softmax_row(&scores);
-                self.caches[l][kvh].observe_attention(&weights);
-                let out = &mut attn[h * hd..(h + 1) * hd];
-                for (r, &wgt) in weights.iter().enumerate() {
-                    for (o, v) in out.iter_mut().zip(view.values.row(r)) {
-                        *o += wgt * v;
-                    }
-                }
-            }
+            });
 
             // Residual add of the attention output.
-            for (xi, oi) in x.iter_mut().zip(vec_mat(&attn, &lw.wo)) {
+            vec_mat_into(&self.scratch.attn, &lw.wo, &mut self.scratch.proj);
+            for (xi, oi) in self.scratch.x.iter_mut().zip(&self.scratch.proj) {
                 *xi += oi;
             }
 
             // SwiGLU MLP with residual.
-            let gate = vec_mat(&x, &lw.w_gate);
-            let up = vec_mat(&x, &lw.w_up);
-            let hidden: Vec<f32> = gate
-                .into_iter()
-                .zip(up)
-                .map(|(g, u)| silu(g) * u)
-                .collect();
-            for (xi, oi) in x.iter_mut().zip(vec_mat(&hidden, &lw.w_down)) {
+            vec_mat_into(&self.scratch.x, &lw.w_gate, &mut self.scratch.gate);
+            vec_mat_into(&self.scratch.x, &lw.w_up, &mut self.scratch.up);
+            self.scratch.hidden.clear();
+            self.scratch.hidden.extend(
+                self.scratch
+                    .gate
+                    .iter()
+                    .zip(&self.scratch.up)
+                    .map(|(&g, &u)| silu(g) * u),
+            );
+            vec_mat_into(&self.scratch.hidden, &lw.w_down, &mut self.scratch.proj);
+            for (xi, oi) in self.scratch.x.iter_mut().zip(&self.scratch.proj) {
                 *xi += oi;
             }
         }
 
         self.prev_token = token;
         self.pos += 1;
-        vec_mat(&x, &w.lm_head)
+        vec_mat(&self.scratch.x, &w.lm_head)
     }
 
     /// Ingests a whole prompt, returning the logits after its last token and
     /// signalling `finish_prefill` to every cache (SnapKV compresses here).
     ///
+    /// The prompt is batched layer by layer through the blocked matmul:
+    /// all positions are projected at once, each KV head then consumes its
+    /// tokens strictly in order, and logits are computed only for the final
+    /// position (the only observable ones). Each per-head cache sees the
+    /// identical call sequence as the seed's token-at-a-time loop, so the
+    /// returned logits and every cache state are bit-identical to
+    /// [`Session::prefill_per_token`] — the property
+    /// `batched_prefill_matches_per_token_oracle` pins down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty or contains an out-of-vocabulary token.
+    pub fn prefill(&mut self, prompt: &[TokenId]) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        let cfg = &self.model.cfg;
+        let w = &self.model.weights;
+        let d = cfg.d_model();
+        let hd = cfg.head_dim();
+        let gs = cfg.group_size();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let n = prompt.len();
+        let pos0 = self.pos;
+
+        // Embed every prompt position: current code (A) + previous code
+        // (B) + position (P), one row per token.
+        let mut x = Matrix::zeros(n, d);
+        for (t, &tok) in prompt.iter().enumerate() {
+            assert!(tok < cfg.vocab_size, "token {tok} out of vocabulary");
+            let prev = if t == 0 { self.prev_token } else { prompt[t - 1] };
+            let row = x.row_mut(t);
+            row[cfg.seg_a()..cfg.seg_a() + cfg.code_dim].copy_from_slice(w.codes.row(tok));
+            row[cfg.seg_b()..cfg.seg_b() + cfg.code_dim].copy_from_slice(w.codes.row(prev));
+            for (i, v) in self.model.posenc.encode(pos0 + t).into_iter().enumerate() {
+                row[cfg.seg_p() + i] = v;
+            }
+        }
+
+        for (l, lw) in w.layers.iter().enumerate() {
+            // Whole-prompt projections through the blocked kernel.
+            let q_all = x.matmul(&lw.wq);
+            let k_all = x.matmul(&lw.wk);
+            let v_all = x.matmul(&lw.wv);
+
+            // Per-KV-head units, each consuming the whole prompt in token
+            // order into an owned output stripe.
+            struct PrefillUnit<'a> {
+                kvh: usize,
+                cache: &'a mut Box<dyn KvCache>,
+                out: Vec<f32>,
+            }
+            let mut units: Vec<PrefillUnit<'_>> = self.caches[l]
+                .iter_mut()
+                .enumerate()
+                .map(|(kvh, cache)| PrefillUnit {
+                    kvh,
+                    cache,
+                    out: vec![0.0f32; n * gs * hd],
+                })
+                .collect();
+            let grain = if n * (pos0 + n) * gs * hd >= ATTN_PAR_MIN_WORK {
+                1
+            } else {
+                units.len()
+            };
+            rkvc_tensor::par::par_chunks_mut(&mut units, grain, |_, chunk| {
+                for u in chunk.iter_mut() {
+                    run_kv_unit(
+                        u.cache.as_mut(),
+                        u.kvh,
+                        n,
+                        pos0,
+                        scale,
+                        gs,
+                        hd,
+                        q_all.as_slice(),
+                        q_all.cols(),
+                        k_all.as_slice(),
+                        v_all.as_slice(),
+                        k_all.cols(),
+                        &mut u.out,
+                    );
+                }
+            });
+            let mut attn = Matrix::zeros(n, cfg.n_heads * hd);
+            for u in &units {
+                let width = gs * hd;
+                for t in 0..n {
+                    attn.row_mut(t)[u.kvh * width..(u.kvh + 1) * width]
+                        .copy_from_slice(&u.out[t * width..(t + 1) * width]);
+                }
+            }
+            drop(units);
+
+            // Residual add of the attention output, then the SwiGLU MLP,
+            // all positions at once.
+            x = x.add(&attn.matmul(&lw.wo));
+            let gate = x.matmul(&lw.w_gate);
+            let up = x.matmul(&lw.w_up);
+            let hidden = Matrix::from_vec(
+                n,
+                cfg.mlp_hidden,
+                gate.as_slice()
+                    .iter()
+                    .zip(up.as_slice())
+                    .map(|(&g, &u)| silu(g) * u)
+                    .collect(),
+            );
+            x = x.add(&hidden.matmul(&lw.w_down));
+        }
+
+        self.prev_token = prompt[n - 1];
+        self.pos += n;
+        for layer in &mut self.caches {
+            for cache in layer {
+                cache.finish_prefill();
+            }
+        }
+        // Only the final position's logits are observable.
+        vec_mat(x.row(n - 1), &w.lm_head)
+    }
+
+    /// Reference prompt path: the seed's token-at-a-time forward loop,
+    /// computing (and discarding) logits at every position. Retained as
+    /// the oracle for the batched [`Session::prefill`] and as the
+    /// baseline the `par_scaling` bench measures against.
+    ///
     /// # Panics
     ///
     /// Panics if `prompt` is empty.
-    pub fn prefill(&mut self, prompt: &[TokenId]) -> Vec<f32> {
+    pub fn prefill_per_token(&mut self, prompt: &[TokenId]) -> Vec<f32> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         let mut logits = Vec::new();
         for &t in prompt {
@@ -376,6 +604,77 @@ mod tests {
         let mut s = model.start_session(&cfg);
         let logits = s.prefill(&prompt);
         assert_eq!(argmax(&logits), a + 1, "KIVI-4 should retain retrieval");
+    }
+
+    /// The batched prefill must be bit-identical to the seed's
+    /// token-at-a-time loop — logits, retained positions, and cache
+    /// statistics — for every compression policy and at every thread
+    /// count, because each per-head cache observes the same ordered call
+    /// sequence either way.
+    #[test]
+    fn batched_prefill_matches_per_token_oracle() {
+        let policies = [
+            CompressionConfig::Fp16,
+            CompressionConfig::streaming(2, 10),
+            CompressionConfig::Kivi(rkvc_kvcache::KiviParams {
+                bits: 4,
+                group_size: 8,
+                residual: 8,
+            }),
+        ];
+        let model = TinyLm::new(ModelConfig::induction_mha());
+        let prompt: Vec<TokenId> = {
+            let mut p = vec![vocab::BOS];
+            p.extend((0..40).map(|i| vocab::CONTENT_START + (i % 16)));
+            p
+        };
+        for cfg in &policies {
+            let mut per_token = model.start_session(cfg);
+            let oracle = per_token.prefill_per_token(&prompt);
+            for threads in [1usize, 2, 4] {
+                rkvc_tensor::par::set_threads(Some(threads));
+                let mut batched = model.start_session(cfg);
+                let logits = batched.prefill(&prompt);
+                assert_eq!(logits.len(), oracle.len());
+                for (a, b) in logits.iter().zip(&oracle) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "logits diverged for {cfg:?} at {threads} threads"
+                    );
+                }
+                assert_eq!(batched.position(), per_token.position());
+                assert_eq!(batched.kv_memory_bytes(), per_token.kv_memory_bytes());
+                assert_eq!(
+                    batched.retained_positions(0, 0),
+                    per_token.retained_positions(0, 0)
+                );
+            }
+            rkvc_tensor::par::set_threads(None);
+        }
+    }
+
+    /// Decode after a batched prefill continues from the identical cache
+    /// state: the full greedy continuation matches the per-token path.
+    #[test]
+    fn decode_after_batched_prefill_matches_oracle() {
+        let model = TinyLm::new(ModelConfig::induction_gqa());
+        let a = vocab::CONTENT_START + 2;
+        let prompt = pattern_prompt(a);
+        let mut s1 = model.start_session(&CompressionConfig::Fp16);
+        let mut s2 = model.start_session(&CompressionConfig::Fp16);
+        let mut l1 = s1.prefill(&prompt);
+        let mut l2 = s2.prefill_per_token(&prompt);
+        for _ in 0..6 {
+            let t1 = argmax(&l1);
+            let t2 = argmax(&l2);
+            assert_eq!(t1, t2);
+            l1 = s1.decode(t1);
+            l2 = s2.decode(t2);
+            for (x, y) in l1.iter().zip(&l2) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

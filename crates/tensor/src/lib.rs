@@ -24,6 +24,7 @@ pub mod json;
 mod lowrank;
 mod matrix;
 mod ops;
+pub mod par;
 mod rng;
 
 pub use half::{f16_bits_to_f32, f32_to_f16_bits, round_to_f16, round_slice_to_f16};

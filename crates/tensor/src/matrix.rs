@@ -52,6 +52,43 @@ impl FromJson for Matrix {
     }
 }
 
+/// Output rows per parallel chunk in the blocked matmul kernels.
+const MATMUL_ROW_BLOCK: usize = 8;
+
+/// `k`-panel width: a panel of the right-hand matrix
+/// (`K_PANEL x cols` floats) stays cache-resident while a block of
+/// output rows streams over it.
+const K_PANEL: usize = 64;
+
+/// Minimum `rows * k * cols` product before matmul fans rows across the
+/// worker pool; below this, spawn cost dominates.
+const PAR_MIN_WORK: usize = 1 << 18;
+
+/// Accumulates `a[i0.., :] * b` into `out_chunk` (a block of contiguous
+/// output rows), tiling over k-panels. Panels ascend, and within a panel
+/// every output element adds its terms in ascending-`k` order in place —
+/// exactly the naive i-k-j association, so results are bit-identical to
+/// [`Matrix::matmul_naive`] for any block size.
+fn matmul_rows_into(a: &[f32], a_cols: usize, b: &[f32], cols: usize, i0: usize, out_chunk: &mut [f32]) {
+    let rows_here = out_chunk.len() / cols;
+    for k0 in (0..a_cols).step_by(K_PANEL) {
+        let k_end = (k0 + K_PANEL).min(a_cols);
+        for i in 0..rows_here {
+            let a_row = &a[(i0 + i) * a_cols..(i0 + i + 1) * a_cols];
+            let out_row = &mut out_chunk[i * cols..(i + 1) * cols];
+            for (k, &av) in a_row.iter().enumerate().take(k_end).skip(k0) {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[k * cols..k * cols + cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -183,12 +220,55 @@ impl Matrix {
         self.data
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, via a cache-blocked kernel.
+    ///
+    /// The kernel tiles over output-row blocks and k-panels so the
+    /// streamed panel of `other` stays cache-resident across a block of
+    /// output rows, and fans row blocks across [`crate::par`] when the
+    /// product is large enough to amortize the pool. Each output element
+    /// still accumulates its terms in ascending-`k` order with the same
+    /// zero-skip as [`Matrix::matmul_naive`], so the result is
+    /// bit-identical to the naive oracle at every thread count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        if self.rows == 0 || self.cols == 0 || other.cols == 0 {
+            return out;
+        }
+        let cols = other.cols;
+        // Row blocks only split *which elements a worker owns*; every
+        // element's accumulation order is fixed, so the split (and hence
+        // the parallel grain) cannot change bits. Fall back to a single
+        // chunk for small products where spawn cost would dominate.
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
+        let grain = if work >= PAR_MIN_WORK {
+            MATMUL_ROW_BLOCK * cols
+        } else {
+            out.data.len()
+        };
+        crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
+            let i0 = chunk_idx * (grain / cols);
+            matmul_rows_into(&self.data, self.cols, &other.data, cols, i0, out_chunk);
+        });
+        out
+    }
+
+    /// Reference scalar matmul (i-k-j loop), retained as the test oracle
+    /// for the blocked kernel and as the single-thread baseline in the
+    /// `par_scaling` bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -215,12 +295,54 @@ impl Matrix {
     /// Matrix product with the transpose of `other`: `self * other^T`.
     ///
     /// This avoids materializing the transpose in attention score
-    /// computation (`Q * K^T`).
+    /// computation (`Q * K^T`). Rows fan across [`crate::par`] for large
+    /// products; each dot product keeps the naive sequential fold, so the
+    /// result is bit-identical to [`Matrix::matmul_transposed_naive`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        if self.rows == 0 || other.rows == 0 {
+            return out;
+        }
+        let b_rows = other.rows;
+        let work = self.rows.saturating_mul(self.cols).saturating_mul(b_rows);
+        let grain = if work >= PAR_MIN_WORK {
+            MATMUL_ROW_BLOCK * b_rows
+        } else {
+            out.data.len()
+        };
+        crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
+            let i0 = chunk_idx * (grain / b_rows);
+            for (i, out_row) in out_chunk.chunks_mut(b_rows).enumerate() {
+                let a_row = &self.data[(i0 + i) * self.cols..(i0 + i + 1) * self.cols];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0;
+                    for (a, b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Reference scalar transpose-product, retained as the test oracle
+    /// for the blocked/parallel [`Matrix::matmul_transposed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transposed_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
@@ -303,6 +425,22 @@ impl Matrix {
         assert_eq!(row.len(), self.cols, "push_row width mismatch");
         self.data.extend_from_slice(row);
         self.rows += 1;
+    }
+
+    /// Appends all rows of `other` in one bulk copy (the fast path KV
+    /// views use instead of per-row [`Matrix::push_row`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.cols() != self.cols()` (unless `self` is empty,
+    /// in which case `other` defines the width).
+    pub fn push_rows(&mut self, other: &Matrix) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = other.cols;
+        }
+        assert_eq!(other.cols, self.cols, "push_rows width mismatch");
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
     }
 
     /// Returns a new matrix containing the selected rows, in order.

@@ -1,0 +1,366 @@
+//! Deterministic parallel runtime: a scoped worker pool with **static
+//! chunk assignment**.
+//!
+//! Every entry point in this module guarantees *bit-identical* results at
+//! any thread count, including 1. The guarantee is by construction:
+//!
+//! - **Chunk boundaries are a pure function of `(len, grain)`** — chunk
+//!   `c` always covers `items[c*grain .. min((c+1)*grain, len)]`. Thread
+//!   count and scheduling decide only *which worker* runs a chunk, never
+//!   what the chunk contains.
+//! - **Results are placed by chunk index**, not completion order:
+//!   [`par_map`] writes chunk `c`'s outputs into positions
+//!   `c*grain ..`, and [`par_chunks_mut`] hands each worker disjoint
+//!   `&mut` slices whose layout is fixed by `(len, grain)`.
+//! - **Reduction is tree-shaped with a fixed association order**:
+//!   [`par_reduce`] combines per-chunk partials pairwise, level by level,
+//!   in ascending chunk order — the combine tree depends only on the
+//!   number of chunks, so float accumulation order never varies.
+//!
+//! The thread count comes from `RKVC_THREADS` (default: the machine's
+//! available parallelism) and can be overridden in-process with
+//! [`set_threads`] — safe to flip mid-run precisely because results are
+//! thread-count-invariant. This module is the one sanctioned home for
+//! `std::thread` in the workspace; the `rkvc-analyze` lint D004 rejects
+//! thread use anywhere else.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard upper bound on the worker count; a backstop against absurd
+/// `RKVC_THREADS` values, not a tuning knob.
+pub const MAX_THREADS: usize = 256;
+
+/// In-process override; 0 means "no override, consult the environment".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while running inside a pool worker so nested `par_*` calls
+    /// execute inline instead of oversubscribing the machine.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+struct WorkerGuard;
+
+impl WorkerGuard {
+    fn enter() -> WorkerGuard {
+        IN_WORKER.with(|c| c.set(true));
+        WorkerGuard
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        IN_WORKER.with(|c| c.set(false));
+    }
+}
+
+/// Whether the current thread is a pool worker (nested calls run inline).
+fn in_worker() -> bool {
+    IN_WORKER.with(|c| c.get())
+}
+
+/// The machine's available hardware parallelism (>= 1).
+pub fn machine_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `RKVC_THREADS` parsed once; invalid or missing values fall back to the
+/// machine parallelism.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RKVC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(machine_parallelism)
+    })
+}
+
+/// The number of worker threads `par_*` calls may use.
+///
+/// Resolution order: [`set_threads`] override, then `RKVC_THREADS`, then
+/// the machine's available parallelism. Always in `1..=MAX_THREADS`.
+/// Changing this value can never change any result — only wall-clock.
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    let n = if o != 0 { o } else { env_threads() };
+    n.clamp(1, MAX_THREADS)
+}
+
+/// Overrides the thread count in-process (`None` restores the
+/// environment default). Primarily for tests sweeping thread counts;
+/// safe to call at any time because results are thread-count-invariant.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0).min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Number of chunks `(len, grain)` splits into — the pure function that
+/// fixes every chunk boundary.
+pub fn chunk_count(len: usize, grain: usize) -> usize {
+    len.div_ceil(grain.max(1))
+}
+
+/// How many workers to actually spawn for `n_chunks` chunks. Returns 1
+/// (run inline) when parallelism cannot help or we are already inside a
+/// pool worker.
+fn engaged_threads(n_chunks: usize) -> usize {
+    if in_worker() || n_chunks <= 1 {
+        1
+    } else {
+        num_threads().min(n_chunks)
+    }
+}
+
+/// Maps `f` over `0..len` in chunks of `grain` indices, in parallel.
+///
+/// Output order is always `f(0), f(1), .., f(len-1)` regardless of thread
+/// count: workers claim chunk *indices* from a shared counter and results
+/// are reassembled in chunk order.
+pub fn par_tabulate<U, F>(len: usize, grain: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let grain = grain.max(1);
+    let n_chunks = chunk_count(len, grain);
+    let threads = engaged_threads(n_chunks);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let fr = &f;
+    let mut chunks: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let _guard = WorkerGuard::enter();
+                    let mut done = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * grain;
+                        let hi = (lo + grain).min(len);
+                        done.push((c, (lo..hi).map(fr).collect::<Vec<U>>()));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    chunks.sort_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(len);
+    for (_, part) in chunks {
+        out.extend(part);
+    }
+    out
+}
+
+/// Maps `f` over a slice in chunks of `grain` items, preserving order.
+///
+/// Bit-identical to `items.iter().map(f).collect()` at every thread
+/// count — parallelism only changes which worker evaluates each chunk.
+pub fn par_map<T, U, F>(items: &[T], grain: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_tabulate(items.len(), grain, |i| f(&items[i]))
+}
+
+/// Splits `data` into chunks of `grain` elements and runs `f(chunk_index,
+/// chunk)` on each, in parallel.
+///
+/// Chunks are assigned to workers round-robin by index (static
+/// assignment); each chunk is a disjoint `&mut` slice whose bounds depend
+/// only on `(data.len(), grain)`, so writes are race-free and
+/// placement-deterministic by construction.
+pub fn par_chunks_mut<T, F>(data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let grain = grain.max(1);
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = chunk_count(data.len(), grain);
+    let threads = engaged_threads(n_chunks);
+    if threads <= 1 {
+        for (c, chunk) in data.chunks_mut(grain).enumerate() {
+            f(c, chunk);
+        }
+        return;
+    }
+    let mut lanes: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (c, chunk) in data.chunks_mut(grain).enumerate() {
+        lanes[c % threads].push((c, chunk));
+    }
+    let fr = &f;
+    std::thread::scope(|s| {
+        for lane in lanes {
+            s.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                for (c, chunk) in lane {
+                    fr(c, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel reduction with a fixed association order.
+///
+/// Each chunk `items[c*grain .. (c+1)*grain]` is folded to a partial by
+/// `map`; partials are then combined pairwise in a balanced tree, level
+/// by level, in ascending chunk order. The tree shape is a pure function
+/// of the chunk count, so floating-point accumulation order — and hence
+/// every result bit — is independent of the thread count.
+pub fn par_reduce<T, U, M, C>(items: &[T], grain: usize, identity: U, map: M, combine: C) -> U
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&[T]) -> U + Sync,
+    C: Fn(U, U) -> U,
+{
+    let grain = grain.max(1);
+    let n_chunks = chunk_count(items.len(), grain);
+    let mut level: Vec<U> = par_tabulate(n_chunks, 1, |c| {
+        let lo = c * grain;
+        let hi = (lo + grain).min(items.len());
+        map(&items[lo..hi])
+    });
+    while level.len() > 1 {
+        let mut next_level = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next_level.push(combine(a, b)),
+                None => next_level.push(a),
+            }
+        }
+        level = next_level;
+    }
+    level.into_iter().next().unwrap_or(identity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` at each thread count in `sweep`, restoring the default
+    /// afterwards, and asserts all results are identical.
+    fn sweep_identical<U: PartialEq + std::fmt::Debug>(sweep: &[usize], f: impl Fn() -> U) {
+        let mut results = Vec::new();
+        for &t in sweep {
+            set_threads(Some(t));
+            results.push((t, f()));
+        }
+        set_threads(None);
+        for pair in results.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "results diverged between {} and {} threads",
+                pair[0].0, pair[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..1013).collect();
+        sweep_identical(&[1, 2, 3, 7], || {
+            par_map(&items, 17, |&x| x * x + 1)
+        });
+        set_threads(Some(4));
+        let got = par_map(&items, 17, |&x| x * x + 1);
+        set_threads(None);
+        let want: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_tabulate_handles_empty_and_single() {
+        assert_eq!(par_tabulate(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(par_tabulate(1, 8, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn par_chunks_mut_layout_is_static() {
+        sweep_identical(&[1, 2, 5], || {
+            let mut data = vec![0usize; 997];
+            par_chunks_mut(&mut data, 13, |c, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = c * 1000 + i;
+                }
+            });
+            data
+        });
+    }
+
+    #[test]
+    fn par_reduce_float_sum_is_bit_stable_across_threads() {
+        // Adversarial magnitudes: naive reassociation would change bits.
+        let xs: Vec<f32> = (0..4096)
+            .map(|i| ((i as f32) * 0.37).sin() * 10f32.powi((i % 13) as i32 - 6))
+            .collect();
+        sweep_identical(&[1, 2, 4, 8], || {
+            par_reduce(
+                &xs,
+                64,
+                0.0f32,
+                |chunk| chunk.iter().fold(0.0f32, |a, &b| a + b),
+                |a, b| a + b,
+            )
+            .to_bits()
+        });
+    }
+
+    #[test]
+    fn par_reduce_empty_returns_identity() {
+        let xs: Vec<f32> = Vec::new();
+        let got = par_reduce(&xs, 8, -1.5f32, |c| c.iter().sum(), |a, b| a + b);
+        // One empty chunk maps to 0.0, so the identity is only used for
+        // a zero-chunk input; chunk_count(0, 8) == 0.
+        assert_eq!(got, -1.5);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        set_threads(Some(4));
+        let outer: Vec<u32> = par_tabulate(8, 1, |i| {
+            let inner = par_tabulate(64, 4, |j| (i * 64 + j) as u32);
+            inner.iter().sum()
+        });
+        set_threads(None);
+        let want: Vec<u32> = (0..8u32)
+            .map(|i| (0..64u32).map(|j| i * 64 + j).sum())
+            .collect();
+        assert_eq!(outer, want);
+    }
+
+    #[test]
+    fn thread_override_and_clamps() {
+        set_threads(Some(0));
+        assert!(num_threads() >= 1);
+        set_threads(Some(100_000));
+        assert_eq!(num_threads(), MAX_THREADS);
+        set_threads(None);
+        assert!(num_threads() >= 1);
+        assert_eq!(chunk_count(10, 3), 4);
+        assert_eq!(chunk_count(10, 0), 10);
+        assert_eq!(chunk_count(0, 3), 0);
+    }
+}

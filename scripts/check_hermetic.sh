@@ -4,11 +4,12 @@
 #
 #   ./scripts/check_hermetic.sh
 #
-# Four gates, all hard failures:
+# Five gates, all hard failures:
 #   0. `cargo run -p rkvc-analyze` — the in-repo static analyzer: no
 #      wall-clock reads outside crates/bench (D001), no HashMap/HashSet
 #      in non-test code (D002), no RNG construction outside the
-#      rkvc_tensor substrate (D003), no unwrap/expect/panic! in the
+#      rkvc_tensor substrate (D003), no ad-hoc threading outside
+#      rkvc_tensor::par (D004), no unwrap/expect/panic! in the
 #      panic-free crates (E001), and a manifest-level dependency-closure
 #      check (H001). Exits non-zero on any unsuppressed violation and
 #      writes results/analyze.json.
@@ -21,6 +22,10 @@
 #      bench compiles warning-free with the network unreachable.
 #   3. `cargo test -q --offline --workspace` — the full test suite
 #      passes offline.
+#   4. thread-count invariance — `repro` regenerates fig1 and table6
+#      with RKVC_THREADS=1 and RKVC_THREADS=4; the emitted JSON must be
+#      byte-identical, proving experiment output is a pure function of
+#      the inputs and never of the worker-pool width.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,5 +49,18 @@ RUSTFLAGS="-D warnings" cargo build --release --offline --workspace --all-target
 
 echo "== gate 3: offline test suite =="
 cargo test -q --offline --workspace
+
+echo "== gate 4: thread-count invariance (RKVC_THREADS=1 vs 4) =="
+tmp1=$(mktemp -d)
+tmp4=$(mktemp -d)
+trap 'rm -rf "$tmp1" "$tmp4"' EXIT
+for exp in fig1 table6; do
+    RKVC_THREADS=1 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
+        --exp "$exp" --scale quick --out "$tmp1"
+    RKVC_THREADS=4 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
+        --exp "$exp" --scale quick --out "$tmp4"
+done
+diff -r "$tmp1" "$tmp4"
+echo "ok: fig1 + table6 JSON byte-identical across worker-pool widths"
 
 echo "hermetic check passed"

@@ -44,6 +44,25 @@ fn table8_router_decisions_are_bit_reproducible() {
     assert_eq!(ja, jb, "router decisions must be bit-identical across runs");
 }
 
+/// The `rkvc_tensor::par` invariant: experiment JSON is a pure function
+/// of the inputs, never of the worker-pool width. One byte of drift here
+/// means some kernel's float association depends on scheduling.
+#[test]
+fn fig1_and_table6_are_thread_count_invariant() {
+    let opts = RunOptions::quick();
+    rkvc_tensor::par::set_threads(Some(1));
+    let fig1_base = to_string_pretty(&run_by_id("fig1", &opts).expect("fig1 exists"));
+    let table6_base = to_string_pretty(&run_by_id("table6", &opts).expect("table6 exists"));
+    for t in [2usize, 4] {
+        rkvc_tensor::par::set_threads(Some(t));
+        let fig1 = to_string_pretty(&run_by_id("fig1", &opts).expect("fig1 exists"));
+        assert_eq!(fig1_base, fig1, "fig1 JSON drifted at RKVC_THREADS={t}");
+        let table6 = to_string_pretty(&run_by_id("table6", &opts).expect("table6 exists"));
+        assert_eq!(table6_base, table6, "table6 JSON drifted at RKVC_THREADS={t}");
+    }
+    rkvc_tensor::par::set_threads(None);
+}
+
 /// Builds an arbitrary JSON tree, depth-bounded so it stays small.
 fn random_json(rng: &mut SeededRng, depth: u32) -> JsonValue {
     let max_kind = if depth == 0 { 5 } else { 7 };
