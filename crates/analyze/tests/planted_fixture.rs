@@ -85,6 +85,25 @@ fn workspace_test_files_are_exempt_from_library_hygiene() {
 }
 
 #[test]
+fn serving_engine_files_are_in_e001_scope() {
+    // The engine refactor split `crates/serving/src` into new modules;
+    // E001 (no `unwrap`/`expect`/`panic!` in serving library code) must
+    // cover every one of them, not just the legacy file names.
+    for path in [
+        "crates/serving/src/engine.rs",
+        "crates/serving/src/scheduler.rs",
+        "crates/serving/src/clock.rs",
+        "crates/serving/src/metrics.rs",
+    ] {
+        let vs = scan_source(path, FIXTURE);
+        assert!(
+            vs.iter().any(|v| v.line == 13 && v.lint == "E001" && !v.suppressed),
+            "{path}: the planted unwrap must trip E001"
+        );
+    }
+}
+
+#[test]
 fn planted_manifest_reports_h001_at_exact_lines() {
     let root = Manifest {
         path: "Cargo.toml".to_owned(),

@@ -7,12 +7,13 @@
 //! * KIVI residual window length R;
 //! * GEAR low-rank rank ratio;
 //! * H2O eviction budget;
-//! * paged-KV block size (fragmentation/admission trade-off).
+//! * paged-KV block size (fragmentation/admission trade-off), both on the
+//!   raw `BlockManager` and end-to-end through a configured `ServerSim`.
 
 use rkvc_bench::Harness;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::{CompressionConfig, GearParams, H2OParams, KiviParams};
-use rkvc_serving::BlockManager;
+use rkvc_serving::{BlockManager, ServerSim, ServingConfig, SimRequest};
 use rkvc_tensor::seeded_rng;
 use std::hint::black_box;
 
@@ -126,6 +127,39 @@ fn ablate_block_size(h: &mut Harness) {
     g.finish();
 }
 
+fn ablate_block_tokens_config(h: &mut Harness) {
+    // The same knob as `ablation_paged_block_size`, but exercised through
+    // the serving config end to end: block size changes admission
+    // granularity and internal fragmentation, which shifts how many
+    // requests batch together under a pinned pool.
+    let mut g = h.group("ablation_block_tokens_config");
+    g.sample_size(10);
+    for block in [8usize, 16, 64, 256] {
+        let cfg = ServingConfig {
+            block_tokens: block,
+            pool_tokens: Some(16384),
+            ..ServingConfig::with_max_batch(16)
+        };
+        g.bench_function(block, |b| {
+            b.iter(|| {
+                let mut s =
+                    ServerSim::with_config(0, dep(EngineKind::LmDeploy), CompressionConfig::Fp16, cfg)
+                        .expect("block size is non-zero");
+                for i in 0..32u64 {
+                    s.enqueue(SimRequest::new(
+                        i,
+                        i as f64 * 0.05,
+                        256 + (i as usize % 5) * 64,
+                        32,
+                    ));
+                }
+                black_box(s.run_to_completion().len())
+            })
+        });
+    }
+    g.finish();
+}
+
 fn main() {
     let mut h = Harness::new("ablations");
     ablate_attention_pass_structure(&mut h);
@@ -133,5 +167,6 @@ fn main() {
     ablate_gear_rank(&mut h);
     ablate_h2o_budget(&mut h);
     ablate_block_size(&mut h);
+    ablate_block_tokens_config(&mut h);
     h.finish();
 }

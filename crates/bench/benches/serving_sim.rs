@@ -1,10 +1,24 @@
 //! Bench: serving-simulator throughput (server iterations,
-//! cluster routing) — the substrate behind Figure 5 and Table 8.
+//! cluster routing, scheduler policies) — the substrate behind Figure 5
+//! and Table 8.
+//!
+//! Besides the usual timing records, this suite writes a machine-readable
+//! `BENCH_serving.json` at the workspace root: the three scheduler
+//! policies (FCFS / SPF / preemptive) served over the Table 8 cluster
+//! workload with a pinned KV pool, with full TTFT / TBT / queue-delay /
+//! E2E percentile summaries and the preemptive-vs-FCFS deltas.
 
-use rkvc_bench::Harness;
+use rkvc_bench::{workspace_root, Harness};
+use rkvc_core::experiments::ext_scheduler::serve_workload;
+use rkvc_core::experiments::table8::{cluster_workload, ClusterWorkload};
+use rkvc_core::experiments::RunOptions;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
-use rkvc_serving::{Cluster, OraclePredictor, RoutingPolicy, ServerSim, SimRequest};
+use rkvc_serving::{
+    Cluster, OraclePredictor, RoutingPolicy, SchedulerConfig, ServerSim, ServingMetrics,
+    SimRequest,
+};
+use rkvc_tensor::json::{JsonValue, ToJson};
 use std::hint::black_box;
 
 fn dep() -> DeploymentSpec {
@@ -70,9 +84,83 @@ fn bench_cluster(h: &mut Harness) {
     g.finish();
 }
 
+/// Times each scheduler over the Table 8 workload and returns its served
+/// metrics (one representative run per policy — the engine is
+/// deterministic, so every iteration produces the same stream).
+fn bench_schedulers(
+    h: &mut Harness,
+    w: &ClusterWorkload,
+) -> Vec<(SchedulerConfig, ServingMetrics)> {
+    let mut g = h.group("scheduler_table8_quick");
+    g.sample_size(5);
+    let mut out = Vec::new();
+    for sched in SchedulerConfig::all() {
+        g.bench_function(sched.label(), |b| {
+            b.iter(|| black_box(serve_workload(w, sched).completed))
+        });
+        out.push((sched, serve_workload(w, sched)));
+    }
+    g.finish();
+    out
+}
+
 fn main() {
     let mut h = Harness::new("serving_sim");
     bench_server(&mut h);
     bench_cluster(&mut h);
+
+    let w = cluster_workload(&RunOptions::quick());
+    let metrics = bench_schedulers(&mut h, &w);
+    let by_label = |c: SchedulerConfig| -> &ServingMetrics {
+        metrics
+            .iter()
+            .find(|(s, _)| *s == c)
+            .map(|(_, m)| m)
+            .expect("all schedulers ran")
+    };
+    let fcfs = by_label(SchedulerConfig::Fcfs);
+    let pre = by_label(SchedulerConfig::Preemptive);
+    let doc = JsonValue::object(vec![
+        ("suite", "serving_sim".to_json()),
+        (
+            "workload",
+            "table8 H2O column, quick scale, combined routing, pool pinned to 3584 \
+             tokens/server"
+                .to_json(),
+        ),
+        (
+            "schedulers",
+            JsonValue::object(
+                metrics
+                    .iter()
+                    .map(|(s, m)| (s.label(), m.to_json()))
+                    .collect(),
+            ),
+        ),
+        (
+            "preemptive_vs_fcfs",
+            JsonValue::object(vec![
+                ("preemptions", pre.preemptions.to_json()),
+                (
+                    "mean_queue_delay_delta_s",
+                    (pre.queue_delay.mean() - fcfs.queue_delay.mean()).to_json(),
+                ),
+                (
+                    "mean_ttft_delta_s",
+                    (pre.ttft.mean() - fcfs.ttft.mean()).to_json(),
+                ),
+                (
+                    "mean_e2e_delta_s",
+                    (pre.e2e.mean() - fcfs.e2e.mean()).to_json(),
+                ),
+            ]),
+        ),
+        ("records", h.records().to_json()),
+    ]);
+    let path = workspace_root().join("BENCH_serving.json");
+    match std::fs::write(&path, doc.to_pretty_string()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
     h.finish();
 }

@@ -1,19 +1,22 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--exp <id>|all] [--scale quick|paper] [--out <dir>] [--list]
+//! repro [--exp <id>|all] [--scale quick|paper] [--scheduler fcfs|spf|preemptive]
+//!       [--out <dir>] [--list]
 //! ```
 //!
 //! Prints each experiment's rows/series in paper layout and writes a JSON
 //! copy under the output directory.
 
 use rkvc_core::experiments::{experiment_ids, run_by_id, RunOptions, Scale};
+use rkvc_serving::SchedulerConfig;
 use rkvc_core::figures::render_all;
 use rkvc_core::report::save_json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--exp <id>|all|figures] [--scale quick|paper] [--out <dir>] [--list]\n\
+        "usage: repro [--exp <id>|all|figures] [--scale quick|paper] \
+         [--scheduler fcfs|spf|preemptive] [--out <dir>] [--list]\n\
          experiments: {} (plus 'figures' to render the SVG figure set)",
         experiment_ids().join(", ")
     );
@@ -24,6 +27,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_owned();
     let mut scale = Scale::Paper;
+    let mut scheduler = SchedulerConfig::Fcfs;
     let mut out = rkvc_bench::RESULTS_DIR.to_owned();
 
     let mut it = args.iter();
@@ -35,6 +39,12 @@ fn main() {
                     Some("quick") => Scale::Quick,
                     Some("paper") => Scale::Paper,
                     _ => usage(),
+                }
+            }
+            "--scheduler" => {
+                scheduler = match it.next().and_then(|s| SchedulerConfig::parse(s)) {
+                    Some(s) => s,
+                    None => usage(),
                 }
             }
             "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
@@ -55,6 +65,7 @@ fn main() {
     let opts = RunOptions {
         scale,
         seed: 0x5EED,
+        scheduler,
     };
     if exp == "figures" || exp == "all" {
         let dir = std::path::Path::new(&out);

@@ -8,11 +8,13 @@
 //! policy (StreamingLLM), and we compare accuracy and memory against the
 //! one-policy-for-everything alternatives.
 
+use rkvc_gpu::LlmSpec;
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::{GenerateParams, TinyLm};
+use rkvc_serving::{SchedulerConfig, ServerSim, ServingConfig, ServingMetrics, SimRequest};
 use rkvc_workload::{generate_suite, LongBenchConfig, TaskSample};
 
-use super::common::tiny_llama;
+use super::common::{a6000_lmdeploy, tiny_llama};
 use super::{ExperimentResult, RunOptions};
 use crate::report::Table;
 use crate::task_predictor::{task_aware_policy, TaskPredictor};
@@ -48,6 +50,72 @@ where
     }
     let n = suite.len() as f64;
     (score / n, memory / n)
+}
+
+/// Serving epilogue: the classifier's choice also shapes *serving*, not
+/// just accuracy — query-aware caches hold full KV while eviction caches
+/// release blocks, so the routed mix changes block pressure. Routes the
+/// evaluation suite onto a two-server deployment (safe policy on server 0,
+/// aggressive eviction on server 1) per predicted task type, then serves
+/// the same stream under each scheduler with a deliberately small KV pool.
+fn scheduler_epilogue(
+    suite: &[TaskSample],
+    predictor: &TaskPredictor,
+    safe: CompressionConfig,
+    aggressive: CompressionConfig,
+) -> crate::report::Table {
+    let dep = a6000_lmdeploy(LlmSpec::llama2_7b());
+    let mut t = Table::new(
+        "Extension epilogue: scheduler sweep over the task-routed stream",
+        &[
+            "Scheduler",
+            "completed",
+            "mean E2E (s)",
+            "p95 TTFT (s)",
+            "p95 queue delay (s)",
+            "preemptions",
+        ],
+    );
+    for sched in SchedulerConfig::all() {
+        let cfg = ServingConfig {
+            max_batch: 8,
+            // Small enough that the simultaneous stream queues and (under
+            // the preemptive policy) can evict; large enough that every
+            // request still fits on its own.
+            pool_tokens: Some(768),
+            scheduler: sched,
+            ..ServingConfig::default()
+        };
+        let mut servers = vec![
+            ServerSim::with_config(0, dep.clone(), safe, cfg).expect("epilogue config is valid"),
+            ServerSim::with_config(1, dep.clone(), aggressive, cfg)
+                .expect("epilogue config is valid"),
+        ];
+        for (i, s) in suite.iter().enumerate() {
+            let routed = task_aware_policy(predictor.predict(&s.prompt), safe, aggressive);
+            let dst = if routed == safe { 0 } else { 1 };
+            servers[dst].enqueue(SimRequest::new(
+                i as u64,
+                0.0,
+                s.prompt.len(),
+                s.max_new_tokens.max(1),
+            ));
+        }
+        let done: Vec<_> = servers
+            .into_iter()
+            .flat_map(|s| s.run_to_completion())
+            .collect();
+        let m = ServingMetrics::from_completed(&done);
+        t.push_row(vec![
+            sched.label().to_owned(),
+            format!("{}", m.completed),
+            format!("{:.2}", m.row(&m.e2e)[0]),
+            format!("{:.3}", m.row(&m.ttft)[2]),
+            format!("{:.3}", m.row(&m.queue_delay)[2]),
+            format!("{}", m.preemptions),
+        ]);
+    }
+    t
 }
 
 /// Runs the task-aware selection experiment.
@@ -103,10 +171,12 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
         ]);
     }
 
+    let epilogue = scheduler_epilogue(&suite, &predictor, safe, aggressive);
+
     ExperimentResult {
         id: "ext_task_router".to_owned(),
         title: "Task-type prediction + per-task compression levels (§5.3)".to_owned(),
-        tables: vec![t],
+        tables: vec![t, epilogue],
         notes: vec![
             format!("Task classifier accuracy: {:.1}%.", clf_acc * 100.0),
             "Shape target: the task-aware mix approaches Quest-everywhere accuracy while \
@@ -138,6 +208,24 @@ mod tests {
             score("Task-aware (classifier)"),
             score("Stream-64 everywhere")
         );
+    }
+
+    #[test]
+    fn scheduler_epilogue_serves_the_same_stream_under_every_policy() {
+        let r = run(&RunOptions::quick());
+        let t = &r.tables[1];
+        assert_eq!(t.rows.len(), 3, "one row per scheduler");
+        let completed: Vec<usize> = t
+            .rows
+            .iter()
+            .map(|row| row[1].parse().unwrap())
+            .collect();
+        assert!(
+            completed.iter().all(|&c| c > 0 && c == completed[0]),
+            "schedulers must serve the same stream: {completed:?}"
+        );
+        let fcfs = t.rows.iter().find(|row| row[0] == "fcfs").unwrap();
+        assert_eq!(fcfs[5], "0", "FCFS never preempts");
     }
 
     #[test]

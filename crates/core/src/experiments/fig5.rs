@@ -9,7 +9,9 @@
 use rkvc_gpu::LlmSpec;
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::TinyLm;
-use rkvc_serving::LatencySummary;
+use rkvc_serving::{
+    LatencySummary, ServerSim, ServingConfig, ServingMetrics, SimRequest,
+};
 use rkvc_tensor::seeded_rng;
 use rkvc_workload::{sample_conversations, ShareGptConfig};
 
@@ -94,6 +96,40 @@ pub fn run_for_model(model: &TinyLm, llm: LlmSpec, id: &str, opts: &RunOptions) 
     }
 }
 
+/// Serves the Figure 5 request stream (FP16 reference lengths) through one
+/// engine server under the options' scheduler, summarizing per-request
+/// serving metrics.
+///
+/// This is the serving-path companion to the closed-form tables in
+/// [`run`]: there each request is priced in isolation at batch 1, while
+/// here the same stream queues into a continuously-batched server where
+/// admission order, block pressure, and preemption policy decide TTFT and
+/// queue delay. `pool_tokens` pins the KV pool (`None` = the deployment's
+/// HBM-derived pool).
+pub fn served_metrics(opts: &RunOptions, pool_tokens: Option<usize>) -> ServingMetrics {
+    let n_requests = opts.pick(40, 1000);
+    let dep = a6000_lmdeploy(LlmSpec::llama2_7b());
+    let conversations =
+        sample_conversations(&ShareGptConfig::paper_scale(n_requests, opts.seed), 64);
+    let cfg = ServingConfig {
+        max_batch: 16,
+        pool_tokens,
+        scheduler: opts.scheduler,
+        ..ServingConfig::default()
+    };
+    let mut server = ServerSim::with_config(0, dep, CompressionConfig::Fp16, cfg)
+        .expect("fig5 serving config is valid");
+    for c in &conversations {
+        server.enqueue(SimRequest::new(
+            c.id as u64,
+            c.arrival_s,
+            c.prompt_len.min(3500),
+            c.reference_response_len.clamp(1, 1024),
+        ));
+    }
+    ServingMetrics::from_completed(&server.run_to_completion())
+}
+
 /// Runs Figure 5 (LLaMA-family).
 pub fn run(opts: &RunOptions) -> ExperimentResult {
     run_for_model(&tiny_llama(), LlmSpec::llama2_7b(), "fig5", opts)
@@ -140,6 +176,22 @@ mod tests {
             "E2E gain {:.2}x should be muted below the throughput headline",
             fp16_mean / best
         );
+    }
+
+    #[test]
+    fn served_stream_completes_under_every_scheduler() {
+        let mut opts = RunOptions::quick();
+        let fcfs = served_metrics(&opts, None);
+        assert_eq!(fcfs.completed, opts.pick(40, 1000));
+        assert_eq!(fcfs.preemptions, 0, "FCFS never preempts");
+        assert!(fcfs.e2e.mean() >= fcfs.ttft.mean());
+        for sched in rkvc_serving::SchedulerConfig::all() {
+            opts.scheduler = sched;
+            // Pool pinned low enough to queue but high enough that every
+            // request (prompt <= 3500 + response <= 1024) still fits.
+            let m = served_metrics(&opts, Some(8192));
+            assert_eq!(m.completed, fcfs.completed, "{sched:?} dropped requests");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod appendix_d;
 pub mod common;
 pub mod ext_granularity;
 pub mod ext_quest;
+pub mod ext_scheduler;
 pub mod ext_task_router;
 pub mod fig1;
 pub mod fig2;
@@ -33,6 +34,7 @@ pub mod table8;
 
 
 use crate::report::Table;
+use rkvc_serving::SchedulerConfig;
 
 /// Sampling scale for an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,10 @@ pub struct RunOptions {
     pub scale: Scale,
     /// Base RNG seed.
     pub seed: u64,
+    /// Serving scheduler policy for simulator-backed experiments
+    /// (`fig5`/`table8`/`ext_scheduler`). The default `Fcfs` reproduces the
+    /// pre-engine simulator bit-for-bit.
+    pub scheduler: SchedulerConfig,
 }
 
 impl RunOptions {
@@ -58,6 +64,7 @@ impl RunOptions {
         RunOptions {
             scale: Scale::Quick,
             seed: 0x5EED,
+            scheduler: SchedulerConfig::Fcfs,
         }
     }
 
@@ -66,6 +73,7 @@ impl RunOptions {
         RunOptions {
             scale: Scale::Paper,
             seed: 0x5EED,
+            scheduler: SchedulerConfig::Fcfs,
         }
     }
 
@@ -109,7 +117,8 @@ pub fn experiment_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig2", "fig3", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7",
         "table6", "table7", "table8", "fig8", "fig9", "fig10", "fig11_14", "appendix_c",
-        "appendix_d", "ext_quest", "ext_task_router", "ext_granularity", "table1_2",
+        "appendix_d", "ext_quest", "ext_task_router", "ext_granularity", "ext_scheduler",
+        "table1_2",
     ]
 }
 
@@ -140,13 +149,14 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<ExperimentResult> {
         "ext_quest" => ext_quest::run(opts),
         "ext_task_router" => ext_task_router::run(opts),
         "ext_granularity" => ext_granularity::run(opts),
+        "ext_scheduler" => ext_scheduler::run(opts),
         "table1_2" => table1_2::run(opts),
         _ => return None,
     })
 }
 
 rkvc_tensor::json_unit_enum!(Scale { Quick, Paper });
-rkvc_tensor::json_struct!(RunOptions { scale, seed });
+rkvc_tensor::json_struct!(RunOptions { scale, seed, scheduler });
 rkvc_tensor::json_struct!(ExperimentResult { id, title, tables, notes });
 
 #[cfg(test)]

@@ -6,9 +6,9 @@
 //! memory-based load balancing; the three predictor policies run one FP16
 //! GPU plus three compression GPUs and route per prediction.
 
-use rkvc_gpu::LlmSpec;
+use rkvc_gpu::{DeploymentSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
-use rkvc_serving::{Cluster, OraclePredictor, RoutingPolicy, ServerSim, SimRequest};
+use rkvc_serving::{Cluster, OraclePredictor, RoutingPolicy, ServerSim, ServingConfig, SimRequest};
 use rkvc_tensor::seeded_rng;
 use rkvc_workload::{sample_conversations, ConversationRequest, ShareGptConfig};
 
@@ -18,6 +18,22 @@ use crate::router::ToolRouter;
 use crate::{LengthDataset, LengthPredictor, ProfileGrid, ThroughputPredictor};
 
 const MAX_BATCH: usize = 16;
+
+/// Serving config for Table 8 servers: the seed batch width plus the
+/// caller's scheduler selection. With the default FCFS scheduler this is
+/// identical to the pre-engine simulator.
+fn serving_config(opts: &RunOptions) -> ServingConfig {
+    ServingConfig {
+        scheduler: opts.scheduler,
+        ..ServingConfig::with_max_batch(MAX_BATCH)
+    }
+}
+
+/// Builds a Table 8 server, panicking only on an invalid config (the
+/// configs built here are valid by construction).
+fn server(id: usize, dep: &DeploymentSpec, algo: CompressionConfig, cfg: ServingConfig) -> ServerSim {
+    ServerSim::with_config(id, dep.clone(), algo, cfg).expect("table8 serving config is valid")
+}
 
 /// One column's algorithms: paper label, paper-scale config (cost model),
 /// TinyLM-scaled config (length measurement).
@@ -113,6 +129,99 @@ fn mean_e2e(done: &[rkvc_serving::CompletedRequest]) -> f64 {
     done.iter().map(|c| c.e2e_s).sum::<f64>() / done.len().max(1) as f64
 }
 
+/// One Table 8 column (H2O) packaged for scheduler studies: the deployment,
+/// the compression config for servers 1..4, the request stream with
+/// per-server response lengths, and a fitted length+throughput router.
+///
+/// Built with exactly the seeds `run` uses for its H2O column, so scheduler
+/// experiments and benches exercise the same stream Table 8 reports on.
+pub struct ClusterWorkload {
+    /// Per-GPU deployment spec (A6000 + LMDeploy + LLaMA-7B).
+    pub dep: DeploymentSpec,
+    /// Compression algorithm on servers 1..4 (server 0 runs FP16).
+    pub paper_cfg: CompressionConfig,
+    /// Arrival-sorted request stream.
+    pub requests: Vec<SimRequest>,
+    /// Predictor router fitted on this stream's lengths and throughputs.
+    pub router: ToolRouter,
+}
+
+impl ClusterWorkload {
+    /// The four Table 8 predictor-row servers (FP16 on server 0, the
+    /// compression algorithm on 1..4) under `cfg`.
+    pub fn servers(&self, cfg: ServingConfig) -> Vec<ServerSim> {
+        std::iter::once(server(0, &self.dep, CompressionConfig::Fp16, cfg))
+            .chain((1..4).map(|i| server(i, &self.dep, self.paper_cfg, cfg)))
+            .collect()
+    }
+}
+
+/// Builds the Table 8 H2O-column workload at the given options' scale.
+pub fn cluster_workload(opts: &RunOptions) -> ClusterWorkload {
+    const COL: usize = 2; // H2O column in `columns()`.
+    let n_requests = opts.pick(40, 1000);
+    let n_tiny = opts.pick(12, 120);
+    let dep = a6000_lmdeploy(LlmSpec::llama2_7b());
+    let model = tiny_llama();
+    let mut conversations =
+        sample_conversations(&ShareGptConfig::paper_scale(n_requests, opts.seed ^ 0x8a8), 64);
+    let arrival_scale = match opts.scale {
+        super::Scale::Quick => 0.25,
+        super::Scale::Paper => 0.4,
+    };
+    for c in &mut conversations {
+        c.arrival_s *= arrival_scale;
+    }
+
+    let (_, paper_cfg, scaled_cfg) = columns().swap_remove(COL);
+    let recent_budget = match paper_cfg {
+        CompressionConfig::H2O(p) => Some(p.budget()),
+        CompressionConfig::Streaming(p) => Some(p.recent),
+        _ => None,
+    };
+    let multipliers = length_multipliers(&model, n_tiny, &scaled_cfg, opts.seed ^ 0x88);
+    let requests =
+        build_requests(&conversations, &multipliers, recent_budget, opts.seed ^ COL as u64);
+
+    let predictor_len = {
+        let mut data = LengthDataset::new();
+        for (c, r) in conversations.iter().zip(&requests) {
+            data.push(&c.prompt, r.response_len_on(1).max(1));
+        }
+        LengthPredictor::fit(&data)
+    };
+    let predictor_fp16 = {
+        let mut data = LengthDataset::new();
+        for c in &conversations {
+            data.push(&c.prompt, c.reference_response_len.max(1));
+        }
+        LengthPredictor::fit(&data)
+    };
+    let grid = ProfileGrid::standard();
+    let thr_predictors = vec![
+        ThroughputPredictor::fit(&dep, &CompressionConfig::Fp16, grid.clone(), 0.05, opts.seed),
+        ThroughputPredictor::fit(&dep, &paper_cfg, grid.clone(), 0.05, opts.seed + 1),
+        ThroughputPredictor::fit(&dep, &paper_cfg, grid.clone(), 0.05, opts.seed + 2),
+        ThroughputPredictor::fit(&dep, &paper_cfg, grid, 0.05, opts.seed + 3),
+    ];
+    let mut router = ToolRouter::new(thr_predictors, Default::default());
+    for c in &conversations {
+        let fp16_pred = predictor_fp16.predict(&c.prompt);
+        let comp_pred = predictor_len.predict(&c.prompt);
+        router.set_predicted_len(c.id as u64, 0, fp16_pred);
+        for s in 1..4 {
+            router.set_predicted_len(c.id as u64, s, comp_pred);
+        }
+    }
+
+    ClusterWorkload {
+        dep,
+        paper_cfg,
+        requests,
+        router,
+    }
+}
+
 /// Runs Table 8.
 pub fn run(opts: &RunOptions) -> ExperimentResult {
     let n_requests = opts.pick(40, 1000);
@@ -144,7 +253,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
     let fp16_requests = build_requests(&conversations, &[1.0], None, opts.seed);
     let fp16_baseline = {
         let servers = (0..4)
-            .map(|i| ServerSim::new(i, dep.clone(), CompressionConfig::Fp16, MAX_BATCH))
+            .map(|i| server(i, &dep, CompressionConfig::Fp16, serving_config(opts)))
             .collect();
         let done = Cluster::new(servers, RoutingPolicy::LoadBalance)
             .expect("four servers")
@@ -219,11 +328,11 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
             let servers: Vec<ServerSim> = if matches!(policy, RoutingPolicy::LoadBalance) {
                 // Baseline: all four GPUs run the compression algorithm.
                 (0..4)
-                    .map(|i| ServerSim::new(i, dep.clone(), paper_cfg, MAX_BATCH))
+                    .map(|i| server(i, &dep, paper_cfg, serving_config(opts)))
                     .collect()
             } else {
-                std::iter::once(ServerSim::new(0, dep.clone(), CompressionConfig::Fp16, MAX_BATCH))
-                    .chain((1..4).map(|i| ServerSim::new(i, dep.clone(), paper_cfg, MAX_BATCH)))
+                std::iter::once(server(0, &dep, CompressionConfig::Fp16, serving_config(opts)))
+                    .chain((1..4).map(|i| server(i, &dep, paper_cfg, serving_config(opts))))
                     .collect()
             };
             // Baseline's all-compressed cluster sees compressed lengths on

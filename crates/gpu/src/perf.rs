@@ -123,6 +123,22 @@ impl DeploymentSpec {
         }
     }
 
+    /// Cost of recomputing a preempted sequence's KV cache before it
+    /// resumes decoding: the serving engine's evict-and-recompute
+    /// preemption (vLLM's recompute mode) re-runs a full prefill over the
+    /// sequence's entire context (prompt + tokens generated so far), so
+    /// the roofline charge is exactly [`prefill`](Self::prefill) at that
+    /// context length. Kept as a named operation so preemption costing has
+    /// one auditable definition.
+    pub fn recompute(
+        &self,
+        algo: &CompressionConfig,
+        batch: usize,
+        context_len: usize,
+    ) -> StageTime {
+        self.prefill(algo, batch, context_len)
+    }
+
     /// Decode throughput in tokens/second at a fixed KV length.
     pub fn decode_throughput(
         &self,
@@ -218,6 +234,17 @@ mod tests {
             (4000.0..11000.0).contains(&thr),
             "prefill throughput {thr} out of calibration band"
         );
+    }
+
+    #[test]
+    fn recompute_charges_a_full_context_prefill() {
+        let dep = lmd_7b();
+        let algo = CompressionConfig::Fp16;
+        let recompute = dep.recompute(&algo, 1, 768).total();
+        let prefill = dep.prefill(&algo, 1, 768).total();
+        assert_eq!(recompute.to_bits(), prefill.to_bits());
+        // Longer contexts cost more to recompute.
+        assert!(dep.recompute(&algo, 1, 1536).total() > recompute);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Simulated time.
+//!
+//! The serving stack never reads wall clocks (lint D001); simulated time is
+//! the only time there is, and it flows through exactly one type. Every
+//! call site that previously subtracted or compared raw `f64` seconds now
+//! goes through [`SimClock`], so "is this duration simulated or measured?"
+//! is answered by the type system rather than by auditing arithmetic.
+
+/// A point in simulated time (seconds from simulation start).
+///
+/// Construction goes through [`SimClock::from_secs`]/[`SimClock::ZERO`] and
+/// durations come back out only via [`SimClock::since`] — no call site
+/// subtracts raw floats, which keeps the D001 wall-clock lint trivially
+/// enforceable over the serving crate.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimClock(f64);
+
+impl SimClock {
+    /// The simulation epoch.
+    pub const ZERO: SimClock = SimClock(0.0);
+
+    /// A clock reading `secs` seconds after the simulation epoch.
+    ///
+    /// `secs` must be finite; event ordering treats the bit pattern as a
+    /// total order, which NaN would break.
+    pub fn from_secs(secs: f64) -> Self {
+        SimClock(secs)
+    }
+
+    /// Seconds since the simulation epoch.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Advances this clock by `dt_s` simulated seconds.
+    pub fn advance(&mut self, dt_s: f64) {
+        self.0 += dt_s;
+    }
+
+    /// Seconds elapsed since `earlier` — the one place the serving stack
+    /// subtracts times.
+    pub fn since(self, earlier: SimClock) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// Raises this clock to `floor` if it is behind it (idle servers jump
+    /// to the next arrival instead of spinning).
+    pub fn raise_to(&mut self, floor: SimClock) {
+        if self.0 < floor.0 {
+            self.0 = floor.0;
+        }
+    }
+
+    /// An order-preserving integer key: for any finite `a <= b`,
+    /// `a.ordinal() <= b.ordinal()`. This is what the event heap sorts on —
+    /// deterministic, and free of float-comparison pitfalls in `Ord` impls.
+    pub fn ordinal(self) -> u64 {
+        let bits = self.0.to_bits();
+        if bits & (1 << 63) != 0 {
+            // Negative floats order reversed by their bit pattern; flip all
+            // bits to undo it and sink them below the non-negatives.
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_since_round_trip() {
+        let t0 = SimClock::from_secs(1.5);
+        let mut t = t0;
+        t.advance(2.25);
+        assert_eq!(t.secs(), 3.75);
+        assert_eq!(t.since(t0), 2.25);
+    }
+
+    #[test]
+    fn raise_to_never_rewinds() {
+        let mut t = SimClock::from_secs(5.0);
+        t.raise_to(SimClock::from_secs(3.0));
+        assert_eq!(t.secs(), 5.0);
+        t.raise_to(SimClock::from_secs(7.5));
+        assert_eq!(t.secs(), 7.5);
+    }
+
+    #[test]
+    fn ordinal_is_monotone_across_signs() {
+        let samples = [-10.0, -1.0, -0.0, 0.0, 1e-300, 0.5, 1.0, 1e9];
+        for w in samples.windows(2) {
+            let (a, b) = (SimClock::from_secs(w[0]), SimClock::from_secs(w[1]));
+            assert!(a.ordinal() <= b.ordinal(), "{} vs {}", w[0], w[1]);
+        }
+        // Strict where the floats are strict.
+        assert!(SimClock::from_secs(1.0).ordinal() < SimClock::from_secs(1.0 + 1e-12).ordinal());
+    }
+
+    #[test]
+    fn comparisons_match_float_order() {
+        assert!(SimClock::from_secs(1.0) < SimClock::from_secs(2.0));
+        assert!(SimClock::from_secs(2.0) <= SimClock::from_secs(2.0));
+        assert_eq!(SimClock::ZERO, SimClock::from_secs(0.0));
+    }
+}

@@ -1,7 +1,11 @@
 //! Multi-GPU cluster with the paper's four routing policies (§5.4).
+//!
+//! `Cluster` is a thin driver over the discrete-event
+//! [`Engine`](crate::Engine): it validates the arrival stream, supplies
+//! the routing decision as the engine's dispatch closure, and leaves all
+//! admission/decode/preemption mechanics to the shared server core.
 
-
-use crate::{CompletedRequest, ServerSim, SimRequest};
+use crate::{CompletedRequest, Engine, ServerSim, SimRequest};
 
 /// Routing policies from Table 8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,6 +114,59 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Picks the lowest-score server for `req` under `policy` — the routing
+/// rule shared by [`Cluster::route`] and the engine dispatch closure.
+fn route_among(
+    servers: &[ServerSim],
+    policy: RoutingPolicy,
+    req: &SimRequest,
+    predictor: &dyn RoutePredictor,
+) -> usize {
+    let score = |idx: usize| -> f64 {
+        let s = &servers[idx];
+        match policy {
+            // Lower is better for all scores below.
+            RoutingPolicy::LoadBalance => {
+                s.memory_utilization() + s.load() as f64 * 1e-6
+            }
+            // Per-request decode rate: aggregate batch throughput
+            // divided over the residents — a loaded server offers each
+            // request a smaller share, which is what spreads load.
+            RoutingPolicy::ThroughputAware => {
+                -predictor.predicted_throughput(s, req) / (s.load() + 1) as f64
+            }
+            // Shortest predicted response, tie-broken toward idle
+            // servers (all same-algorithm servers predict equal
+            // lengths).
+            RoutingPolicy::LengthAware => {
+                predictor.predicted_response_len(s, req) * (1.0 + 0.1 * s.load() as f64)
+            }
+            RoutingPolicy::Both => {
+                // Predicted E2E: the ThroughputAware load share weighted
+                // by the predicted response length (so with equal length
+                // predictions this reduces exactly to ThroughputAware,
+                // and length information can only refine it), plus the
+                // prefill cost.
+                let thr = predictor.predicted_throughput(s, req).max(1e-9);
+                let len = predictor.predicted_response_len(s, req);
+                let prefill = s
+                    .deployment()
+                    .prefill(s.algo(), 1, req.prompt_len)
+                    .total();
+                prefill + len * (s.load() + 1) as f64 / thr
+            }
+        }
+    };
+    (0..servers.len())
+        .min_by(|&a, &b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        // Callers guarantee at least one server.
+        .unwrap_or(0)
+}
+
 /// A multi-server deployment fed by a global arrival stream.
 #[derive(Debug)]
 pub struct Cluster {
@@ -142,65 +199,27 @@ impl Cluster {
 
     /// Picks a destination server for `req` under the configured policy.
     pub fn route(&self, req: &SimRequest, predictor: &dyn RoutePredictor) -> usize {
-        let score = |idx: usize| -> f64 {
-            let s = &self.servers[idx];
-            match self.policy {
-                // Lower is better for all scores below.
-                RoutingPolicy::LoadBalance => {
-                    s.memory_utilization() + s.load() as f64 * 1e-6
-                }
-                // Per-request decode rate: aggregate batch throughput
-                // divided over the residents — a loaded server offers each
-                // request a smaller share, which is what spreads load.
-                RoutingPolicy::ThroughputAware => {
-                    -predictor.predicted_throughput(s, req) / (s.load() + 1) as f64
-                }
-                // Shortest predicted response, tie-broken toward idle
-                // servers (all same-algorithm servers predict equal
-                // lengths).
-                RoutingPolicy::LengthAware => {
-                    predictor.predicted_response_len(s, req) * (1.0 + 0.1 * s.load() as f64)
-                }
-                RoutingPolicy::Both => {
-                    // Predicted E2E: the ThroughputAware load share weighted
-                    // by the predicted response length (so with equal length
-                    // predictions this reduces exactly to ThroughputAware,
-                    // and length information can only refine it), plus the
-                    // prefill cost.
-                    let thr = predictor.predicted_throughput(s, req).max(1e-9);
-                    let len = predictor.predicted_response_len(s, req);
-                    let prefill = s
-                        .deployment()
-                        .prefill(s.algo(), 1, req.prompt_len)
-                        .total();
-                    prefill + len * (s.load() + 1) as f64 / thr
-                }
-            }
-        };
-        (0..self.servers.len())
-            .min_by(|&a, &b| {
-                score(a)
-                    .partial_cmp(&score(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            // The constructor guarantees at least one server.
-            .unwrap_or(0)
+        route_among(&self.servers, self.policy, req, predictor)
     }
 
-    /// Runs the full arrival stream to completion and returns every
-    /// request's measured latency.
+    /// Runs the full arrival stream to completion on the discrete-event
+    /// engine and returns every request's measured latency. At each
+    /// arrival instant the engine has every server's state current (all
+    /// iterations due before the arrival have run), routing picks a
+    /// destination, and the router's length prediction is stamped on the
+    /// request for prediction-driven schedulers.
     ///
     /// # Errors
     ///
     /// [`ClusterError::UnsortedArrivals`] if `requests` is not sorted by
     /// arrival time.
     pub fn run(
-        mut self,
+        self,
         requests: Vec<SimRequest>,
         predictor: &dyn RoutePredictor,
     ) -> Result<Vec<CompletedRequest>, ClusterError> {
         let mut last = f64::NEG_INFINITY;
-        for (index, req) in requests.into_iter().enumerate() {
+        for (index, req) in requests.iter().enumerate() {
             if req.arrival_s < last {
                 return Err(ClusterError::UnsortedArrivals {
                     index,
@@ -209,20 +228,13 @@ impl Cluster {
                 });
             }
             last = req.arrival_s;
-            // Bring every server's view of time up to this arrival so
-            // routing sees current load.
-            for s in &mut self.servers {
-                s.advance_to(req.arrival_s);
-            }
-            let dst = self.route(&req, predictor);
-            self.servers[dst].enqueue(req);
         }
-        let mut done: Vec<CompletedRequest> = self
-            .servers
-            .into_iter()
-            .flat_map(|s| s.run_to_completion())
-            .collect();
-        done.sort_by_key(|c| c.id);
+        let policy = self.policy;
+        let done = Engine::new(self.servers).run_stream(requests, |servers, req| {
+            let dst = route_among(servers, policy, req, predictor);
+            let predicted = predictor.predicted_response_len(&servers[dst], req);
+            (dst, predicted)
+        });
         Ok(done)
     }
 }

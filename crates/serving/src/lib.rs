@@ -4,14 +4,27 @@
 //!
 //! * [`BlockManager`] — a PagedAttention-style KV block allocator with
 //!   fragmentation accounting.
+//! * [`Engine`] — the discrete-event core: a binary-heap event queue keyed
+//!   on `(sim_time_bits, rank, seq)` for reproducible tie-breaks, driving
+//!   per-server iteration events and cluster arrivals on one simulated
+//!   [`SimClock`].
+//! * [`Scheduler`] — pluggable admission/preemption policies:
+//!   [`FcfsScheduler`] (bit-compatible with the seed lockstep loop),
+//!   [`SpfScheduler`] (shortest-predicted-first via the router's length
+//!   predictions), and [`PreemptiveScheduler`] (evict-and-recompute the
+//!   youngest sequence when the block pool runs dry, recompute charged
+//!   through the `rkvc_gpu` roofline model).
 //! * [`ServerSim`] — one GPU (or TP group) running iteration-level
 //!   continuous batching over the [`rkvc_gpu`] cost model; emits per-request
-//!   TTFT / end-to-end latency.
+//!   TTFT / queue-delay / end-to-end latency. Configured via
+//!   [`ServingConfig`] (batch width, KV block size, pool pinning,
+//!   scheduler).
 //! * [`Cluster`] — a multi-GPU deployment with the paper's four routing
 //!   policies (§5.4, Table 8): load balance, throughput-predictor routing,
 //!   length-predictor routing, and combined.
-//! * [`LatencySummary`] — mean/percentile/CDF reductions for Figure 5 and
-//!   Table 8.
+//! * [`LatencySummary`] / [`ServingMetrics`] — mean/percentile/CDF
+//!   reductions for Figure 5 and Table 8, plus TTFT/TBT/queue-delay
+//!   summaries for scheduler ablations.
 //!
 //! # Examples
 //!
@@ -32,15 +45,47 @@
 //! assert_eq!(done.len(), 1);
 //! assert!(done[0].e2e_s > 0.0);
 //! ```
+//!
+//! Selecting a scheduler:
+//!
+//! ```
+//! use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+//! use rkvc_kvcache::CompressionConfig;
+//! use rkvc_serving::{SchedulerConfig, ServerSim, ServingConfig, SimRequest};
+//!
+//! let dep = DeploymentSpec {
+//!     gpu: GpuSpec::a6000(),
+//!     llm: LlmSpec::llama2_7b(),
+//!     engine: EngineKind::LmDeploy,
+//!     tensor_parallel: 1,
+//! };
+//! let cfg = ServingConfig {
+//!     max_batch: 16,
+//!     pool_tokens: Some(4096), // pin the pool to create block pressure
+//!     scheduler: SchedulerConfig::Preemptive,
+//!     ..ServingConfig::default()
+//! };
+//! let mut server = ServerSim::with_config(0, dep, CompressionConfig::Fp16, cfg).unwrap();
+//! server.enqueue(SimRequest::new(0, 0.0, 512, 128));
+//! assert_eq!(server.run_to_completion().len(), 1);
+//! ```
 
 mod blocks;
+mod clock;
 mod cluster;
+mod engine;
 mod metrics;
 mod request;
+mod scheduler;
 mod server;
 
 pub use blocks::{BlockError, BlockManager};
+pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterError, OraclePredictor, RoutePredictor, RoutingPolicy};
-pub use metrics::LatencySummary;
+pub use engine::{Engine, RunningSeq, Waiting};
+pub use metrics::{LatencySummary, ServingMetrics};
 pub use request::{CompletedRequest, SimRequest};
-pub use server::ServerSim;
+pub use scheduler::{
+    FcfsScheduler, PreemptiveScheduler, Scheduler, SchedulerConfig, SpfScheduler,
+};
+pub use server::{ConfigError, ServerSim, ServingConfig};

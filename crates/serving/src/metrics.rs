@@ -1,4 +1,7 @@
-//! Latency reductions: percentiles and CDFs.
+//! Latency reductions: percentiles and CDFs, plus per-request serving
+//! metric summaries (TTFT / TBT / queue delay / E2E) for experiment JSON.
+
+use crate::CompletedRequest;
 
 
 /// Summary statistics over a set of latencies (seconds).
@@ -91,6 +94,59 @@ impl LatencySummary {
 
 rkvc_tensor::json_struct!(LatencySummary { sorted });
 
+/// Per-request serving metric summaries over a set of completions — the
+/// paper's serving-quality surface (§2.4): time-to-first-token, time
+/// between output tokens, scheduler queue delay, and end-to-end latency,
+/// each with full percentile support, plus preemption counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingMetrics {
+    /// Completions summarized.
+    pub completed: usize,
+    /// Time-to-first-token (s).
+    pub ttft: LatencySummary,
+    /// Time between output tokens (s/token after the first).
+    pub tbt: LatencySummary,
+    /// Queue delay before first admission (s).
+    pub queue_delay: LatencySummary,
+    /// End-to-end latency (s).
+    pub e2e: LatencySummary,
+    /// Total preemptions across all requests.
+    pub preemptions: usize,
+}
+
+impl ServingMetrics {
+    /// Summarizes a completion stream (input order does not matter — every
+    /// summary sorts its samples).
+    pub fn from_completed(done: &[CompletedRequest]) -> Self {
+        ServingMetrics {
+            completed: done.len(),
+            ttft: LatencySummary::new(done.iter().map(|c| c.ttft_s).collect()),
+            tbt: LatencySummary::new(done.iter().map(|c| c.tbot_s()).collect()),
+            queue_delay: LatencySummary::new(done.iter().map(|c| c.queue_delay_s).collect()),
+            e2e: LatencySummary::new(done.iter().map(|c| c.e2e_s).collect()),
+            preemptions: done.iter().map(|c| c.preemptions).sum(),
+        }
+    }
+
+    /// The summary rows experiments emit: mean / p50 / p95 / p99 for each
+    /// metric (zeros when empty).
+    pub fn row(&self, summary: &LatencySummary) -> [f64; 4] {
+        if summary.is_empty() {
+            return [0.0; 4];
+        }
+        [summary.mean(), summary.p50(), summary.p95(), summary.p99()]
+    }
+}
+
+rkvc_tensor::json_struct!(ServingMetrics {
+    completed,
+    ttft,
+    tbt,
+    queue_delay,
+    e2e,
+    preemptions,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +182,35 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         LatencySummary::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn serving_metrics_summarize_completions() {
+        let mk = |id: u64, ttft: f64, e2e: f64, q: f64, gen: usize, pre: usize| CompletedRequest {
+            id,
+            server_id: 0,
+            arrival_s: 0.0,
+            ttft_s: ttft,
+            e2e_s: e2e,
+            generated: gen,
+            queue_delay_s: q,
+            preemptions: pre,
+        };
+        let done = vec![
+            mk(0, 1.0, 11.0, 0.5, 101, 0),
+            mk(1, 2.0, 4.0, 0.0, 3, 2),
+        ];
+        let m = ServingMetrics::from_completed(&done);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.preemptions, 2);
+        assert!((m.ttft.mean() - 1.5).abs() < 1e-12);
+        // TBTs: (11-1)/100 = 0.1 and (4-2)/2 = 1.0.
+        assert!((m.tbt.max() - 1.0).abs() < 1e-12);
+        assert!((m.queue_delay.max() - 0.5).abs() < 1e-12);
+        let row = m.row(&m.e2e);
+        assert!((row[0] - 7.5).abs() < 1e-12);
+        assert_eq!(m.e2e.max(), 11.0);
+        let empty = ServingMetrics::from_completed(&[]);
+        assert_eq!(empty.row(&empty.ttft), [0.0; 4]);
     }
 }

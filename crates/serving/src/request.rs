@@ -55,6 +55,11 @@ pub struct CompletedRequest {
     pub e2e_s: f64,
     /// Tokens generated.
     pub generated: usize,
+    /// Seconds spent queued before first admission (0 when admitted at
+    /// arrival).
+    pub queue_delay_s: f64,
+    /// Times the scheduler preempted (evicted-and-recomputed) the request.
+    pub preemptions: usize,
 }
 
 impl CompletedRequest {
@@ -84,6 +89,8 @@ rkvc_tensor::json_struct!(CompletedRequest {
     ttft_s,
     e2e_s,
     generated,
+    queue_delay_s,
+    preemptions,
 });
 
 #[cfg(test)]
@@ -99,6 +106,8 @@ mod tests {
             ttft_s: 1.0,
             e2e_s: 11.0,
             generated: 101,
+            queue_delay_s: 0.5,
+            preemptions: 0,
         };
         assert!((c.tbot_s() - 0.1).abs() < 1e-12);
         let single = CompletedRequest { generated: 1, ..c };

@@ -1,0 +1,269 @@
+//! Pluggable admission/preemption policies for the serving engine.
+//!
+//! A [`Scheduler`] makes exactly two decisions inside
+//! [`ServerCore::iteration`](crate::engine): which queued request to try
+//! admitting next, and — when the block pool runs dry mid-decode — which
+//! running sequence to evict. Everything else (costing, block accounting,
+//! event ordering) is shared engine code, so policies stay tiny and every
+//! policy inherits the engine's bit-reproducibility: all tie-breaks go
+//! through monotone counters, never iteration order of a map or float
+//! equality.
+
+use std::collections::VecDeque;
+
+use crate::{RunningSeq, SimClock, Waiting};
+
+/// An admission + preemption policy. Implementations must be determinstic
+/// pure functions of their arguments — the engine calls them at
+/// reproducible instants and expects reproducible answers.
+pub trait Scheduler: std::fmt::Debug + Sync {
+    /// Human-readable policy name (used in experiment tables and benches).
+    fn label(&self) -> &'static str;
+
+    /// Index into `queue` of the next request to try admitting, or `None`
+    /// to stop admitting this iteration. The engine applies the arrival
+    /// gate itself: a pick that has not yet arrived admits only on an idle
+    /// server (which jumps its clock to the arrival).
+    fn admit_pick(&self, queue: &VecDeque<Waiting>, clock: SimClock) -> Option<usize>;
+
+    /// Victim among `running` to evict when the pool runs dry while
+    /// `grower` tries to append a token, or `None` to let `grower` run on
+    /// at a capped KV footprint (the seed behaviour). Must not name a
+    /// finished sequence (its blocks free at the end of the iteration
+    /// anyway).
+    fn preempt_victim(&self, running: &[RunningSeq], grower: usize) -> Option<usize>;
+}
+
+/// First-come-first-served: admit in arrival order, never preempt. This is
+/// the seed lockstep simulator's policy, bit-compatible with it — the
+/// oracle the engine refactor is verified against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsScheduler;
+
+impl Scheduler for FcfsScheduler {
+    fn label(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn admit_pick(&self, queue: &VecDeque<Waiting>, _clock: SimClock) -> Option<usize> {
+        if queue.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn preempt_victim(&self, _running: &[RunningSeq], _grower: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// Shortest-predicted-first: among requests that have already arrived,
+/// admit the one the router's length predictor expects to finish soonest
+/// (ties broken by enqueue order). With nothing arrived yet, falls back to
+/// the earliest arrival so idle servers wake exactly like FCFS. Never
+/// preempts.
+///
+/// Predictions flow in through the existing
+/// [`RoutePredictor`](crate::RoutePredictor) seam: the cluster stamps each
+/// request with `predicted_response_len` at routing time, so this policy
+/// consumes `rkvc_core`'s length predictor without a new dependency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpfScheduler;
+
+impl Scheduler for SpfScheduler {
+    fn label(&self) -> &'static str {
+        "spf"
+    }
+
+    fn admit_pick(&self, queue: &VecDeque<Waiting>, clock: SimClock) -> Option<usize> {
+        let arrived = queue
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| SimClock::from_secs(w.arrival_s()) <= clock)
+            .min_by(|(_, a), (_, b)| {
+                a.predicted_len()
+                    .total_cmp(&b.predicted_len())
+                    .then(a.queue_seq().cmp(&b.queue_seq()))
+            });
+        if let Some((idx, _)) = arrived {
+            return Some(idx);
+        }
+        // Nothing arrived: wake for the earliest future arrival.
+        queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.arrival_s()
+                    .total_cmp(&b.arrival_s())
+                    .then(a.queue_seq().cmp(&b.queue_seq()))
+            })
+            .map(|(idx, _)| idx)
+    }
+
+    fn preempt_victim(&self, _running: &[RunningSeq], _grower: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// FCFS admission plus evict-and-recompute preemption: when the pool runs
+/// dry mid-decode, the youngest sequence (largest admission counter, the
+/// vLLM recompute-preemption heuristic) is pushed back to the head of the
+/// queue and its blocks are freed. On re-admission the engine charges a
+/// full-context recompute through the
+/// [`rkvc_gpu`](rkvc_gpu::DeploymentSpec::recompute) roofline model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreemptiveScheduler;
+
+impl Scheduler for PreemptiveScheduler {
+    fn label(&self) -> &'static str {
+        "preemptive"
+    }
+
+    fn admit_pick(&self, queue: &VecDeque<Waiting>, _clock: SimClock) -> Option<usize> {
+        if queue.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    fn preempt_victim(&self, running: &[RunningSeq], _grower: usize) -> Option<usize> {
+        let mut unfinished = 0usize;
+        let mut youngest: Option<(usize, u64)> = None;
+        for (idx, r) in running.iter().enumerate() {
+            if r.is_finished() {
+                continue;
+            }
+            unfinished += 1;
+            let key = r.admit_seq();
+            if youngest.map_or(true, |(_, best)| key > best) {
+                youngest = Some((idx, key));
+            }
+        }
+        // With at most one unfinished sequence there is nothing sensible to
+        // evict (evicting the grower for itself would thrash), so run
+        // capped like the seed.
+        if unfinished < 2 {
+            return None;
+        }
+        youngest.map(|(idx, _)| idx)
+    }
+}
+
+/// Which scheduler a server runs — the serving-config knob threaded
+/// through experiments, benches, and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerConfig {
+    /// First-come-first-served, no preemption (seed-compatible oracle).
+    #[default]
+    Fcfs,
+    /// Shortest-predicted-first admission via the router's length
+    /// predictions.
+    ShortestPredictedFirst,
+    /// FCFS admission + evict-and-recompute the youngest sequence when the
+    /// block pool runs dry.
+    Preemptive,
+}
+
+impl SchedulerConfig {
+    /// All schedulers in ablation order.
+    pub fn all() -> [SchedulerConfig; 3] {
+        [
+            SchedulerConfig::Fcfs,
+            SchedulerConfig::ShortestPredictedFirst,
+            SchedulerConfig::Preemptive,
+        ]
+    }
+
+    /// The policy object.
+    pub fn policy(self) -> &'static dyn Scheduler {
+        match self {
+            SchedulerConfig::Fcfs => &FcfsScheduler,
+            SchedulerConfig::ShortestPredictedFirst => &SpfScheduler,
+            SchedulerConfig::Preemptive => &PreemptiveScheduler,
+        }
+    }
+
+    /// Table/bench label.
+    pub fn label(self) -> &'static str {
+        self.policy().label()
+    }
+
+    /// Parses a CLI-style name (`fcfs`, `spf`, `preemptive`).
+    pub fn parse(s: &str) -> Option<SchedulerConfig> {
+        match s {
+            "fcfs" => Some(SchedulerConfig::Fcfs),
+            "spf" => Some(SchedulerConfig::ShortestPredictedFirst),
+            "preemptive" => Some(SchedulerConfig::Preemptive),
+            _ => None,
+        }
+    }
+}
+
+rkvc_tensor::json_unit_enum!(SchedulerConfig {
+    Fcfs,
+    ShortestPredictedFirst,
+    Preemptive,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waiting(id: u64, arrival_s: f64, predicted_len: f64, queue_seq: u64) -> Waiting {
+        Waiting {
+            req: crate::SimRequest::new(id, arrival_s, 128, 32),
+            predicted_len,
+            generated: 0,
+            ttft_s: None,
+            queue_delay_s: None,
+            preemptions: 0,
+            queue_seq,
+        }
+    }
+
+    #[test]
+    fn fcfs_always_picks_the_head() {
+        let q: VecDeque<Waiting> = vec![
+            waiting(0, 0.0, 99.0, 0),
+            waiting(1, 0.1, 1.0, 1),
+        ]
+        .into();
+        assert_eq!(FcfsScheduler.admit_pick(&q, SimClock::from_secs(1.0)), Some(0));
+        assert_eq!(FcfsScheduler.admit_pick(&VecDeque::new(), SimClock::ZERO), None);
+    }
+
+    #[test]
+    fn spf_picks_shortest_arrived_then_earliest_future() {
+        let q: VecDeque<Waiting> = vec![
+            waiting(0, 0.0, 50.0, 0),
+            waiting(1, 0.1, 10.0, 1),
+            waiting(2, 5.0, 1.0, 2), // shortest but not yet arrived
+        ]
+        .into();
+        assert_eq!(SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0)), Some(1));
+        // Before anything arrives: earliest arrival wins, not shortest.
+        assert_eq!(SpfScheduler.admit_pick(&q, SimClock::from_secs(-1.0)), Some(0));
+    }
+
+    #[test]
+    fn spf_breaks_prediction_ties_by_enqueue_order() {
+        let q: VecDeque<Waiting> = vec![
+            waiting(7, 0.0, 10.0, 4),
+            waiting(3, 0.0, 10.0, 2),
+        ]
+        .into();
+        // Equal predictions: lower queue_seq wins regardless of position.
+        assert_eq!(SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0)), Some(1));
+    }
+
+    #[test]
+    fn scheduler_config_round_trips_labels() {
+        for cfg in SchedulerConfig::all() {
+            assert_eq!(SchedulerConfig::parse(cfg.label()), Some(cfg));
+        }
+        assert_eq!(SchedulerConfig::parse("nope"), None);
+        assert_eq!(SchedulerConfig::default(), SchedulerConfig::Fcfs);
+    }
+}

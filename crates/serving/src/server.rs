@@ -1,265 +1,272 @@
-//! Single-deployment continuous-batching server simulator.
+//! Single-deployment continuous-batching server: a thin driver over the
+//! discrete-event core in [`engine`](crate::engine).
 
-use rkvc_gpu::{decode_memory_bytes, DeploymentSpec};
+use rkvc_gpu::DeploymentSpec;
 use rkvc_kvcache::CompressionConfig;
-use std::collections::VecDeque;
 
-use crate::{BlockManager, CompletedRequest, SimRequest};
+use crate::engine::{ServerCore, RANK_DECODE, RANK_IDLE_START};
+use crate::{CompletedRequest, SchedulerConfig, SimClock, SimRequest};
 
-/// Tokens per KV block (vLLM/LMDeploy default is 16–64).
-const BLOCK_TOKENS: usize = 16;
+/// Construction-time serving parameters, validated by
+/// [`ServerSim::with_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Maximum concurrent running sequences (continuous-batching width).
+    pub max_batch: usize,
+    /// Tokens per KV block (vLLM/LMDeploy default is 16–64). The default
+    /// of 16 matches the seed simulator.
+    pub block_tokens: usize,
+    /// Pins the KV pool capacity in tokens instead of deriving it from the
+    /// deployment's free HBM — used to create block pressure in scheduler
+    /// and block-size ablations.
+    pub pool_tokens: Option<usize>,
+    /// Admission/preemption policy.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            max_batch: 8,
+            block_tokens: 16,
+            pool_tokens: None,
+            scheduler: SchedulerConfig::Fcfs,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Default config at the given batch width — the shape of the seed
+    /// `ServerSim::new` signature.
+    pub fn with_max_batch(max_batch: usize) -> Self {
+        ServingConfig {
+            max_batch,
+            ..ServingConfig::default()
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_batch == 0 {
+            return Err(ConfigError::ZeroMaxBatch);
+        }
+        if self.block_tokens == 0 {
+            return Err(ConfigError::ZeroBlockTokens);
+        }
+        if self.pool_tokens == Some(0) {
+            return Err(ConfigError::ZeroPoolTokens);
+        }
+        Ok(())
+    }
+}
+
+/// Typed error for invalid [`ServingConfig`]s — serving constructors
+/// degrade via `Result`, never abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_batch` must admit at least one sequence.
+    ZeroMaxBatch,
+    /// `block_tokens` must be positive (blocks hold at least one token).
+    ZeroBlockTokens,
+    /// A pinned pool must hold at least one token.
+    ZeroPoolTokens,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ConfigError::ZeroBlockTokens => write!(f, "block_tokens must be at least 1"),
+            ConfigError::ZeroPoolTokens => write!(f, "pool_tokens override must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// One GPU (or tensor-parallel group) running iteration-level continuous
 /// batching, costed by the [`rkvc_gpu`] analytical model.
 ///
-/// The simulator admits queued requests whenever batch slots and KV blocks
-/// allow, charges prefill for admissions, then advances all running
-/// sequences by one decode iteration at the batch's current KV profile —
-/// the scheduling structure of vLLM/LMDeploy.
+/// The simulation logic — admissions (prefill), one decode iteration at
+/// the batch's current KV profile, and scheduler-driven preemption — lives
+/// in the discrete-event core ([`engine`](crate::engine)); this type is
+/// the public handle that drives a single server's core directly. With the
+/// default (FCFS) scheduler the behaviour is bit-compatible with the seed
+/// lockstep simulator.
 #[derive(Debug, Clone)]
 pub struct ServerSim {
-    id: usize,
-    dep: DeploymentSpec,
-    algo: CompressionConfig,
-    max_batch: usize,
-    clock_s: f64,
-    queue: VecDeque<SimRequest>,
-    running: Vec<Running>,
-    completed: Vec<CompletedRequest>,
-    blocks: BlockManager,
-}
-
-#[derive(Debug, Clone)]
-struct Running {
-    req: SimRequest,
-    target_len: usize,
-    generated: usize,
-    kv_len: usize,
-    ttft_s: f64,
+    core: ServerCore,
 }
 
 impl ServerSim {
-    /// Creates a server. The KV block pool is sized from the deployment's
-    /// free device memory under the given compression policy.
-    pub fn new(
+    /// Creates a server with the default serving config at `max_batch`.
+    /// The KV block pool is sized from the deployment's free device memory
+    /// under the given compression policy.
+    pub fn new(id: usize, dep: DeploymentSpec, algo: CompressionConfig, max_batch: usize) -> Self {
+        // The default-shaped config is valid for every max_batch >= 1; a
+        // zero width admits nothing, exactly as it did in the seed.
+        ServerSim {
+            core: ServerCore::new(id, dep, algo, ServingConfig::with_max_batch(max_batch)),
+        }
+    }
+
+    /// Creates a server with an explicit, validated serving config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if `cfg` is invalid.
+    pub fn with_config(
         id: usize,
         dep: DeploymentSpec,
         algo: CompressionConfig,
-        max_batch: usize,
-    ) -> Self {
-        // Free memory after weights + runtime overhead, divided into blocks
-        // at the policy's steady-state bytes/token.
-        let fixed = decode_memory_bytes(&dep.llm, dep.engine, &algo, 1, 1, dep.tensor_parallel, 1);
-        let free = dep
-            .gpu
-            .hbm_bytes()
-            .saturating_sub(fixed.weights + fixed.activations + fixed.workspace);
-        let per_token = rkvc_gpu::kv_bytes_per_token(&dep.llm, &algo, dep.tensor_parallel);
-        let capacity_tokens = (free as f64 / per_token.max(1.0)) as usize;
-        let blocks = BlockManager::new((capacity_tokens / BLOCK_TOKENS).max(1), BLOCK_TOKENS);
-        ServerSim {
-            id,
-            dep,
-            algo,
-            max_batch,
-            clock_s: 0.0,
-            queue: VecDeque::new(),
-            running: Vec::new(),
-            completed: Vec::new(),
-            blocks,
-        }
+        cfg: ServingConfig,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(ServerSim {
+            core: ServerCore::new(id, dep, algo, cfg),
+        })
     }
 
     /// Server id.
     pub fn id(&self) -> usize {
-        self.id
+        self.core.id
     }
 
     /// The compression policy this server runs.
     pub fn algo(&self) -> &CompressionConfig {
-        &self.algo
+        &self.core.algo
     }
 
     /// The deployment this server models.
     pub fn deployment(&self) -> &DeploymentSpec {
-        &self.dep
+        &self.core.dep
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.core.cfg
     }
 
     /// Current simulated time (seconds).
     pub fn clock_s(&self) -> f64 {
-        self.clock_s
+        self.core.clock.secs()
     }
 
     /// Requests waiting + running.
     pub fn load(&self) -> usize {
-        self.queue.len() + self.running.len()
+        self.core.load()
     }
 
     /// Currently running batch size.
     pub fn batch_size(&self) -> usize {
-        self.running.len()
+        self.core.running.len()
     }
 
     /// KV block-pool utilization in `[0, 1]` — the "memory usage" signal the
     /// paper's load-balancing baseline routes on.
     pub fn memory_utilization(&self) -> f64 {
-        self.blocks.utilization()
+        self.core.blocks.utilization()
     }
 
     /// Mean KV length of the running batch (0 when idle).
     pub fn mean_kv_len(&self) -> usize {
-        if self.running.is_empty() {
-            return 0;
-        }
-        self.running.iter().map(|r| r.kv_len).sum::<usize>() / self.running.len()
+        self.core.mean_kv_len()
     }
 
     /// Submits a request (its `arrival_s` must not precede the clock of the
-    /// latest enqueue; the cluster enforces global ordering).
+    /// latest enqueue; the cluster enforces global ordering). The length
+    /// prediction defaults to the request's true response length on this
+    /// server — cluster runs stamp the router's prediction instead via
+    /// [`enqueue_predicted`](Self::enqueue_predicted).
     pub fn enqueue(&mut self, req: SimRequest) {
-        self.queue.push_back(req);
+        let predicted = req.response_len_on(self.core.id) as f64;
+        self.core.enqueue(req, predicted);
     }
 
-    /// Tokens the policy actually retains for a sequence at logical KV
-    /// length `n` (eviction policies cap it).
-    fn retained(&self, n: usize) -> usize {
-        match self.algo {
-            CompressionConfig::H2O(p) => n.min(p.budget()),
-            CompressionConfig::Streaming(p) => n.min(p.budget()),
-            CompressionConfig::SnapKv(p) => n.min(p.budget + p.obs_window),
-            CompressionConfig::Tova(p) => n.min(p.budget),
-            CompressionConfig::PyramidKv(p) => n.min(p.mean_budget() + p.obs_window),
-            _ => n,
-        }
+    /// Submits a request with the router's predicted response length (what
+    /// prediction-driven schedulers order by).
+    pub fn enqueue_predicted(&mut self, req: SimRequest, predicted_len: f64) {
+        self.core.enqueue(req, predicted_len);
     }
 
     /// Whether any work remains.
     pub fn has_work(&self) -> bool {
-        !self.queue.is_empty() || !self.running.is_empty()
+        self.core.has_work()
     }
 
     /// Runs one scheduler iteration: admissions (prefill) + one decode step.
     ///
-    /// Returns `false` if nothing could run (idle or the next request has
-    /// not arrived yet).
+    /// Returns `false` if nothing could run (idle, the next request has
+    /// not arrived yet, or the head of the queue can never fit the pool).
     pub fn step(&mut self) -> bool {
-        // Admit while there is room. A request is admissible once it has
-        // arrived (clock catches up to arrivals when idle).
-        let mut admitted = false;
-        while self.running.len() < self.max_batch {
-            let Some(front) = self.queue.front() else { break };
-            if front.arrival_s > self.clock_s {
-                if self.running.is_empty() && admitted == false {
-                    // Idle: jump to the arrival.
-                    self.clock_s = front.arrival_s;
-                } else {
-                    break;
-                }
-            }
-            let retained = self.retained(front.prompt_len);
-            if self
-                .blocks
-                .register_seq(front.id, retained)
-                .is_err()
-            {
-                break; // No KV room; wait for completions.
-            }
-            let Some(req) = self.queue.pop_front() else { break };
-            let prefill = self
-                .dep
-                .prefill(&self.algo, 1, req.prompt_len)
-                .total();
-            self.clock_s += prefill;
-            let ttft = self.clock_s - req.arrival_s;
-            let target = req.response_len_on(self.id).max(1);
-            self.running.push(Running {
-                kv_len: req.prompt_len,
-                target_len: target,
-                generated: 0,
-                ttft_s: ttft,
-                req,
-            });
-            admitted = true;
-        }
+        self.core.iteration()
+    }
 
-        if self.running.is_empty() {
-            return admitted;
-        }
+    /// `step`, named for the engine's event loop.
+    pub(crate) fn iteration(&mut self) -> bool {
+        self.core.iteration()
+    }
 
-        // One decode iteration over the whole batch.
-        let batch = self.running.len();
-        let kv = self.mean_kv_len();
-        let step = self.dep.decode_step(&self.algo, batch, kv).total();
-        self.clock_s += step;
-
-        let mut finished = Vec::new();
-        for i in 0..self.running.len() {
-            self.running[i].generated += 1;
-            self.running[i].kv_len += 1;
-            let retained = self.retained(self.running[i].kv_len);
-            let seq = self.running[i].req.id;
-            // Grow or cap the sequence's block allocation. Append may hit a
-            // full pool — the sequence then runs on at its capped footprint
-            // and the follow-up truncate is a no-op error, not an abort.
-            let _ = self.blocks.append_token(seq);
-            let _ = self.blocks.truncate_seq(seq, retained);
-            if self.running[i].generated >= self.running[i].target_len {
-                finished.push(i);
-            }
+    /// The `(time_ordinal, rank)` of this server's next iteration event,
+    /// or `None` when it has no work. See the rank table in
+    /// [`engine`](crate::engine).
+    pub(crate) fn next_iteration_event(&self) -> Option<(u64, u8)> {
+        if !self.core.running.is_empty() {
+            return Some((self.core.clock.ordinal(), RANK_DECODE));
         }
-        for &i in finished.iter().rev() {
-            let r = self.running.swap_remove(i);
-            // Running sequences are registered by construction.
-            let _ = self.blocks.free_seq(r.req.id);
-            self.completed.push(CompletedRequest {
-                id: r.req.id,
-                server_id: self.id,
-                arrival_s: r.req.arrival_s,
-                ttft_s: r.ttft_s,
-                e2e_s: self.clock_s - r.req.arrival_s,
-                generated: r.generated,
-            });
+        let arrival = SimClock::from_secs(self.core.earliest_queued_arrival()?);
+        if arrival > self.core.clock {
+            Some((arrival.ordinal(), RANK_IDLE_START))
+        } else {
+            Some((self.core.clock.ordinal(), RANK_DECODE))
         }
-        true
     }
 
     /// Advances the simulation until time `t` (or until idle past `t`).
     pub fn advance_to(&mut self, t: f64) {
-        while self.clock_s < t && self.has_work() {
+        let target = SimClock::from_secs(t);
+        while self.core.clock < target && self.core.has_work() {
             // Don't run ahead of `t` into requests that arrive later.
-            if self.running.is_empty()
+            if self.core.running.is_empty()
                 && self
-                    .queue
-                    .front()
-                    .map_or(true, |r| r.arrival_s > t)
+                    .core
+                    .earliest_queued_arrival()
+                    .map_or(true, |a| SimClock::from_secs(a) > target)
             {
                 break;
             }
-            self.step();
+            if !self.core.iteration() {
+                break; // Unserviceable head-of-queue; don't spin.
+            }
         }
-        if self.clock_s < t {
-            self.clock_s = t;
-        }
+        self.core.clock.raise_to(target);
     }
 
-    /// Runs until every queued request has completed and returns them.
+    /// Runs until every queued request has completed and returns them
+    /// (requests that can never fit the pool are dropped, not spun on).
     pub fn run_to_completion(mut self) -> Vec<CompletedRequest> {
-        while self.has_work() {
-            self.step();
+        while self.core.has_work() {
+            if !self.core.iteration() {
+                break;
+            }
         }
-        self.completed.sort_by_key(|c| c.id);
-        self.completed
+        self.core.completed.sort_by_key(|c| c.id);
+        self.core.completed
     }
 
     /// Completed requests so far.
     pub fn completed(&self) -> &[CompletedRequest] {
-        &self.completed
+        &self.core.completed
     }
 
     /// Consumes the server, returning its completions.
     pub fn into_completed(mut self) -> Vec<CompletedRequest> {
-        self.completed.sort_by_key(|c| c.id);
-        self.completed
+        self.core.completed.sort_by_key(|c| c.id);
+        self.core.completed
     }
 }
 
@@ -309,9 +316,12 @@ mod tests {
         for c in &done {
             assert!(c.ttft_s > 0.0 && c.ttft_s < c.e2e_s);
             assert_eq!(c.generated, 128);
+            assert!(c.queue_delay_s >= 0.0 && c.queue_delay_s <= c.ttft_s);
+            assert_eq!(c.preemptions, 0);
         }
         // Later arrivals with a saturated batch wait longer.
         assert!(done[5].ttft_s > done[0].ttft_s);
+        assert!(done[5].queue_delay_s > done[0].queue_delay_s);
     }
 
     #[test]
@@ -376,5 +386,70 @@ mod tests {
         s.advance_to(5.0);
         assert_eq!(s.completed().len(), 0);
         assert!((s.clock_s() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_fields() {
+        let bad_block = ServingConfig {
+            block_tokens: 0,
+            ..ServingConfig::default()
+        };
+        assert_eq!(bad_block.validate(), Err(ConfigError::ZeroBlockTokens));
+        let bad_batch = ServingConfig {
+            max_batch: 0,
+            ..ServingConfig::default()
+        };
+        assert_eq!(bad_batch.validate(), Err(ConfigError::ZeroMaxBatch));
+        let bad_pool = ServingConfig {
+            pool_tokens: Some(0),
+            ..ServingConfig::default()
+        };
+        assert_eq!(bad_pool.validate(), Err(ConfigError::ZeroPoolTokens));
+        assert!(ServingConfig::default().validate().is_ok());
+        assert!(ServerSim::with_config(0, dep(), CompressionConfig::Fp16, bad_block).is_err());
+    }
+
+    #[test]
+    fn block_tokens_is_configurable_and_defaults_to_sixteen() {
+        let d = dep();
+        let default = ServerSim::new(0, d.clone(), CompressionConfig::Fp16, 4);
+        assert_eq!(default.config().block_tokens, 16);
+        let coarse = ServerSim::with_config(
+            0,
+            d,
+            CompressionConfig::Fp16,
+            ServingConfig {
+                max_batch: 4,
+                block_tokens: 64,
+                pool_tokens: Some(4096),
+                scheduler: SchedulerConfig::Fcfs,
+            },
+        )
+        .expect("valid config");
+        assert_eq!(coarse.config().block_tokens, 64);
+        // 4096 tokens / 64-token blocks = 64 blocks; one 65-token prompt
+        // spans two blocks, so utilization is 2/64.
+        let mut coarse = coarse;
+        coarse.enqueue(SimRequest::new(0, 0.0, 65, 8));
+        coarse.step();
+        assert!((coarse.memory_utilization() - 2.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_pool_constrains_admissions() {
+        let d = dep();
+        let cfg = ServingConfig {
+            max_batch: 64,
+            pool_tokens: Some(1024),
+            ..ServingConfig::default()
+        };
+        let mut s =
+            ServerSim::with_config(0, d, CompressionConfig::Fp16, cfg).expect("valid config");
+        for i in 0..8 {
+            s.enqueue(SimRequest::new(i, 0.0, 512, 8));
+        }
+        s.step();
+        // 1024-token pool fits two 512-token prompts at most.
+        assert!(s.batch_size() <= 2, "batch {}", s.batch_size());
     }
 }

@@ -1,0 +1,158 @@
+//! `BlockManager` property tests for the preemption era: random
+//! alloc/grow/shrink/evict interleavings must conserve blocks exactly —
+//! no leaks, no double-frees — and serving results must not depend on the
+//! worker-pool width (`RKVC_THREADS`).
+
+use std::collections::BTreeMap;
+
+use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+use rkvc_kvcache::CompressionConfig;
+use rkvc_serving::{BlockManager, SchedulerConfig, ServerSim, ServingConfig, SimRequest};
+use rkvc_tensor::par;
+
+fn dep() -> DeploymentSpec {
+    DeploymentSpec {
+        gpu: GpuSpec::a6000(),
+        llm: LlmSpec::llama2_7b(),
+        engine: EngineKind::LmDeploy,
+        tensor_parallel: 1,
+    }
+}
+
+rkvc_tensor::det_cases! {
+    /// Random register/append/truncate/free interleavings — including the
+    /// preemption pattern (free a live sequence, re-register it later with
+    /// more tokens) — conserve blocks exactly. Per-sequence holdings are
+    /// tracked from observed `used_blocks` deltas, so any leak or
+    /// double-free breaks the running conservation sum.
+    fn alloc_free_evict_never_leaks_or_double_frees(rng, cases = 64) {
+        let block_size = *rng.choose(&[4usize, 8, 16, 32]);
+        let total = rng.gen_range(8usize..96);
+        let mut m = BlockManager::new(total, block_size);
+        // Shadow ledger: (blocks, tokens) each live sequence holds —
+        // blocks learned from used_blocks deltas after each successful
+        // operation, tokens mirrored from the ops themselves.
+        let mut held: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        for _ in 0..rng.gen_range(20usize..120) {
+            let before = m.used_blocks();
+            assert_eq!(
+                before,
+                held.values().map(|&(b, _)| b).sum::<usize>(),
+                "ledger out of sync with manager"
+            );
+            match rng.gen_range(0u32..10) {
+                // Register a fresh sequence (the admission / re-admission
+                // path after a preemption).
+                0..=3 => {
+                    let tokens = rng.gen_range(0usize..(3 * block_size * total / 2));
+                    let seq = next_seq;
+                    next_seq += 1;
+                    match m.register_seq(seq, tokens) {
+                        Ok(()) => {
+                            held.insert(seq, (m.used_blocks() - before, tokens));
+                        }
+                        Err(_) => assert_eq!(m.used_blocks(), before, "failed register must not allocate"),
+                    }
+                }
+                // Grow a live sequence by one token (decode).
+                4..=6 => {
+                    if let Some((&seq, _)) = held.iter().next() {
+                        match m.append_token(seq) {
+                            Ok(()) => {
+                                let grew = m.used_blocks() - before;
+                                assert!(grew <= 1, "one token grows at most one block");
+                                let entry = held.get_mut(&seq).expect("live seq");
+                                entry.0 += grew;
+                                entry.1 += 1;
+                            }
+                            Err(_) => assert_eq!(m.used_blocks(), before, "failed append must not allocate"),
+                        }
+                    }
+                }
+                // Shrink a live sequence (compression truncating KV).
+                7..=8 => {
+                    if let Some((&seq, &(blocks, tokens))) = held.iter().last() {
+                        let keep = rng.gen_range(0usize..(tokens + 1));
+                        m.truncate_seq(seq, keep).expect("live seq truncates");
+                        let freed = before - m.used_blocks();
+                        assert!(freed <= blocks, "truncate cannot free foreign blocks");
+                        *held.get_mut(&seq).expect("live seq") = (blocks - freed, keep);
+                    }
+                }
+                // Evict a sequence outright (preemption / completion),
+                // then prove freeing it again is a typed error with no
+                // effect on the pool.
+                _ => {
+                    if let Some((&seq, &(blocks, _))) = held.iter().next() {
+                        m.free_seq(seq).expect("live seq frees");
+                        assert_eq!(m.used_blocks(), before - blocks, "free must return exactly the holding");
+                        held.remove(&seq);
+                        let at_freed = m.used_blocks();
+                        assert!(m.free_seq(seq).is_err(), "double free must be rejected");
+                        assert_eq!(m.used_blocks(), at_freed, "rejected double free must not mutate");
+                    }
+                }
+            }
+            assert!(m.used_blocks() <= m.total_blocks(), "over-allocation");
+            assert_eq!(m.free_blocks(), m.total_blocks() - m.used_blocks());
+        }
+        // Drain: releasing every live sequence must return the pool to
+        // empty — anything else is a leak.
+        let seqs: Vec<u64> = held.keys().copied().collect();
+        for seq in seqs {
+            m.free_seq(seq).expect("live seq frees at drain");
+        }
+        assert_eq!(m.used_blocks(), 0, "pool must drain to zero used blocks");
+        assert_eq!(m.free_blocks(), m.total_blocks());
+        assert_eq!(m.seq_count(), 0);
+    }
+
+    /// A preemption-heavy serving run is a pure function of its inputs:
+    /// the free-block state and the completion stream must be
+    /// bit-identical whatever `RKVC_THREADS` says.
+    fn free_block_state_is_invariant_across_thread_counts(rng, cases = 8) {
+        let n = rng.gen_range(6usize..14);
+        let pool = rng.gen_range(1600usize..2600);
+        let requests: Vec<SimRequest> = (0..n)
+            .map(|i| {
+                SimRequest::new(
+                    i as u64,
+                    0.0,
+                    rng.gen_range(128usize..512),
+                    rng.gen_range(32usize..128),
+                )
+            })
+            .collect();
+        let serve = |threads: Option<usize>| {
+            par::set_threads(threads);
+            let cfg = ServingConfig {
+                max_batch: 8,
+                pool_tokens: Some(pool),
+                scheduler: SchedulerConfig::Preemptive,
+                ..ServingConfig::default()
+            };
+            let mut s = ServerSim::with_config(0, dep(), CompressionConfig::Fp16, cfg)
+                .expect("valid config");
+            for r in &requests {
+                s.enqueue(r.clone());
+            }
+            while s.has_work() && s.step() {}
+            let util = s.memory_utilization();
+            let done = s.into_completed();
+            par::set_threads(None);
+            (done, util.to_bits())
+        };
+        let (done1, util1) = serve(Some(1));
+        let (done4, util4) = serve(Some(4));
+        assert_eq!(util1, util4, "post-run pool state must not depend on threads");
+        assert_eq!(done1.len(), done4.len());
+        for (a, b) in done1.iter().zip(&done4) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.e2e_s.to_bits(), b.e2e_s.to_bits());
+            assert_eq!(a.ttft_s.to_bits(), b.ttft_s.to_bits());
+            assert_eq!(a.queue_delay_s.to_bits(), b.queue_delay_s.to_bits());
+            assert_eq!(a.preemptions, b.preemptions);
+        }
+    }
+}

@@ -1,14 +1,30 @@
 //! Serving-cluster demo: four simulated A6000 GPUs, a ShareGPT-like arrival
-//! stream, and the paper's four routing policies (§5.4 / Table 8).
+//! stream, the paper's four routing policies (§5.4 / Table 8), and the
+//! engine's pluggable schedulers.
 //!
 //! ```text
-//! cargo run --release --example serving_router
+//! cargo run --release --example serving_router -- [--scheduler fcfs|spf|preemptive] [--pool <tokens>]
 //! ```
+//!
+//! Scheduler selection is a [`ServingConfig`] field:
+//!
+//! * `fcfs` (default) — first-come-first-served continuous batching,
+//!   bit-compatible with the original simulator;
+//! * `spf` — shortest-predicted-first: admits the queued request with the
+//!   smallest predicted response length first;
+//! * `preemptive` — FCFS admission, but when the block pool runs dry the
+//!   youngest running sequence is evicted and later recomputed (vLLM's
+//!   recompute-mode preemption, charged through the roofline cost model).
+//!
+//! `--pool` pins each server's KV pool (in tokens) below the HBM-derived
+//! default; schedulers only separate under block pressure, so try e.g.
+//! `--scheduler preemptive --pool 8192`.
 
 use rethink_kv_compression::gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rethink_kv_compression::kvcache::CompressionConfig;
 use rethink_kv_compression::serving::{
-    Cluster, LatencySummary, OraclePredictor, RoutingPolicy, ServerSim, SimRequest,
+    Cluster, OraclePredictor, RoutingPolicy, SchedulerConfig, ServerSim, ServingConfig,
+    ServingMetrics, SimRequest,
 };
 use rethink_kv_compression::workload::{sample_conversations, ShareGptConfig};
 
@@ -21,7 +37,42 @@ fn dep() -> DeploymentSpec {
     }
 }
 
+fn usage() -> ! {
+    eprintln!("usage: serving_router [--scheduler fcfs|spf|preemptive] [--pool <tokens>]");
+    std::process::exit(2);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scheduler = SchedulerConfig::Fcfs;
+    let mut pool_tokens = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheduler" => {
+                scheduler = match it.next().and_then(|s| SchedulerConfig::parse(s)) {
+                    Some(s) => s,
+                    None => usage(),
+                }
+            }
+            "--pool" => {
+                pool_tokens = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(t) => Some(t),
+                    None => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    // The scheduler is just another serving-config field; everything else
+    // about the cluster (routing, cost model, arrivals) is untouched.
+    let cfg = ServingConfig {
+        max_batch: 16,
+        pool_tokens,
+        scheduler,
+        ..ServingConfig::default()
+    };
+
     let mut conversations = sample_conversations(&ShareGptConfig::paper_scale(300, 11), 64);
     // Compress the arrival window to the paper's ~0.9-utilization regime —
     // routing policies only separate under queueing pressure.
@@ -43,21 +94,26 @@ fn main() {
 
     let algo = CompressionConfig::streaming(64, 448);
     println!(
-        "cluster: GPU0 = FP16, GPU1-3 = {}, {} requests @ ~25 rps\n",
+        "cluster: GPU0 = FP16, GPU1-3 = {}, {} requests @ ~25 rps, scheduler = {}{}\n",
         algo.label(),
-        requests.len()
+        requests.len(),
+        scheduler.label(),
+        pool_tokens.map_or(String::new(), |t| format!(", pool pinned to {t} tok")),
     );
     println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>10}   routing mix (per GPU)",
-        "policy", "mean e2e", "p50", "p95", "p99"
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8}   routing mix (per GPU)",
+        "policy", "mean e2e", "p95 e2e", "p95 queue", "p95 ttft", "preempt"
     );
 
     for policy in RoutingPolicy::all() {
+        let mk = |id: usize, a: CompressionConfig| {
+            ServerSim::with_config(id, dep(), a, cfg).expect("demo config is valid")
+        };
         let servers = vec![
-            ServerSim::new(0, dep(), CompressionConfig::Fp16, 16),
-            ServerSim::new(1, dep(), algo, 16),
-            ServerSim::new(2, dep(), algo, 16),
-            ServerSim::new(3, dep(), algo, 16),
+            mk(0, CompressionConfig::Fp16),
+            mk(1, algo),
+            mk(2, algo),
+            mk(3, algo),
         ];
         let done = Cluster::new(servers, policy)
             .expect("four servers")
@@ -67,14 +123,15 @@ fn main() {
         for c in &done {
             mix[c.server_id] += 1;
         }
-        let summary = LatencySummary::new(done.iter().map(|c| c.e2e_s).collect());
+        let m = ServingMetrics::from_completed(&done);
         println!(
-            "{:<14} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s   {:?}",
+            "{:<14} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s {:>8}   {:?}",
             policy.label(),
-            summary.mean(),
-            summary.p50(),
-            summary.p95(),
-            summary.p99(),
+            m.row(&m.e2e)[0],
+            m.row(&m.e2e)[2],
+            m.row(&m.queue_delay)[2],
+            m.row(&m.ttft)[2],
+            m.preemptions,
             mix
         );
     }

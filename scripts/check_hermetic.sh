@@ -22,8 +22,9 @@
 #      bench compiles warning-free with the network unreachable.
 #   3. `cargo test -q --offline --workspace` — the full test suite
 #      passes offline.
-#   4. thread-count invariance — `repro` regenerates fig1 and table6
-#      with RKVC_THREADS=1 and RKVC_THREADS=4; the emitted JSON must be
+#   4. thread-count invariance — `repro` regenerates fig1, table6, and
+#      table8 (the serving-engine cluster experiment) with
+#      RKVC_THREADS=1 and RKVC_THREADS=4; the emitted JSON must be
 #      byte-identical, proving experiment output is a pure function of
 #      the inputs and never of the worker-pool width.
 set -euo pipefail
@@ -54,13 +55,13 @@ echo "== gate 4: thread-count invariance (RKVC_THREADS=1 vs 4) =="
 tmp1=$(mktemp -d)
 tmp4=$(mktemp -d)
 trap 'rm -rf "$tmp1" "$tmp4"' EXIT
-for exp in fig1 table6; do
+for exp in fig1 table6 table8; do
     RKVC_THREADS=1 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
         --exp "$exp" --scale quick --out "$tmp1"
     RKVC_THREADS=4 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
         --exp "$exp" --scale quick --out "$tmp4"
 done
 diff -r "$tmp1" "$tmp4"
-echo "ok: fig1 + table6 JSON byte-identical across worker-pool widths"
+echo "ok: fig1 + table6 + table8 JSON byte-identical across worker-pool widths"
 
 echo "hermetic check passed"

@@ -1,0 +1,170 @@
+//! Serving-engine equivalence and reproducibility.
+//!
+//! The discrete-event engine replaced the seed's lockstep drive loop
+//! (advance every server to each arrival, route, enqueue, then drain).
+//! The FCFS scheduler is required to be a *bit-compatible oracle* of that
+//! loop: same requests in, byte-identical `CompletedRequest` stream out —
+//! every float compared through `to_bits`, not approximately. The new
+//! schedulers (SPF, preemptive) have no seed oracle, so they are held to
+//! double-run bit-reproducibility instead.
+
+use rkvc_core::experiments::table8::cluster_workload;
+use rkvc_core::experiments::RunOptions;
+use rkvc_serving::{
+    CompletedRequest, Cluster, RoutePredictor, RoutingPolicy, SchedulerConfig, ServerSim,
+    ServingConfig, SimRequest,
+};
+
+/// The seed `Cluster::run` drive loop, copied verbatim as the oracle: no
+/// event queue, just a lockstep scan over the (sorted) arrival stream.
+fn seed_lockstep_run(
+    mut servers: Vec<ServerSim>,
+    policy: RoutingPolicy,
+    requests: Vec<SimRequest>,
+    predictor: &dyn RoutePredictor,
+) -> Vec<CompletedRequest> {
+    for req in requests {
+        // Bring every server's view of time up to this arrival so routing
+        // sees current load.
+        for s in &mut servers {
+            s.advance_to(req.arrival_s);
+        }
+        let dst = seed_route(&servers, policy, &req, predictor);
+        servers[dst].enqueue(req);
+    }
+    let mut done: Vec<CompletedRequest> = servers
+        .into_iter()
+        .flat_map(|s| s.run_to_completion())
+        .collect();
+    done.sort_by_key(|c| c.id);
+    done
+}
+
+/// The seed routing rule, copied verbatim (same float-op order).
+fn seed_route(
+    servers: &[ServerSim],
+    policy: RoutingPolicy,
+    req: &SimRequest,
+    predictor: &dyn RoutePredictor,
+) -> usize {
+    let score = |idx: usize| -> f64 {
+        let s = &servers[idx];
+        match policy {
+            RoutingPolicy::LoadBalance => s.memory_utilization() + s.load() as f64 * 1e-6,
+            RoutingPolicy::ThroughputAware => {
+                -predictor.predicted_throughput(s, req) / (s.load() + 1) as f64
+            }
+            RoutingPolicy::LengthAware => {
+                predictor.predicted_response_len(s, req) * (1.0 + 0.1 * s.load() as f64)
+            }
+            RoutingPolicy::Both => {
+                let thr = predictor.predicted_throughput(s, req).max(1e-9);
+                let len = predictor.predicted_response_len(s, req);
+                let prefill = s.deployment().prefill(s.algo(), 1, req.prompt_len).total();
+                prefill + len * (s.load() + 1) as f64 / thr
+            }
+        }
+    };
+    (0..servers.len())
+        .min_by(|&a, &b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(0)
+}
+
+/// Bitwise equality of two completion streams (floats via `to_bits`).
+fn assert_streams_bit_identical(a: &[CompletedRequest], b: &[CompletedRequest], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: completion counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{label}: request order");
+        assert_eq!(x.server_id, y.server_id, "{label}: routing of #{}", x.id);
+        assert_eq!(
+            x.arrival_s.to_bits(),
+            y.arrival_s.to_bits(),
+            "{label}: arrival of #{}",
+            x.id
+        );
+        assert_eq!(
+            x.ttft_s.to_bits(),
+            y.ttft_s.to_bits(),
+            "{label}: ttft of #{} ({} vs {})",
+            x.id,
+            x.ttft_s,
+            y.ttft_s
+        );
+        assert_eq!(
+            x.e2e_s.to_bits(),
+            y.e2e_s.to_bits(),
+            "{label}: e2e of #{} ({} vs {})",
+            x.id,
+            x.e2e_s,
+            y.e2e_s
+        );
+        assert_eq!(x.generated, y.generated, "{label}: generated of #{}", x.id);
+        assert_eq!(
+            x.queue_delay_s.to_bits(),
+            y.queue_delay_s.to_bits(),
+            "{label}: queue delay of #{}",
+            x.id
+        );
+        assert_eq!(
+            x.preemptions, y.preemptions,
+            "{label}: preemptions of #{}",
+            x.id
+        );
+    }
+}
+
+#[test]
+fn fcfs_engine_matches_the_seed_lockstep_loop_bitwise() {
+    let w = cluster_workload(&RunOptions::quick());
+    let cfg = ServingConfig::with_max_batch(16);
+    for policy in RoutingPolicy::all() {
+        let engine_done = Cluster::new(w.servers(cfg), policy)
+            .expect("four servers")
+            .run(w.requests.clone(), &w.router)
+            .expect("table8 arrivals are sorted");
+        let oracle_done = seed_lockstep_run(w.servers(cfg), policy, w.requests.clone(), &w.router);
+        assert_streams_bit_identical(&engine_done, &oracle_done, policy.label());
+        assert!(
+            engine_done.iter().all(|c| c.preemptions == 0),
+            "{}: FCFS must never preempt",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn new_schedulers_are_bit_reproducible_across_runs() {
+    let w = cluster_workload(&RunOptions::quick());
+    for sched in [SchedulerConfig::ShortestPredictedFirst, SchedulerConfig::Preemptive] {
+        let cfg = ServingConfig {
+            max_batch: 16,
+            // Pinned low enough that the preemptive policy actually
+            // preempts on this stream (see ext_scheduler).
+            pool_tokens: Some(3584),
+            scheduler: sched,
+            ..ServingConfig::default()
+        };
+        let run = || {
+            Cluster::new(w.servers(cfg), RoutingPolicy::Both)
+                .expect("four servers")
+                .run(w.requests.clone(), &w.router)
+                .expect("table8 arrivals are sorted")
+        };
+        let first = run();
+        let second = run();
+        assert_streams_bit_identical(&first, &second, sched.label());
+        assert_eq!(first.len(), w.requests.len(), "{}: drops", sched.label());
+        if sched == SchedulerConfig::Preemptive {
+            let preemptions: usize = first.iter().map(|c| c.preemptions).sum();
+            assert!(
+                preemptions > 0,
+                "pinned pool must force preemptions for the reproducibility \
+                 check to exercise the eviction path"
+            );
+        }
+    }
+}
