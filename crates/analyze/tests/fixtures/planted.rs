@@ -15,5 +15,6 @@ pub fn planted() -> u128 {
     // rkvc-allow(E001): fixture demonstrating a valid standalone suppression
     let w = m.get(&1).copied().expect("covered by the line above");
     let s = std::thread::scope(|_| v + w);
-    t.elapsed().as_nanos() + u128::from(s)
+    let b = std::thread::Builder::new().spawn(move || s).is_ok();
+    t.elapsed().as_nanos() + u128::from(s) + u128::from(b)
 }

@@ -29,6 +29,7 @@ fn planted_fixture_reports_every_lint_at_exact_lines() {
             (14, "A001", false), // rkvc-allow(FAKE)
             (16, "E001", true),  // .expect(..) under a valid suppression
             (17, "D004", false), // std::thread::scope(..)
+            (18, "D004", false), // std::thread::Builder::new().spawn(..) — the pool's own idiom
         ]
     );
 }
@@ -42,6 +43,35 @@ fn par_home_is_exempt_from_d004_but_nothing_else() {
     );
     // Clock reads stay banned even in the pool module.
     assert!(vs.iter().any(|v| v.lint == "D001"));
+}
+
+/// The real persistent-pool source, scanned as shipped: its
+/// `std::thread` internals (`Builder::new().spawn` for lazy workers,
+/// `available_parallelism`, the scoped spawn retained as the bench
+/// baseline) are exempt at their home path but D004 violations anywhere
+/// else — and the job-handoff path must stay wall-clock-free, so the
+/// home scan comes back completely clean (D001 included).
+const PAR_SOURCE: &str = include_str!("../../tensor/src/par.rs");
+
+#[test]
+fn persistent_pool_source_is_clean_at_home_and_caught_elsewhere() {
+    let home = scan_source("crates/tensor/src/par.rs", PAR_SOURCE);
+    assert!(
+        home.is_empty(),
+        "pool source must scan clean in its home module, got {:?}",
+        home.iter().map(|v| v.header()).collect::<Vec<_>>()
+    );
+    let moved = scan_source("crates/core/src/par.rs", PAR_SOURCE);
+    let d004 = moved.iter().filter(|v| v.lint == "D004").count();
+    assert!(
+        d004 >= 3,
+        "the pool's spawn sites must all trip D004 outside the home module, got {d004}"
+    );
+    assert!(
+        moved.iter().all(|v| v.lint == "D004"),
+        "outside its home the pool may only differ by D004 — anything else \
+         (a clock read, a hash map) would be a real hygiene regression"
+    );
 }
 
 #[test]

@@ -32,12 +32,21 @@ enum PanelJob {
     DecodeAlgos { batch: usize },
 }
 
+/// Estimated scalar work per Figure 1 panel: a few dozen analytic
+/// cost-model evaluations (engine × batch cells), each a handful of
+/// roofline formulas. Deliberately small — the whole grid is tens of
+/// microseconds, far below [`rkvc_tensor::par::DISPATCH_MIN_TOTAL_OPS`],
+/// so `grain_for` keeps it inline: dispatching these panels is exactly
+/// the pay-more-for-the-handoff-than-the-work regression the dispatch
+/// gate exists to prevent.
+const PANEL_EST_OPS: usize = 1 << 12;
+
 /// Runs the Figure 1 sweeps for a given model spec (re-used by the
 /// appendix's Mistral-7B and LLaMA-13B variants).
 ///
 /// The eight panels are independent (engine × batch × length cells of a
-/// pure analytic cost model), so they fan across the deterministic worker
-/// pool; the table order is fixed by the job list, not by completion.
+/// pure analytic cost model); the table order is fixed by the job list,
+/// not by completion.
 pub fn run_for_model(llm: LlmSpec, id: &str, title: &str) -> ExperimentResult {
     let base = a6000_lmdeploy(llm.clone());
     let algos = paper_algos();
@@ -52,7 +61,8 @@ pub fn run_for_model(llm: LlmSpec, id: &str, title: &str) -> ExperimentResult {
         PanelJob::DecodeAlgos { batch: 32 },
     ];
 
-    let tables = rkvc_tensor::par::par_map(&jobs, 1, |job| match *job {
+    let grain = rkvc_tensor::par::grain_for(jobs.len(), PANEL_EST_OPS);
+    let tables = rkvc_tensor::par::par_map(&jobs, grain, |job| match *job {
         PanelJob::EngineDecode { kv } => {
             let mut dep = base.clone();
             let mut t = Table::new(

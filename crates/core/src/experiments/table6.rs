@@ -11,6 +11,12 @@ use super::{ExperimentResult, RunOptions};
 use crate::report::{fmt_pct, Table};
 use crate::{LengthDataset, LengthPredictor, ProfileGrid, ThroughputPredictor};
 
+/// Estimated scalar work per TinyLM generation (tens of tokens through
+/// the full stack of per-layer matmuls) — far above
+/// [`rkvc_tensor::par::DISPATCH_MIN_OPS`], so `grain_for` keeps these
+/// fan-outs at one request (or one algorithm) per chunk.
+const GENERATION_EST_OPS: usize = 1 << 20;
+
 /// Builds a length dataset for one algorithm: TinyLM prompts and the
 /// measured response lengths under that algorithm.
 fn length_dataset(
@@ -23,7 +29,8 @@ fn length_dataset(
     // Each request runs an independent generation session with a
     // per-request seed, so the calibration corpus fans across the
     // deterministic worker pool; responses come back in request order.
-    let lengths = rkvc_tensor::par::par_map(&requests, 1, |r| {
+    let grain = rkvc_tensor::par::grain_for(requests.len(), GENERATION_EST_OPS);
+    let lengths = rkvc_tensor::par::par_map(&requests, grain, |r| {
         let params = GenerateParams {
             max_new_tokens: (r.reference_response_len * 3).max(24).min(96),
             temperature: 1.0,
@@ -48,7 +55,8 @@ pub fn length_rows(model: &TinyLm, opts: &RunOptions) -> Vec<(String, f64)> {
     let suite = rkvc_workload::scaled_paper_suite();
     // Algorithms are independent too; inner fan-outs run inline once a
     // worker claims an algorithm.
-    rkvc_tensor::par::par_map(&suite, 1, |algo| {
+    let grain = rkvc_tensor::par::grain_for(suite.len(), 128 * GENERATION_EST_OPS);
+    rkvc_tensor::par::par_map(&suite, grain, |algo| {
         let data = length_dataset(model, &algo.config, n, opts.seed ^ 0x7ab);
         let (train, test) = data.split(0.75);
         let predictor = LengthPredictor::fit(&train);

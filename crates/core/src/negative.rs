@@ -34,7 +34,11 @@ pub fn evaluate_suite(
     samples: &[TaskSample],
     algos: &[(String, CompressionConfig)],
 ) -> Vec<SampleScores> {
-    rkvc_tensor::par::par_map(samples, 1, |s| {
+    // A sample runs one generation per algorithm plus the FP16 baseline —
+    // megaflops each, far past the dispatch threshold — so `grain_for`
+    // resolves to one sample per chunk.
+    let grain = rkvc_tensor::par::grain_for(samples.len(), 6 * (1 << 20));
+    rkvc_tensor::par::par_map(samples, grain, |s| {
             let params = GenerateParams::greedy(s.max_new_tokens);
             let baseline = {
                 let out = model.generate(&s.prompt, &CompressionConfig::Fp16, &params);

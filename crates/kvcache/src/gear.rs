@@ -289,17 +289,46 @@ impl KvCache for GearCache {
     }
 
     fn view(&self) -> KvView {
-        let mut keys = Matrix::zeros(0, self.head_dim);
-        let mut values = Matrix::zeros(0, self.head_dim);
-        let mut positions = Vec::with_capacity(self.len());
+        let hd = self.head_dim;
+        let b = self.params.buffer.max(1);
+        let crows = self.compressed_len();
+        let total = crows + self.buf_keys.rows();
+        let mut positions = Vec::with_capacity(total);
         for chunk in &self.chunks {
-            keys.push_rows(&chunk.recon_keys);
-            values.push_rows(&chunk.recon_values);
             positions.extend_from_slice(&chunk.positions);
         }
-        keys.push_rows(&self.buf_keys);
-        values.push_rows(&self.buf_values);
         positions.extend_from_slice(&self.buf_positions);
+        // Exact-size assembly replaces the push_rows growth reallocs this
+        // path paid on every decode step. Every flushed chunk holds
+        // exactly `buffer` rows, so a destination row maps straight to
+        // its memoized reconstruction; copies fan across the pool only
+        // once the cache clears the dispatch threshold (assembling one
+        // view row moves ~4·head_dim floats counting keys and values).
+        let mut keys = Matrix::zeros(total, hd);
+        let mut values = Matrix::zeros(total, hd);
+        let row_grain = rkvc_tensor::par::grain_for(total, 4 * hd);
+        rkvc_tensor::par::par_chunks_mut(keys.as_mut_slice(), row_grain * hd, |ci, dst| {
+            for (i, row) in dst.chunks_mut(hd).enumerate() {
+                let r = ci * row_grain + i;
+                let src = if r < crows {
+                    self.chunks[r / b].recon_keys.row(r % b)
+                } else {
+                    self.buf_keys.row(r - crows)
+                };
+                row.copy_from_slice(src);
+            }
+        });
+        rkvc_tensor::par::par_chunks_mut(values.as_mut_slice(), row_grain * hd, |ci, dst| {
+            for (i, row) in dst.chunks_mut(hd).enumerate() {
+                let r = ci * row_grain + i;
+                let src = if r < crows {
+                    self.chunks[r / b].recon_values.row(r % b)
+                } else {
+                    self.buf_values.row(r - crows)
+                };
+                row.copy_from_slice(src);
+            }
+        });
         KvView {
             keys,
             values,

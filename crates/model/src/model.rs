@@ -1,7 +1,7 @@
 //! TinyLM forward pass and generation sessions.
 
 use rkvc_kvcache::{CacheStats, CompressionConfig, KvCache};
-use rkvc_tensor::{silu, softmax_row, Matrix};
+use rkvc_tensor::{silu, softmax_into, Matrix};
 
 use crate::vocab::TokenId;
 use crate::{ModelConfig, ModelWeights, PositionEncoder};
@@ -95,10 +95,13 @@ fn vec_mat_into(v: &[f32], m: &Matrix, out: &mut Vec<f32>) {
     }
 }
 
-/// Minimum `tokens_in_cache × group_size × head_dim` before the per-layer
-/// KV-head units fan across the worker pool; below this the pool's spawn
-/// cost dominates the attention arithmetic.
-const ATTN_PAR_MIN_WORK: usize = 1 << 14;
+/// Estimated scalar operations one KV-head unit spends attending one
+/// query over one cached position: a multiply-add for the score dot plus
+/// a multiply-add for the value accumulation. Feeds
+/// [`rkvc_tensor::par::grain_for`], which turns it into the
+/// thread-count-invariant inline/dispatch decision for the attention
+/// fan-outs.
+const ATTN_OPS_PER_CACHED_ELEM: usize = 4;
 
 /// Runs one KV head's work for `n_tokens` consecutive tokens: append the
 /// new K/V rows, then attend for every query head in the head's group.
@@ -126,6 +129,11 @@ fn run_kv_unit(
     out: &mut [f32],
 ) {
     let unit_width = group_size * hd;
+    // One score/weight scratch pair for the whole unit: the per-(token,
+    // head) `Vec` allocations this replaces dominated short-context
+    // decode. `softmax_into` is bit-identical to `softmax_row`.
+    let mut scores: Vec<f32> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
     for t in 0..n_tokens {
         cache.append(
             &k_all[t * kv_stride + kvh * hd..][..hd],
@@ -137,12 +145,12 @@ fn run_kv_unit(
             let q = &q_all[t * q_stride + h * hd..][..hd];
             let view = cache.view_for_query(q);
             let n = view.len();
-            let mut scores = Vec::with_capacity(n);
+            scores.clear();
             for r in 0..n {
                 let dot: f32 = view.keys.row(r).iter().zip(q).map(|(a, b)| a * b).sum();
                 scores.push(dot * scale);
             }
-            let weights = softmax_row(&scores);
+            softmax_into(&scores, &mut weights);
             cache.observe_attention(&weights);
             let o = &mut out[t * unit_width + g * hd..][..hd];
             for (r, &wgt) in weights.iter().enumerate() {
@@ -238,11 +246,10 @@ impl Session<'_> {
                 .enumerate()
                 .map(|(kvh, (cache, out))| (kvh, cache, out))
                 .collect();
-            let grain = if (pos + 1) * gs * hd >= ATTN_PAR_MIN_WORK {
-                1
-            } else {
-                units.len()
-            };
+            let grain = rkvc_tensor::par::grain_for(
+                units.len(),
+                ATTN_OPS_PER_CACHED_ELEM * (pos + 1) * gs * hd,
+            );
             rkvc_tensor::par::par_chunks_mut(&mut units, grain, |_, chunk| {
                 for (kvh, cache, out) in chunk.iter_mut() {
                     run_kv_unit(
@@ -331,6 +338,13 @@ impl Session<'_> {
             }
         }
 
+        // Per-unit output stripes and the gathered attention matrix are
+        // allocated once and reused across layers: units accumulate with
+        // `+=`, so stripes are re-zeroed per layer, and `attn` is fully
+        // overwritten by the gather.
+        let mut unit_outs: Vec<Vec<f32>> =
+            (0..cfg.n_kv_heads).map(|_| vec![0.0f32; n * gs * hd]).collect();
+        let mut attn = Matrix::zeros(n, cfg.n_heads * hd);
         for (l, lw) in w.layers.iter().enumerate() {
             // Whole-prompt projections through the blocked kernel.
             let q_all = x.matmul(&lw.wq);
@@ -338,26 +352,25 @@ impl Session<'_> {
             let v_all = x.matmul(&lw.wv);
 
             // Per-KV-head units, each consuming the whole prompt in token
-            // order into an owned output stripe.
+            // order into its own output stripe.
             struct PrefillUnit<'a> {
                 kvh: usize,
                 cache: &'a mut Box<dyn KvCache>,
-                out: Vec<f32>,
+                out: &'a mut [f32],
             }
             let mut units: Vec<PrefillUnit<'_>> = self.caches[l]
                 .iter_mut()
+                .zip(unit_outs.iter_mut())
                 .enumerate()
-                .map(|(kvh, cache)| PrefillUnit {
-                    kvh,
-                    cache,
-                    out: vec![0.0f32; n * gs * hd],
+                .map(|(kvh, (cache, out))| {
+                    out.fill(0.0);
+                    PrefillUnit { kvh, cache, out }
                 })
                 .collect();
-            let grain = if n * (pos0 + n) * gs * hd >= ATTN_PAR_MIN_WORK {
-                1
-            } else {
-                units.len()
-            };
+            let grain = rkvc_tensor::par::grain_for(
+                units.len(),
+                ATTN_OPS_PER_CACHED_ELEM * n * (pos0 + n) * gs * hd,
+            );
             rkvc_tensor::par::par_chunks_mut(&mut units, grain, |_, chunk| {
                 for u in chunk.iter_mut() {
                     run_kv_unit(
@@ -373,11 +386,10 @@ impl Session<'_> {
                         k_all.as_slice(),
                         v_all.as_slice(),
                         k_all.cols(),
-                        &mut u.out,
+                        &mut *u.out,
                     );
                 }
             });
-            let mut attn = Matrix::zeros(n, cfg.n_heads * hd);
             for u in &units {
                 let width = gs * hd;
                 for t in 0..n {

@@ -60,9 +60,20 @@ const MATMUL_ROW_BLOCK: usize = 8;
 /// output rows streams over it.
 const K_PANEL: usize = 64;
 
-/// Minimum `rows * k * cols` product before matmul fans rows across the
-/// worker pool; below this, spawn cost dominates.
-const PAR_MIN_WORK: usize = 1 << 18;
+/// Rows per parallel chunk for a matmul-shaped kernel: sized by
+/// [`crate::par::grain_for`] from the per-row flop estimate, snapped up to
+/// [`MATMUL_ROW_BLOCK`] so each chunk amortizes its k-panel sweep. Returns
+/// `rows` (single chunk → inline) whenever the whole product is below the
+/// dispatch threshold. Pure in the shape, so the inline/parallel decision
+/// is thread-count-invariant.
+fn matmul_rows_per_chunk(rows: usize, row_ops: usize) -> usize {
+    let rpc = crate::par::grain_for(rows, row_ops);
+    if rpc >= rows {
+        rows
+    } else {
+        rpc.max(MATMUL_ROW_BLOCK).min(rows)
+    }
+}
 
 /// Accumulates `a[i0.., :] * b` into `out_chunk` (a block of contiguous
 /// output rows), tiling over k-panels. Panels ascend, and within a panel
@@ -246,14 +257,9 @@ impl Matrix {
         let cols = other.cols;
         // Row blocks only split *which elements a worker owns*; every
         // element's accumulation order is fixed, so the split (and hence
-        // the parallel grain) cannot change bits. Fall back to a single
-        // chunk for small products where spawn cost would dominate.
-        let work = self.rows.saturating_mul(self.cols).saturating_mul(cols);
-        let grain = if work >= PAR_MIN_WORK {
-            MATMUL_ROW_BLOCK * cols
-        } else {
-            out.data.len()
-        };
+        // the parallel grain) cannot change bits. Dispatch gating keeps
+        // small products inline (2 flops per output element per k step).
+        let grain = matmul_rows_per_chunk(self.rows, 2 * self.cols * cols) * cols;
         crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
             let i0 = chunk_idx * (grain / cols);
             matmul_rows_into(&self.data, self.cols, &other.data, cols, i0, out_chunk);
@@ -313,12 +319,7 @@ impl Matrix {
             return out;
         }
         let b_rows = other.rows;
-        let work = self.rows.saturating_mul(self.cols).saturating_mul(b_rows);
-        let grain = if work >= PAR_MIN_WORK {
-            MATMUL_ROW_BLOCK * b_rows
-        } else {
-            out.data.len()
-        };
+        let grain = matmul_rows_per_chunk(self.rows, 2 * self.cols * b_rows) * b_rows;
         crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
             let i0 = chunk_idx * (grain / b_rows);
             for (i, out_row) in out_chunk.chunks_mut(b_rows).enumerate() {

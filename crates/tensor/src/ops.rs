@@ -17,6 +17,15 @@ pub fn softmax_row(logits: &[f32]) -> Vec<f32> {
     out
 }
 
+/// Numerically stable softmax into a caller-owned buffer, so hot loops
+/// (per-token attention) can reuse one allocation. `out` is cleared and
+/// refilled; bits are identical to [`softmax_row`].
+pub fn softmax_into(logits: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend_from_slice(logits);
+    softmax_slice(out);
+}
+
 fn softmax_slice(row: &mut [f32]) {
     if row.is_empty() {
         return;

@@ -1,0 +1,166 @@
+//! Lifecycle tests for the persistent worker pool behind
+//! `rkvc_tensor::par`: mid-run reconfiguration, nested fan-outs, panic
+//! survival, and inline-vs-pooled bit identity over random shapes.
+//!
+//! These run as an integration test (their own process) so pool state
+//! built up by unit tests cannot mask a lifecycle bug.
+
+use rkvc_tensor::det_cases;
+use rkvc_tensor::par::{
+    chunk_count, in_worker, par_chunks_mut, par_reduce, par_tabulate, set_threads,
+};
+
+/// A workload with owned results and float accumulation, so both the
+/// direct-placement path and drop behavior get exercised.
+fn tabulate_workload(len: usize, grain: usize) -> Vec<(usize, u64)> {
+    par_tabulate(len, grain, |i| {
+        let mut h = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (i, h ^ (h >> 31))
+    })
+}
+
+#[test]
+fn set_threads_reconfigures_mid_run() {
+    // Warm the pool wide, shrink it, grow it again — interleaving real
+    // jobs at every width. Every configuration must produce identical
+    // results; shrinking must not strand a job and growing must not lose
+    // parked workers.
+    let want = tabulate_workload(1003, 7);
+    for &width in &[4usize, 1, 2, 6, 3, 1, 5] {
+        set_threads(Some(width));
+        assert_eq!(tabulate_workload(1003, 7), want, "width {width} diverged");
+        let mut buf = vec![0u32; 517];
+        par_chunks_mut(&mut buf, 11, |c, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (c * 100 + i) as u32;
+            }
+        });
+        assert_eq!(buf[0], 0);
+        assert_eq!(buf[516], (chunk_count(517, 11) - 1) as u32 * 100 + 516 % 11);
+    }
+    set_threads(None);
+}
+
+#[test]
+fn nested_fanout_runs_inline_inside_workers() {
+    set_threads(Some(4));
+    assert!(!in_worker());
+    let sums: Vec<u64> = par_tabulate(6, 1, |i| {
+        // Inside a job — on a pool worker or the participating caller —
+        // the worker flag is set and nested calls must run inline
+        // without touching the pool (which would deadlock: the pool's
+        // submit lock is held by our own dispatcher).
+        assert!(in_worker());
+        let inner = par_tabulate(200, 3, |j| (i * 1000 + j) as u64);
+        let nested_reduce = par_reduce(&inner, 16, 0u64, |c| c.iter().sum(), |a, b| a + b);
+        assert!(in_worker());
+        nested_reduce
+    });
+    set_threads(None);
+    assert!(!in_worker());
+    let want: Vec<u64> = (0..6u64)
+        .map(|i| (0..200u64).map(|j| i * 1000 + j).sum())
+        .collect();
+    assert_eq!(sums, want);
+}
+
+#[test]
+fn pool_survives_a_panicking_job() {
+    set_threads(Some(4));
+    for round in 0..3 {
+        let got = std::panic::catch_unwind(|| {
+            par_tabulate(64, 1, |i| {
+                if i == 37 {
+                    panic!("planted failure, round {round}");
+                }
+                i * 2
+            })
+        });
+        assert!(got.is_err(), "the planted panic must propagate to the caller");
+        // The pool must come back clean: no deadlock, no poisoned state,
+        // no stuck workers — the very next call parallelizes normally.
+        let after = tabulate_workload(515, 4);
+        set_threads(Some(1));
+        let inline = tabulate_workload(515, 4);
+        set_threads(Some(4));
+        assert_eq!(after, inline, "post-panic results diverged (round {round})");
+    }
+    set_threads(None);
+}
+
+#[test]
+fn panicking_chunks_mut_job_propagates_and_recovers() {
+    set_threads(Some(3));
+    let mut buf = vec![0u8; 96];
+    let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        par_chunks_mut(&mut buf, 8, |c, _chunk| {
+            if c == 5 {
+                panic!("planted chunk failure");
+            }
+        });
+    }));
+    assert!(got.is_err());
+    // The buffer is still usable and the pool still dispatches.
+    par_chunks_mut(&mut buf, 8, |c, chunk| chunk.fill(c as u8));
+    for (i, &v) in buf.iter().enumerate() {
+        assert_eq!(v as usize, i / 8);
+    }
+    set_threads(None);
+}
+
+det_cases! {
+    fn inline_and_pooled_tabulate_are_bit_identical(rng, cases = 48) {
+        let len = rng.gen_range(0..600usize);
+        let grain = rng.gen_range(1..40usize);
+        set_threads(Some(1));
+        let inline: Vec<u64> = par_tabulate(len, grain, |i| {
+            let x = (i as f32 * 0.173).sin() * 1.0e3;
+            (x as i64 as u64).wrapping_mul(i as u64 | 1)
+        });
+        set_threads(Some(rng.gen_range(2..7usize)));
+        let pooled: Vec<u64> = par_tabulate(len, grain, |i| {
+            let x = (i as f32 * 0.173).sin() * 1.0e3;
+            (x as i64 as u64).wrapping_mul(i as u64 | 1)
+        });
+        set_threads(None);
+        assert_eq!(inline, pooled, "len {len} grain {grain}");
+    }
+
+    fn inline_and_pooled_reduce_are_bit_identical(rng, cases = 48) {
+        let len = rng.gen_range(0..800usize);
+        let grain = rng.gen_range(1..50usize);
+        let xs: Vec<f32> = (0..len)
+            .map(|i| {
+                let m = rng.gen_range(-6i32..7);
+                ((i as f32) * 0.61).cos() * 10f32.powi(m)
+            })
+            .collect();
+        let sum = |chunk: &[f32]| chunk.iter().fold(0.0f32, |a, &b| a + b);
+        set_threads(Some(1));
+        let inline = par_reduce(&xs, grain, 0.0f32, sum, |a, b| a + b).to_bits();
+        set_threads(Some(rng.gen_range(2..7usize)));
+        let pooled = par_reduce(&xs, grain, 0.0f32, sum, |a, b| a + b).to_bits();
+        set_threads(None);
+        assert_eq!(inline, pooled, "len {len} grain {grain}");
+    }
+
+    fn inline_and_pooled_chunks_mut_are_bit_identical(rng, cases = 48) {
+        let len = rng.gen_range(1..700usize);
+        let grain = rng.gen_range(1..45usize);
+        let run = |threads: usize| {
+            set_threads(Some(threads));
+            let mut buf = vec![0.0f32; len];
+            par_chunks_mut(&mut buf, grain, |c, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = ((c * 31 + i) as f32 * 0.017).exp();
+                }
+            });
+            buf.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        };
+        let inline = run(1);
+        let pooled = run(rng.gen_range(2..7usize));
+        set_threads(None);
+        assert_eq!(inline, pooled, "len {len} grain {grain}");
+    }
+}
