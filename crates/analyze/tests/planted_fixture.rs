@@ -124,11 +124,17 @@ fn serving_engine_files_are_in_e001_scope() {
         "crates/serving/src/scheduler.rs",
         "crates/serving/src/clock.rs",
         "crates/serving/src/metrics.rs",
+        "crates/serving/src/blocks.rs",
+        "crates/serving/src/tier.rs",
     ] {
         let vs = scan_source(path, FIXTURE);
         assert!(
             vs.iter().any(|v| v.line == 13 && v.lint == "E001" && !v.suppressed),
             "{path}: the planted unwrap must trip E001"
+        );
+        assert!(
+            vs.iter().any(|v| v.line == 6 && v.lint == "D002" && !v.suppressed),
+            "{path}: the planted HashMap import must trip D002"
         );
     }
 }

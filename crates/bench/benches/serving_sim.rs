@@ -6,9 +6,13 @@
 //! `BENCH_serving.json` at the workspace root: the three scheduler
 //! policies (FCFS / SPF / preemptive) served over the Table 8 cluster
 //! workload with a pinned KV pool, with full TTFT / TBT / queue-delay /
-//! E2E percentile summaries and the preemptive-vs-FCFS deltas.
+//! E2E percentile summaries and the preemptive-vs-FCFS deltas — plus a
+//! `prefix_vs_flat` section comparing the prefix-shared, tiered block
+//! manager against the flat pool on the shared-system-prompt workload
+//! (effective capacity, dedup ratio, preemption rate, p99 TTFT).
 
 use rkvc_bench::{workspace_root, Harness};
+use rkvc_core::experiments::ext_prefix::{prefix_workload, serve_prefix_workload, variants};
 use rkvc_core::experiments::ext_scheduler::serve_workload;
 use rkvc_core::experiments::table8::{cluster_workload, ClusterWorkload};
 use rkvc_core::experiments::RunOptions;
@@ -104,6 +108,26 @@ fn bench_schedulers(
     out
 }
 
+/// Times each block-manager configuration over the shared-system-prompt
+/// workload and returns its outcome (deterministic, so one representative
+/// serve per variant).
+fn bench_prefix_pool(
+    h: &mut Harness,
+) -> Vec<(&'static str, rkvc_core::experiments::ext_prefix::PrefixOutcome)> {
+    let reqs = prefix_workload(&RunOptions::quick());
+    let mut g = h.group("prefix_pool_quick");
+    g.sample_size(5);
+    let mut out = Vec::new();
+    for (label, sharing, tier) in variants() {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(serve_prefix_workload(&reqs, sharing, tier).metrics.completed))
+        });
+        out.push((label, serve_prefix_workload(&reqs, sharing, tier)));
+    }
+    g.finish();
+    out
+}
+
 fn main() {
     let mut h = Harness::new("serving_sim");
     bench_server(&mut h);
@@ -111,6 +135,7 @@ fn main() {
 
     let w = cluster_workload(&RunOptions::quick());
     let metrics = bench_schedulers(&mut h, &w);
+    let pools = bench_prefix_pool(&mut h);
     let by_label = |c: SchedulerConfig| -> &ServingMetrics {
         metrics
             .iter()
@@ -154,6 +179,31 @@ fn main() {
                     (pre.e2e.mean() - fcfs.e2e.mean()).to_json(),
                 ),
             ]),
+        ),
+        (
+            "prefix_vs_flat",
+            JsonValue::object(
+                pools
+                    .iter()
+                    .map(|(label, o)| {
+                        (
+                            *label,
+                            JsonValue::object(vec![
+                                ("completed", o.metrics.completed.to_json()),
+                                ("effective_capacity", o.peak_batch.to_json()),
+                                ("dedup_ratio", o.dedup_ratio.to_json()),
+                                ("cow_copies", o.cow_copies.to_json()),
+                                ("preemptions", o.metrics.preemptions.to_json()),
+                                ("preempt_rate", o.preempt_rate.to_json()),
+                                ("demoted_blocks", o.demoted_blocks.to_json()),
+                                ("refilled_blocks", o.refilled_blocks.to_json()),
+                                ("p99_ttft_s", o.metrics.ttft.p99().to_json()),
+                                ("mean_ttft_s", o.metrics.ttft.mean().to_json()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
         ),
         ("records", h.records().to_json()),
     ]);

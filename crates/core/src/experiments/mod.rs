@@ -10,6 +10,7 @@ pub mod appendix_c;
 pub mod appendix_d;
 pub mod common;
 pub mod ext_granularity;
+pub mod ext_prefix;
 pub mod ext_quest;
 pub mod ext_scheduler;
 pub mod ext_task_router;
@@ -118,7 +119,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig1", "fig2", "fig3", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7",
         "table6", "table7", "table8", "fig8", "fig9", "fig10", "fig11_14", "appendix_c",
         "appendix_d", "ext_quest", "ext_task_router", "ext_granularity", "ext_scheduler",
-        "table1_2",
+        "ext_prefix", "table1_2",
     ]
 }
 
@@ -150,6 +151,7 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<ExperimentResult> {
         "ext_task_router" => ext_task_router::run(opts),
         "ext_granularity" => ext_granularity::run(opts),
         "ext_scheduler" => ext_scheduler::run(opts),
+        "ext_prefix" => ext_prefix::run(opts),
         "table1_2" => table1_2::run(opts),
         _ => return None,
     })

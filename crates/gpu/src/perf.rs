@@ -139,6 +139,26 @@ impl DeploymentSpec {
         self.prefill(algo, batch, context_len)
     }
 
+    /// Time to move `tokens` of KV cache across a host link (GPU↔CPU spill
+    /// or refill): a fixed DMA-setup latency plus the KV bytes under the
+    /// active compression policy at `link_gbs` GB/s. Zero tokens cost
+    /// nothing (no transfer is issued). Compression shrinks bytes/token,
+    /// so compressed caches also spill and refill faster — the same
+    /// interaction the roofline prices for compute.
+    pub fn kv_transfer_time(
+        &self,
+        algo: &CompressionConfig,
+        tokens: usize,
+        link_gbs: f64,
+        latency_s: f64,
+    ) -> f64 {
+        if tokens == 0 {
+            return 0.0;
+        }
+        let per_token = crate::kv_bytes_per_token(&self.llm, algo, self.tensor_parallel);
+        latency_s + per_token * tokens as f64 / (link_gbs.max(1e-9) * 1e9)
+    }
+
     /// Decode throughput in tokens/second at a fixed KV length.
     pub fn decode_throughput(
         &self,
@@ -328,6 +348,26 @@ mod tests {
         };
         assert!(speedup(8192) > speedup(1024));
         assert!(speedup(8192) > 1.2);
+    }
+
+    #[test]
+    fn kv_transfer_prices_bytes_over_the_link() {
+        let dep = lmd_7b();
+        let algo = CompressionConfig::Fp16;
+        assert_eq!(dep.kv_transfer_time(&algo, 0, 25.0, 50e-6), 0.0);
+        let t1k = dep.kv_transfer_time(&algo, 1024, 25.0, 50e-6);
+        let expected =
+            50e-6 + crate::kv_bytes_per_token(&dep.llm, &algo, 1) * 1024.0 / (25.0 * 1e9);
+        assert!((t1k - expected).abs() < 1e-15, "{t1k} vs {expected}");
+        // Twice the tokens, roughly twice the time (latency amortizes).
+        let t2k = dep.kv_transfer_time(&algo, 2048, 25.0, 50e-6);
+        assert!(t2k > 1.9 * t1k && t2k < 2.0 * t1k);
+        // A compressed cache transfers faster than FP16.
+        let kivi = dep.kv_transfer_time(&CompressionConfig::kivi(4), 2048, 25.0, 50e-6);
+        assert!(kivi < t2k);
+        // Refilling a 1k-token llama2-7b context is far cheaper than
+        // recomputing it — the reason spilling pays.
+        assert!(t1k < dep.recompute(&algo, 1, 1024).total());
     }
 
     #[test]

@@ -1,9 +1,36 @@
-//! PagedAttention-style KV block manager.
+//! PagedAttention-style KV block manager with prefix sharing and tiering.
 //!
 //! vLLM/LMDeploy manage the KV cache as fixed-size blocks allocated on
 //! demand, eliminating the preallocate-to-max waste of naive serving. The
-//! manager tracks per-sequence block lists and exposes the fragmentation
-//! statistics the paper's §2.2 discussion turns on.
+//! seed manager was pure `(blocks, tokens)` counting; this one gives every
+//! block an identity so two serving-framework mechanisms the paper's §2.2
+//! discussion leaves open become expressible:
+//!
+//! * **Content-hashed copy-on-write prefix sharing.** Full prefix blocks
+//!   are *published* under a deterministic content hash; a later
+//!   registration whose prefix hashes match re-references the resident
+//!   blocks instead of allocating (refcount + 1). Published blocks are
+//!   immutable — the first divergent append into a shared tail triggers a
+//!   copy-on-write into a fresh private block. In this simulator a prefix
+//!   block's content is fully determined by `(prefix group, block index,
+//!   block size)`, so hashing that triple *is* content hashing (see
+//!   [`prefix_hash_chain`]).
+//! * **L1/L2 tiering.** Blocks live on the GPU (L1) or spilled to host
+//!   memory (L2). [`demote_seq`](BlockManager::demote_seq) moves a
+//!   sequence's private blocks to L2 (shared prefix blocks stay hot —
+//!   other residents still read them); [`refill_seq`](BlockManager::refill_seq)
+//!   brings them back. The engine prices both transfers over the PCIe link
+//!   model so spills show up in TTFT/TBT.
+//!
+//! # Zero-token contract
+//!
+//! A sequence holds exactly `ceil(tokens / block_size)` blocks at all
+//! times. Registering or truncating to zero tokens therefore holds zero
+//! blocks (the seed pinned one block via `tokens.max(1)` with no stated
+//! contract); the first append allocates. `internal_fragmentation_tokens`
+//! counts allocated-but-unfilled slots over *physical* blocks, so a block
+//! shared by many sequences contributes at most once and a zero-token
+//! sequence contributes nothing.
 
 use std::collections::BTreeMap;
 
@@ -12,7 +39,8 @@ use std::collections::BTreeMap;
 /// are errors rather than panics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockError {
-    /// The pool cannot cover an allocation.
+    /// The pool (L1 on allocation/refill, L2 on demotion) cannot cover an
+    /// allocation.
     OutOfBlocks {
         /// Blocks requested.
         requested: usize,
@@ -38,6 +66,12 @@ pub enum BlockError {
         /// Tokens requested.
         want: usize,
     },
+    /// The sequence's tail block is demoted to L2; it must be refilled
+    /// before it can grow.
+    NotResident {
+        /// The offending sequence.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for BlockError {
@@ -53,35 +87,200 @@ impl std::fmt::Display for BlockError {
                 f,
                 "cannot grow sequence {seq} via truncate ({have} -> {want} tokens)"
             ),
+            BlockError::NotResident { seq } => {
+                write!(f, "sequence {seq} has demoted (L2) blocks and cannot grow")
+            }
         }
     }
 }
 
 impl std::error::Error for BlockError {}
 
-/// Fixed-size KV block allocator with per-sequence accounting.
+/// Where a block physically lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockTier {
+    /// GPU-resident (HBM) — the only tier decode can read.
+    L1,
+    /// Host-spilled (over PCIe) — parked KV of demoted sequences.
+    L2,
+}
+
+/// Read-only view of one physical block in a sequence's chain (test and
+/// experiment introspection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockView {
+    /// Physical block id.
+    pub id: u32,
+    /// Reference count (number of chains containing the block).
+    pub refs: u32,
+    /// Tokens stored in the block.
+    pub filled: usize,
+    /// Tier the block lives on.
+    pub tier: BlockTier,
+    /// Whether the block is published in the dedup index (shareable).
+    pub published: bool,
+}
+
+/// Cumulative counters the prefix-sharing/tiering experiments report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockPoolStats {
+    /// Blocks registrations asked for (shared hits + fresh allocations).
+    pub logical_blocks_registered: u64,
+    /// Blocks registrations actually allocated.
+    pub physical_blocks_registered: u64,
+    /// Registered blocks satisfied by the dedup index.
+    pub shared_hits: u64,
+    /// Copy-on-write block copies (first divergent append into a shared
+    /// tail).
+    pub cow_copies: u64,
+    /// Blocks demoted L1 -> L2.
+    pub demoted_blocks: u64,
+    /// Tokens demoted L1 -> L2.
+    pub demoted_tokens: u64,
+    /// Blocks refilled L2 -> L1.
+    pub refilled_blocks: u64,
+    /// Tokens refilled L2 -> L1.
+    pub refilled_tokens: u64,
+    /// Peak concurrently registered sequences (includes spilled ones).
+    pub peak_resident_seqs: usize,
+    /// Peak L1 blocks in use.
+    pub peak_l1_used_blocks: usize,
+}
+
+impl BlockPoolStats {
+    /// Logical-over-physical registration ratio: how many blocks' worth of
+    /// KV the pool *represents* per block it *stores*. 1.0 with no sharing;
+    /// strictly above 1.0 once any prefix block is reused.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_blocks_registered == 0 {
+            1.0
+        } else {
+            self.logical_blocks_registered as f64 / self.physical_blocks_registered as f64
+        }
+    }
+}
+
+rkvc_tensor::json_struct!(BlockPoolStats {
+    logical_blocks_registered,
+    physical_blocks_registered,
+    shared_hits,
+    cow_copies,
+    demoted_blocks,
+    demoted_tokens,
+    refilled_blocks,
+    refilled_tokens,
+    peak_resident_seqs,
+    peak_l1_used_blocks,
+});
+
+/// What a shared registration reused from the dedup index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedRegistration {
+    /// Prefix blocks satisfied by resident published blocks.
+    pub shared_blocks: usize,
+    /// Tokens those blocks cover (shared blocks are always full).
+    pub shared_tokens: usize,
+}
+
+/// Blocks/tokens moved by a [`demote_seq`](BlockManager::demote_seq) or
+/// [`refill_seq`](BlockManager::refill_seq) call — what the engine prices
+/// over the PCIe link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierMove {
+    /// Blocks moved between tiers.
+    pub blocks: usize,
+    /// Tokens those blocks store.
+    pub tokens: usize,
+}
+
+/// Deterministic content-hash chain for the first `blocks` full blocks of
+/// a shared prefix. Block `i`'s content in this simulator is a pure
+/// function of `(group, block_tokens, i)`, so an FNV-style mix of that
+/// triple — chained so block `i`'s hash commits to all blocks before it —
+/// is exactly a content hash: equal chains if and only if equal prefix
+/// content.
+pub fn prefix_hash_chain(group: u64, block_tokens: usize, blocks: usize) -> Vec<u64> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ group;
+    h = h.wrapping_mul(FNV_PRIME);
+    h ^= block_tokens as u64;
+    h = h.wrapping_mul(FNV_PRIME);
+    (0..blocks)
+        .map(|i| {
+            h ^= i as u64 + 1;
+            h = h.wrapping_mul(FNV_PRIME);
+            h
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    refs: u32,
+    filled: usize,
+    tier: BlockTier,
+    /// Content hash while published in the dedup index.
+    hash: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct SeqEntry {
+    chain: Vec<u32>,
+    tokens: usize,
+}
+
+/// Fixed-size KV block allocator with per-block identity: refcounted
+/// content-hashed prefix sharing, copy-on-write tails, and L1/L2 tiering.
+/// See the module docs for the sharing/tiering model and the zero-token
+/// contract.
 #[derive(Debug, Clone)]
 pub struct BlockManager {
     block_size: usize,
     total_blocks: usize,
-    used_blocks: usize,
-    /// seq id -> (blocks held, tokens stored).
-    seqs: BTreeMap<u64, (usize, usize)>,
+    l2_total_blocks: usize,
+    /// Physical block table; freed slots are recycled via `free_ids`.
+    blocks: Vec<Block>,
+    /// LIFO free list of recycled `blocks` slots (deterministic reuse).
+    free_ids: Vec<u32>,
+    l1_used: usize,
+    l2_used: usize,
+    /// Content hash -> published (L1-resident, immutable) block.
+    dedup: BTreeMap<u64, u32>,
+    seqs: BTreeMap<u64, SeqEntry>,
+    stats: BlockPoolStats,
 }
 
 impl BlockManager {
-    /// Creates a pool of `total_blocks` blocks of `block_size` tokens.
+    /// Creates a pool of `total_blocks` GPU-resident blocks of
+    /// `block_size` tokens and no spill tier.
     ///
     /// # Panics
     ///
     /// Panics if `block_size == 0`.
     pub fn new(total_blocks: usize, block_size: usize) -> Self {
+        Self::with_tier(total_blocks, block_size, 0)
+    }
+
+    /// Creates a pool with `total_blocks` L1 (GPU) blocks plus an
+    /// `l2_blocks`-block host spill tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size == 0`.
+    pub fn with_tier(total_blocks: usize, block_size: usize, l2_blocks: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
         BlockManager {
             block_size,
             total_blocks,
-            used_blocks: 0,
+            l2_total_blocks: l2_blocks,
+            blocks: Vec::new(),
+            free_ids: Vec::new(),
+            l1_used: 0,
+            l2_used: 0,
+            dedup: BTreeMap::new(),
             seqs: BTreeMap::new(),
+            stats: BlockPoolStats::default(),
         }
     }
 
@@ -90,55 +289,172 @@ impl BlockManager {
         self.block_size
     }
 
-    /// Total pool capacity in blocks.
+    /// Total L1 pool capacity in blocks.
     pub fn total_blocks(&self) -> usize {
         self.total_blocks
     }
 
-    /// Blocks currently allocated.
+    /// L1 blocks currently allocated.
     pub fn used_blocks(&self) -> usize {
-        self.used_blocks
+        self.l1_used
     }
 
-    /// Blocks currently free.
+    /// L1 blocks currently free.
     pub fn free_blocks(&self) -> usize {
-        self.total_blocks - self.used_blocks
+        self.total_blocks - self.l1_used
     }
 
-    /// Tokens the free blocks could hold.
+    /// Tokens the free L1 blocks could hold.
     pub fn free_tokens(&self) -> usize {
         self.free_blocks() * self.block_size
     }
 
-    /// Fraction of the pool in use.
+    /// Spill-tier capacity in blocks (0 without a tier).
+    pub fn l2_total_blocks(&self) -> usize {
+        self.l2_total_blocks
+    }
+
+    /// Spill-tier blocks currently in use.
+    pub fn l2_used_blocks(&self) -> usize {
+        self.l2_used
+    }
+
+    /// Fraction of the L1 pool in use.
     pub fn utilization(&self) -> f64 {
         if self.total_blocks == 0 {
             0.0
         } else {
-            self.used_blocks as f64 / self.total_blocks as f64
+            self.l1_used as f64 / self.total_blocks as f64
         }
     }
 
-    /// Tokens wasted to internal fragmentation (allocated-but-unfilled slots
-    /// in sequences' last blocks).
+    /// Tokens wasted to internal fragmentation: allocated-but-unfilled
+    /// slots summed over *physical* blocks (either tier), so a block
+    /// shared by many chains is counted once and a zero-token sequence
+    /// (which holds no blocks) contributes nothing.
     pub fn internal_fragmentation_tokens(&self) -> usize {
-        self.seqs
-            .values()
-            .map(|&(blocks, tokens)| blocks * self.block_size - tokens)
+        self.blocks
+            .iter()
+            .filter(|b| b.refs > 0)
+            .map(|b| self.block_size - b.filled)
             .sum()
     }
 
-    /// Number of resident sequences.
+    /// Number of registered sequences (running or spilled).
     pub fn seq_count(&self) -> usize {
         self.seqs.len()
+    }
+
+    /// Sum of chain lengths over registered sequences — the *logical*
+    /// block demand. Exceeds `used + l2_used` exactly when blocks are
+    /// shared.
+    pub fn logical_blocks(&self) -> usize {
+        self.seqs.values().map(|e| e.chain.len()).sum()
+    }
+
+    /// Cumulative sharing/tiering counters.
+    pub fn stats(&self) -> &BlockPoolStats {
+        &self.stats
+    }
+
+    /// Whether `seq` is registered with every block L1-resident (a
+    /// spilled sequence reports `false` until refilled; an unknown id
+    /// reports `false`).
+    pub fn is_fully_resident(&self, seq: u64) -> bool {
+        match self.seqs.get(&seq) {
+            Some(e) => e
+                .chain
+                .iter()
+                .all(|&id| self.blocks[id as usize].tier == BlockTier::L1),
+            None => false,
+        }
+    }
+
+    /// The sequence's chain as block views (introspection for tests and
+    /// experiments), or `None` if unregistered.
+    pub fn seq_blocks(&self, seq: u64) -> Option<Vec<BlockView>> {
+        let e = self.seqs.get(&seq)?;
+        Some(
+            e.chain
+                .iter()
+                .map(|&id| {
+                    let b = &self.blocks[id as usize];
+                    BlockView {
+                        id,
+                        refs: b.refs,
+                        filled: b.filled,
+                        tier: b.tier,
+                        published: b.hash.is_some(),
+                    }
+                })
+                .collect(),
+        )
     }
 
     fn blocks_for(&self, tokens: usize) -> usize {
         tokens.div_ceil(self.block_size)
     }
 
+    /// Allocates one L1 block (caller has verified capacity), publishing
+    /// it in the dedup index when `hash` is given.
+    fn alloc_block(&mut self, filled: usize, hash: Option<u64>) -> u32 {
+        let block = Block {
+            refs: 1,
+            filled,
+            tier: BlockTier::L1,
+            hash,
+        };
+        let id = match self.free_ids.pop() {
+            Some(id) => {
+                self.blocks[id as usize] = block;
+                id
+            }
+            None => {
+                self.blocks.push(block);
+                (self.blocks.len() - 1) as u32
+            }
+        };
+        self.l1_used += 1;
+        if self.l1_used > self.stats.peak_l1_used_blocks {
+            self.stats.peak_l1_used_blocks = self.l1_used;
+        }
+        if let Some(h) = hash {
+            self.dedup.insert(h, id);
+        }
+        id
+    }
+
+    /// Drops one reference; the last reference frees the block (and
+    /// unpublishes it).
+    fn release_ref(&mut self, id: u32) {
+        let b = &mut self.blocks[id as usize];
+        b.refs -= 1;
+        if b.refs > 0 {
+            return;
+        }
+        let hash = b.hash.take();
+        match b.tier {
+            BlockTier::L1 => self.l1_used -= 1,
+            BlockTier::L2 => self.l2_used -= 1,
+        }
+        if let Some(h) = hash {
+            self.dedup.remove(&h);
+        }
+        self.free_ids.push(id);
+    }
+
+    fn note_registered(&mut self, logical: usize, fresh: usize, hits: usize) {
+        self.stats.logical_blocks_registered += logical as u64;
+        self.stats.physical_blocks_registered += fresh as u64;
+        self.stats.shared_hits += hits as u64;
+        if self.seqs.len() > self.stats.peak_resident_seqs {
+            self.stats.peak_resident_seqs = self.seqs.len();
+        }
+    }
+
     /// Registers a sequence holding `tokens` tokens (its prefill
-    /// allocation).
+    /// allocation) with no prefix sharing. Zero tokens hold zero blocks
+    /// (see the module-level contract).
     ///
     /// # Errors
     ///
@@ -146,88 +462,305 @@ impl BlockManager {
     /// [`BlockError::OutOfBlocks`] (allocating nothing) if the pool cannot
     /// cover it.
     pub fn register_seq(&mut self, seq: u64, tokens: usize) -> Result<(), BlockError> {
+        self.register_seq_shared(seq, tokens, &[]).map(|_| ())
+    }
+
+    /// Registers a sequence whose first blocks may be shared: walks
+    /// `prefix_hashes` (one content hash per *full* prefix block, in
+    /// order) against the dedup index, re-referencing resident published
+    /// blocks from block 0 until the first miss, then allocates the rest.
+    /// Newly allocated full prefix blocks are published under their hash
+    /// so later arrivals can share them.
+    ///
+    /// Returns what was reused; the engine skips prefill over
+    /// `shared_tokens` of KV it did not have to compute.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::DuplicateSeq`] if `seq` is already registered;
+    /// [`BlockError::OutOfBlocks`] (allocating and re-referencing
+    /// nothing) if the *unshared* remainder cannot be covered.
+    pub fn register_seq_shared(
+        &mut self,
+        seq: u64,
+        tokens: usize,
+        prefix_hashes: &[u64],
+    ) -> Result<SharedRegistration, BlockError> {
         if self.seqs.contains_key(&seq) {
             return Err(BlockError::DuplicateSeq { seq });
         }
-        let need = self.blocks_for(tokens.max(1));
-        if need > self.free_blocks() {
+        let need = self.blocks_for(tokens);
+        // Only blocks the sequence fills completely are shareable — a
+        // partial tail is private by construction.
+        let shareable = prefix_hashes.len().min(tokens / self.block_size);
+        let mut hits = 0;
+        while hits < shareable && self.dedup.contains_key(&prefix_hashes[hits]) {
+            hits += 1;
+        }
+        let fresh = need - hits;
+        if fresh > self.free_blocks() {
             return Err(BlockError::OutOfBlocks {
-                requested: need,
+                requested: fresh,
                 available: self.free_blocks(),
             });
         }
-        self.used_blocks += need;
-        self.seqs.insert(seq, (need, tokens));
-        Ok(())
+        let mut chain = Vec::with_capacity(need);
+        for h in prefix_hashes.iter().take(hits) {
+            if let Some(&id) = self.dedup.get(h) {
+                self.blocks[id as usize].refs += 1;
+                chain.push(id);
+            }
+        }
+        for i in hits..need {
+            let filled = if i + 1 < need || tokens % self.block_size == 0 {
+                self.block_size
+            } else {
+                tokens % self.block_size
+            };
+            // Publish the full prefix blocks this sequence brings in.
+            let hash = if i < shareable {
+                Some(prefix_hashes[i])
+            } else {
+                None
+            };
+            chain.push(self.alloc_block(filled, hash));
+        }
+        self.seqs.insert(seq, SeqEntry { chain, tokens });
+        self.note_registered(need, fresh, hits);
+        Ok(SharedRegistration {
+            shared_blocks: hits,
+            shared_tokens: hits * self.block_size,
+        })
     }
 
-    /// Grows a sequence by one token, allocating a new block on a boundary.
+    /// Grows a sequence by one token. On a block boundary this allocates a
+    /// fresh private block; inside a shared tail it copies-on-write first
+    /// (published blocks are immutable); a sole-owner published tail is
+    /// unpublished and mutated in place.
     ///
     /// # Errors
     ///
     /// [`BlockError::UnknownSeq`] if `seq` is not registered;
-    /// [`BlockError::OutOfBlocks`] if a new block is needed and none is
-    /// free (the sequence is left unchanged).
+    /// [`BlockError::OutOfBlocks`] if a block (new or CoW copy) is needed
+    /// and none is free (the sequence is left unchanged);
+    /// [`BlockError::NotResident`] if the tail is demoted to L2.
     pub fn append_token(&mut self, seq: u64) -> Result<(), BlockError> {
-        let free = self.free_blocks();
-        let entry = self
-            .seqs
-            .get_mut(&seq)
-            .ok_or(BlockError::UnknownSeq { seq })?;
-        if entry.1 + 1 > entry.0 * self.block_size {
-            if free == 0 {
+        let (chain_len, tokens, tail) = match self.seqs.get(&seq) {
+            Some(e) => (e.chain.len(), e.tokens, e.chain.last().copied()),
+            None => return Err(BlockError::UnknownSeq { seq }),
+        };
+        // Private blocks always follow the shared prefix, and demotion
+        // moves every private block — so a demoted tail is exactly the
+        // "some block is on L2" condition, at either branch below.
+        if let Some(t) = tail {
+            if self.blocks[t as usize].tier == BlockTier::L2 {
+                return Err(BlockError::NotResident { seq });
+            }
+        }
+        // Boundary (including the empty chain): open a fresh private block.
+        if tokens == chain_len * self.block_size {
+            if self.free_blocks() == 0 {
                 return Err(BlockError::OutOfBlocks {
                     requested: 1,
                     available: 0,
                 });
             }
-            entry.0 += 1;
-            self.used_blocks += 1;
+            let id = self.alloc_block(1, None);
+            if let Some(e) = self.seqs.get_mut(&seq) {
+                e.chain.push(id);
+                e.tokens += 1;
+            }
+            return Ok(());
         }
-        entry.1 += 1;
+        let Some(tail) = tail else {
+            // Unreachable: tokens > 0 implies a non-empty chain.
+            return Err(BlockError::UnknownSeq { seq });
+        };
+        let in_tail = tokens - (chain_len - 1) * self.block_size;
+        let refs = self.blocks[tail as usize].refs;
+        if refs > 1 {
+            // Divergent append into a shared block: copy-on-write. The
+            // copy takes this sequence's `in_tail` tokens plus the new one;
+            // the shared original is untouched.
+            if self.free_blocks() == 0 {
+                return Err(BlockError::OutOfBlocks {
+                    requested: 1,
+                    available: 0,
+                });
+            }
+            let id = self.alloc_block(in_tail + 1, None);
+            self.release_ref(tail);
+            if let Some(e) = self.seqs.get_mut(&seq) {
+                if let Some(last) = e.chain.last_mut() {
+                    *last = id;
+                }
+                e.tokens += 1;
+            }
+            self.stats.cow_copies += 1;
+            return Ok(());
+        }
+        // Sole owner. A still-published block must leave the dedup index
+        // before it mutates — published content is immutable by contract.
+        let hash = self.blocks[tail as usize].hash.take();
+        if let Some(h) = hash {
+            self.dedup.remove(&h);
+        }
+        self.blocks[tail as usize].filled = in_tail + 1;
+        if let Some(e) = self.seqs.get_mut(&seq) {
+            e.tokens += 1;
+        }
         Ok(())
     }
 
-    /// Shrinks a sequence's token count (eviction policies), releasing
-    /// whole blocks that become empty.
+    /// Shrinks a sequence's token count (eviction policies), releasing the
+    /// references of blocks past the new length; blocks free when their
+    /// last reference drops. Truncating to zero releases the whole chain.
     ///
     /// # Errors
     ///
     /// [`BlockError::UnknownSeq`] if `seq` is not registered;
     /// [`BlockError::TruncateGrow`] if `tokens` exceeds its current count.
     pub fn truncate_seq(&mut self, seq: u64, tokens: usize) -> Result<(), BlockError> {
-        let entry = self
-            .seqs
-            .get_mut(&seq)
-            .ok_or(BlockError::UnknownSeq { seq })?;
-        if tokens > entry.1 {
+        let have = match self.seqs.get(&seq) {
+            Some(e) => e.tokens,
+            None => return Err(BlockError::UnknownSeq { seq }),
+        };
+        if tokens > have {
             return Err(BlockError::TruncateGrow {
                 seq,
-                have: entry.1,
+                have,
                 want: tokens,
             });
         }
-        entry.1 = tokens;
-        let need = tokens.max(1).div_ceil(self.block_size);
-        if need < entry.0 {
-            self.used_blocks -= entry.0 - need;
-            entry.0 = need;
+        let keep = self.blocks_for(tokens);
+        let released = match self.seqs.get_mut(&seq) {
+            Some(e) => {
+                e.tokens = tokens;
+                e.chain.split_off(keep)
+            }
+            None => Vec::new(),
+        };
+        for id in released {
+            self.release_ref(id);
+        }
+        if keep > 0 {
+            let tail = self.seqs.get(&seq).and_then(|e| e.chain.last().copied());
+            if let Some(tail) = tail {
+                let b = &mut self.blocks[tail as usize];
+                // Only a private tail's fill tracks this sequence; shared
+                // or published tails keep their full (immutable) contents.
+                if b.refs == 1 && b.hash.is_none() {
+                    b.filled = tokens - (keep - 1) * self.block_size;
+                }
+            }
         }
         Ok(())
     }
 
-    /// Releases all blocks of a sequence.
+    /// Releases all of a sequence's references; blocks free when their
+    /// last reference drops (a shared prefix outlives any one sequence).
     ///
     /// # Errors
     ///
     /// [`BlockError::UnknownSeq`] if `seq` is not registered.
     pub fn free_seq(&mut self, seq: u64) -> Result<(), BlockError> {
-        let (blocks, _) = self
+        let entry = self
             .seqs
             .remove(&seq)
             .ok_or(BlockError::UnknownSeq { seq })?;
-        self.used_blocks -= blocks;
+        for id in entry.chain {
+            self.release_ref(id);
+        }
         Ok(())
+    }
+
+    /// Demotes a sequence's *private* (sole-reference) L1 blocks to the
+    /// spill tier, all or nothing. Shared blocks stay in L1 — other
+    /// residents still read them. A sole-owner published block is
+    /// unpublished first (its content leaves the GPU, so it can no longer
+    /// seed sharing). The sequence stays registered; refill it before it
+    /// grows again.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::UnknownSeq`] if `seq` is not registered;
+    /// [`BlockError::OutOfBlocks`] (moving nothing) if the spill tier
+    /// cannot hold every candidate block.
+    pub fn demote_seq(&mut self, seq: u64) -> Result<TierMove, BlockError> {
+        let chain: Vec<u32> = match self.seqs.get(&seq) {
+            Some(e) => e.chain.clone(),
+            None => return Err(BlockError::UnknownSeq { seq }),
+        };
+        let candidates: Vec<u32> = chain
+            .into_iter()
+            .filter(|&id| {
+                let b = &self.blocks[id as usize];
+                b.tier == BlockTier::L1 && b.refs == 1
+            })
+            .collect();
+        let l2_free = self.l2_total_blocks - self.l2_used;
+        if candidates.len() > l2_free {
+            return Err(BlockError::OutOfBlocks {
+                requested: candidates.len(),
+                available: l2_free,
+            });
+        }
+        let mut mv = TierMove::default();
+        for id in candidates {
+            let hash = self.blocks[id as usize].hash.take();
+            if let Some(h) = hash {
+                self.dedup.remove(&h);
+            }
+            let b = &mut self.blocks[id as usize];
+            b.tier = BlockTier::L2;
+            self.l1_used -= 1;
+            self.l2_used += 1;
+            mv.blocks += 1;
+            mv.tokens += b.filled;
+        }
+        self.stats.demoted_blocks += mv.blocks as u64;
+        self.stats.demoted_tokens += mv.tokens as u64;
+        Ok(mv)
+    }
+
+    /// Promotes a spilled sequence's L2 blocks back to L1, all or nothing
+    /// — after which it is fully resident and can grow again.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::UnknownSeq`] if `seq` is not registered;
+    /// [`BlockError::OutOfBlocks`] (moving nothing) if L1 lacks room for
+    /// every spilled block.
+    pub fn refill_seq(&mut self, seq: u64) -> Result<TierMove, BlockError> {
+        let chain: Vec<u32> = match self.seqs.get(&seq) {
+            Some(e) => e.chain.clone(),
+            None => return Err(BlockError::UnknownSeq { seq }),
+        };
+        let spilled: Vec<u32> = chain
+            .into_iter()
+            .filter(|&id| self.blocks[id as usize].tier == BlockTier::L2)
+            .collect();
+        if spilled.len() > self.free_blocks() {
+            return Err(BlockError::OutOfBlocks {
+                requested: spilled.len(),
+                available: self.free_blocks(),
+            });
+        }
+        let mut mv = TierMove::default();
+        for id in spilled {
+            let b = &mut self.blocks[id as usize];
+            b.tier = BlockTier::L1;
+            self.l2_used -= 1;
+            self.l1_used += 1;
+            mv.blocks += 1;
+            mv.tokens += b.filled;
+        }
+        if self.l1_used > self.stats.peak_l1_used_blocks {
+            self.stats.peak_l1_used_blocks = self.l1_used;
+        }
+        self.stats.refilled_blocks += mv.blocks as u64;
+        self.stats.refilled_tokens += mv.tokens as u64;
+        Ok(mv)
     }
 }
 
@@ -318,5 +851,188 @@ mod tests {
         // The rejected registration must not disturb accounting.
         assert_eq!(m.used_blocks(), 1);
         assert_eq!(m.seq_count(), 1);
+    }
+
+    #[test]
+    fn zero_token_sequences_hold_zero_blocks() {
+        // The documented contract: blocks held == ceil(tokens / bs), so a
+        // zero-token sequence pins nothing (the seed pinned one block).
+        let mut m = BlockManager::new(4, 4);
+        m.register_seq(1, 0).unwrap();
+        assert_eq!(m.used_blocks(), 0);
+        assert_eq!(m.internal_fragmentation_tokens(), 0);
+        // First append opens the first block.
+        m.append_token(1).unwrap();
+        assert_eq!(m.used_blocks(), 1);
+        assert_eq!(m.internal_fragmentation_tokens(), 3);
+        // Truncating back to zero releases the whole chain.
+        m.truncate_seq(1, 0).unwrap();
+        assert_eq!(m.used_blocks(), 0);
+        assert_eq!(m.internal_fragmentation_tokens(), 0);
+        assert_eq!(m.seq_count(), 1);
+        m.free_seq(1).unwrap();
+        assert_eq!(m.seq_count(), 0);
+    }
+
+    #[test]
+    fn shared_prefix_allocates_once() {
+        let mut m = BlockManager::new(16, 4);
+        let hashes = prefix_hash_chain(7, 4, 2); // 8 shared prefix tokens.
+        let a = m.register_seq_shared(1, 10, &hashes).unwrap();
+        assert_eq!(a.shared_blocks, 0, "first arrival allocates everything");
+        assert_eq!(m.used_blocks(), 3);
+        let b = m.register_seq_shared(2, 10, &hashes).unwrap();
+        assert_eq!(b, SharedRegistration { shared_blocks: 2, shared_tokens: 8 });
+        // Second sequence added only its private tail block.
+        assert_eq!(m.used_blocks(), 4);
+        assert_eq!(m.logical_blocks(), 6);
+        assert!(m.stats().dedup_ratio() > 1.0);
+        // Shared blocks are refcounted: freeing one sequence keeps them.
+        m.free_seq(1).unwrap();
+        assert_eq!(m.used_blocks(), 3);
+        m.free_seq(2).unwrap();
+        assert_eq!(m.used_blocks(), 0);
+        assert_eq!(m.internal_fragmentation_tokens(), 0);
+    }
+
+    #[test]
+    fn mismatched_prefix_does_not_share() {
+        let mut m = BlockManager::new(16, 4);
+        m.register_seq_shared(1, 8, &prefix_hash_chain(1, 4, 2)).unwrap();
+        let r = m.register_seq_shared(2, 8, &prefix_hash_chain(2, 4, 2)).unwrap();
+        assert_eq!(r.shared_blocks, 0);
+        assert_eq!(m.used_blocks(), 4);
+    }
+
+    #[test]
+    fn partial_tail_is_never_published() {
+        let mut m = BlockManager::new(16, 4);
+        // 6 tokens = 1 full block + a 2-token tail; hashes offered for 2
+        // blocks, but only the full one may publish.
+        let hashes = prefix_hash_chain(3, 4, 2);
+        m.register_seq_shared(1, 6, &hashes).unwrap();
+        let views = m.seq_blocks(1).unwrap();
+        assert!(views[0].published && views[0].filled == 4);
+        assert!(!views[1].published && views[1].filled == 2);
+        // A follow-up can share only the full block.
+        let r = m.register_seq_shared(2, 6, &hashes).unwrap();
+        assert_eq!(r.shared_blocks, 1);
+    }
+
+    #[test]
+    fn cow_append_never_mutates_the_shared_block() {
+        let mut m = BlockManager::new(16, 4);
+        let hashes = prefix_hash_chain(9, 4, 2);
+        m.register_seq_shared(1, 8, &hashes).unwrap();
+        m.register_seq_shared(2, 8, &hashes).unwrap();
+        // Truncate seq 2 into the shared region, then diverge.
+        m.truncate_seq(2, 5).unwrap();
+        // Content identity of seq 1's chain: ids, fills, tiers, publication
+        // (refs legitimately drop when seq 2 releases its reference).
+        let content = |m: &BlockManager| -> Vec<(u32, usize, BlockTier, bool)> {
+            m.seq_blocks(1)
+                .unwrap()
+                .iter()
+                .map(|v| (v.id, v.filled, v.tier, v.published))
+                .collect()
+        };
+        let shared_before = content(&m);
+        m.append_token(2).unwrap(); // In-tail append -> CoW.
+        let shared_after = content(&m);
+        assert_eq!(shared_before, shared_after, "CoW must not touch seq 1's chain");
+        let diverged = m.seq_blocks(2).unwrap();
+        assert_eq!(diverged[1].refs, 1);
+        assert!(!diverged[1].published);
+        // Seq 2 had 1 token in the tail; the copy holds it plus the new one.
+        assert_eq!(diverged[1].filled, 2);
+        assert_ne!(diverged[1].id, shared_after[1].0);
+        assert_eq!(m.stats().cow_copies, 1);
+    }
+
+    #[test]
+    fn sole_owner_published_tail_unpublishes_on_append() {
+        let mut m = BlockManager::new(16, 4);
+        let hashes = prefix_hash_chain(5, 4, 1);
+        m.register_seq_shared(1, 4, &hashes).unwrap();
+        m.truncate_seq(1, 3).unwrap();
+        // refs == 1, still published: the append must unpublish in place,
+        // not copy.
+        m.append_token(1).unwrap();
+        let views = m.seq_blocks(1).unwrap();
+        assert_eq!(views.len(), 1);
+        assert!(!views[0].published);
+        assert_eq!(views[0].filled, 4);
+        assert_eq!(m.stats().cow_copies, 0);
+        // The unpublished content can no longer seed sharing.
+        let r = m.register_seq_shared(2, 4, &hashes).unwrap();
+        assert_eq!(r.shared_blocks, 0);
+    }
+
+    #[test]
+    fn demote_and_refill_round_trip() {
+        let mut m = BlockManager::with_tier(8, 4, 8);
+        let hashes = prefix_hash_chain(11, 4, 1);
+        m.register_seq_shared(1, 8, &hashes).unwrap();
+        m.register_seq_shared(2, 8, &hashes).unwrap();
+        assert_eq!(m.used_blocks(), 3);
+        let mv = m.demote_seq(2).unwrap();
+        // Only the private tail moves; the shared prefix stays hot.
+        assert_eq!(mv, TierMove { blocks: 1, tokens: 4 });
+        assert_eq!(m.used_blocks(), 2);
+        assert_eq!(m.l2_used_blocks(), 1);
+        assert!(!m.is_fully_resident(2));
+        assert!(m.is_fully_resident(1));
+        assert_eq!(m.append_token(2), Err(BlockError::NotResident { seq: 2 }));
+        let back = m.refill_seq(2).unwrap();
+        assert_eq!(back, TierMove { blocks: 1, tokens: 4 });
+        assert!(m.is_fully_resident(2));
+        m.append_token(2).unwrap();
+        // Freeing a spilled chain returns L2 blocks too.
+        m.demote_seq(2).unwrap();
+        m.free_seq(2).unwrap();
+        assert_eq!(m.l2_used_blocks(), 0);
+    }
+
+    #[test]
+    fn demote_without_l2_room_is_all_or_nothing() {
+        let mut m = BlockManager::with_tier(8, 4, 1);
+        m.register_seq(1, 8).unwrap(); // 2 private blocks, 1 L2 slot.
+        let err = m.demote_seq(1).unwrap_err();
+        assert_eq!(
+            err,
+            BlockError::OutOfBlocks {
+                requested: 2,
+                available: 1
+            }
+        );
+        assert_eq!(m.used_blocks(), 2);
+        assert_eq!(m.l2_used_blocks(), 0);
+        assert!(m.is_fully_resident(1));
+    }
+
+    #[test]
+    fn sole_owner_published_block_unpublishes_on_demote() {
+        let mut m = BlockManager::with_tier(8, 4, 8);
+        let hashes = prefix_hash_chain(13, 4, 1);
+        m.register_seq_shared(1, 4, &hashes).unwrap();
+        m.demote_seq(1).unwrap();
+        // Its content left the GPU, so a new arrival cannot share it.
+        let r = m.register_seq_shared(2, 4, &hashes).unwrap();
+        assert_eq!(r.shared_blocks, 0);
+    }
+
+    #[test]
+    fn prefix_hash_chain_is_deterministic_and_group_scoped() {
+        let a = prefix_hash_chain(1, 16, 4);
+        assert_eq!(a, prefix_hash_chain(1, 16, 4));
+        assert_eq!(a.len(), 4);
+        let b = prefix_hash_chain(2, 16, 4);
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+        // Same group, different block size -> different content.
+        let c = prefix_hash_chain(1, 32, 4);
+        assert!(a.iter().zip(&c).all(|(x, y)| x != y));
+        // A longer chain extends the shorter one (prefix property).
+        let long = prefix_hash_chain(1, 16, 6);
+        assert_eq!(&long[..4], &a[..]);
     }
 }

@@ -42,6 +42,8 @@ use rkvc_kvcache::CompressionConfig;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::blocks::prefix_hash_chain;
+use crate::tier::{DemotePolicy, RefillPolicy};
 use crate::{
     BlockError, BlockManager, CompletedRequest, ServerSim, ServingConfig, SimClock, SimRequest,
 };
@@ -64,6 +66,9 @@ pub struct Waiting {
     pub(crate) queue_delay_s: Option<f64>,
     pub(crate) preemptions: usize,
     pub(crate) queue_seq: u64,
+    /// The sequence's private KV blocks sit on the L2 (host) tier; it must
+    /// be refilled (or recomputed) before it can decode again.
+    pub(crate) spilled: bool,
 }
 
 impl Waiting {
@@ -96,6 +101,11 @@ impl Waiting {
     /// Monotone enqueue counter — the deterministic tie-break.
     pub fn queue_seq(&self) -> u64 {
         self.queue_seq
+    }
+
+    /// Whether the request's KV is parked on the spill tier.
+    pub fn spilled(&self) -> bool {
+        self.spilled
     }
 }
 
@@ -169,6 +179,9 @@ pub(crate) struct ServerCore {
     pub(crate) running: Vec<RunningSeq>,
     pub(crate) completed: Vec<CompletedRequest>,
     pub(crate) blocks: BlockManager,
+    /// Peak concurrent running batch — the server's effective capacity at
+    /// this pool size.
+    pub(crate) peak_batch: usize,
     admit_counter: u64,
     queue_counter: u64,
 }
@@ -198,9 +211,10 @@ impl ServerCore {
                 (free as f64 / per_token.max(1.0)) as usize
             }
         };
-        let blocks = BlockManager::new(
+        let blocks = BlockManager::with_tier(
             (capacity_tokens / cfg.block_tokens).max(1),
             cfg.block_tokens,
+            cfg.tier.map_or(0, |t| t.l2_blocks),
         );
         ServerCore {
             id,
@@ -212,6 +226,7 @@ impl ServerCore {
             running: Vec::new(),
             completed: Vec::new(),
             blocks,
+            peak_batch: 0,
             admit_counter: 0,
             queue_counter: 0,
         }
@@ -269,17 +284,46 @@ impl ServerCore {
             queue_delay_s: None,
             preemptions: 0,
             queue_seq,
+            spilled: false,
         });
     }
 
-    /// Evicts `running[victim]` back to the head of the queue, releasing
-    /// its blocks; it will be recomputed (full-context prefill) when
-    /// re-admitted. `finished` indices past the victim shift down with the
-    /// removal.
+    /// Evicts `running[victim]` back to the head of the queue. With a
+    /// spill tier its private blocks demote to L2 (the DMA charges this
+    /// server's clock synchronously) and re-admission refills them;
+    /// otherwise — no tier, `DemotePolicy::Drop`, or a full host tier —
+    /// the blocks are released and re-admission recomputes the full
+    /// context, exactly as the seed did. `finished` indices past the
+    /// victim shift down with the removal.
     fn preempt(&mut self, victim: usize, finished: &mut [usize]) {
         let r = self.running.remove(victim);
-        // Running sequences are registered by construction.
-        let _ = self.blocks.free_seq(r.req.id);
+        let spilled = match self.cfg.tier {
+            Some(t) if t.demote == DemotePolicy::Spill => {
+                match self.blocks.demote_seq(r.req.id) {
+                    Ok(mv) => {
+                        let dma = self.dep.kv_transfer_time(
+                            &self.algo,
+                            mv.tokens,
+                            t.pcie_gbs,
+                            t.transfer_latency_s,
+                        );
+                        self.clock.advance(dma);
+                        true
+                    }
+                    Err(_) => {
+                        // Host tier full (or unknown seq): fall back to
+                        // evict-and-recompute.
+                        let _ = self.blocks.free_seq(r.req.id);
+                        false
+                    }
+                }
+            }
+            _ => {
+                // Running sequences are registered by construction.
+                let _ = self.blocks.free_seq(r.req.id);
+                false
+            }
+        };
         for f in finished.iter_mut() {
             if *f > victim {
                 *f -= 1;
@@ -293,6 +337,7 @@ impl ServerCore {
             queue_delay_s: Some(r.queue_delay_s),
             preemptions: r.preemptions + 1,
             queue_seq: r.queue_seq,
+            spilled,
         });
     }
 
@@ -326,8 +371,52 @@ impl ServerCore {
             }
             let context = waiting.req.prompt_len + waiting.generated;
             let picked_id = waiting.req.id;
+            let spilled = waiting.spilled;
+            let prefix_group = waiting.req.prefix_group;
+            let prefix_len = waiting.req.prefix_len;
             let retained = self.retained(context);
-            if self.blocks.register_seq(picked_id, retained).is_err() {
+            // Restore or allocate the pick's KV blocks. Each arm leaves the
+            // pool untouched on failure, so breaking to wait for
+            // completions is always safe.
+            let mut refilled_tokens = 0usize;
+            let mut recompute_spilled = false;
+            let mut shared_tokens = 0usize;
+            if spilled {
+                let refill = self.cfg.tier.map_or(RefillPolicy::Transfer, |t| t.refill);
+                match refill {
+                    RefillPolicy::Transfer => match self.blocks.refill_seq(picked_id) {
+                        Ok(mv) => refilled_tokens = mv.tokens,
+                        Err(_) => break, // No L1 room; wait for completions.
+                    },
+                    RefillPolicy::Recompute => {
+                        // Discard the spilled copy and re-register for a
+                        // full recompute.
+                        if self.blocks.free_seq(picked_id).is_err() {
+                            break;
+                        }
+                        if self.blocks.register_seq(picked_id, retained).is_err() {
+                            // Its blocks are gone: future admissions go
+                            // through the plain recompute path.
+                            if let Some(wm) = self.queue.get_mut(pick) {
+                                wm.spilled = false;
+                            }
+                            break;
+                        }
+                        recompute_spilled = true;
+                    }
+                }
+            } else if self.cfg.prefix_sharing && prefix_len > 0 {
+                // Prefix blocks are content-determined, so a preempted
+                // sequence re-shares them on re-admission just like a
+                // fresh one. Only whole blocks that survive the retention
+                // cap are shareable.
+                let shareable = prefix_len.min(retained) / self.cfg.block_tokens;
+                let hashes = prefix_hash_chain(prefix_group, self.cfg.block_tokens, shareable);
+                match self.blocks.register_seq_shared(picked_id, retained, &hashes) {
+                    Ok(r) => shared_tokens = r.shared_tokens,
+                    Err(_) => break, // No KV room; wait for completions.
+                }
+            } else if self.blocks.register_seq(picked_id, retained).is_err() {
                 break; // No KV room; wait for completions.
             }
             let Some(w) = self.queue.remove(pick) else {
@@ -340,12 +429,37 @@ impl ServerCore {
                 Some(q) => q,
                 None => self.clock.since(arrival),
             };
-            let cost = if w.generated == 0 {
-                self.dep.prefill(&self.algo, 1, w.req.prompt_len).total()
+            let cost = if spilled && !recompute_spilled {
+                // Refill DMA: the spilled blocks stream back over PCIe.
+                match self.cfg.tier {
+                    Some(t) => self.dep.kv_transfer_time(
+                        &self.algo,
+                        refilled_tokens,
+                        t.pcie_gbs,
+                        t.transfer_latency_s,
+                    ),
+                    None => 0.0, // Unreachable: sequences spill only with a tier.
+                }
+            } else if w.generated == 0 {
+                // Shared prefix KV is already resident — prefill covers
+                // only the private remainder.
+                let compute = if shared_tokens > 0 {
+                    w.req.prompt_len.saturating_sub(shared_tokens).max(1)
+                } else {
+                    w.req.prompt_len
+                };
+                self.dep.prefill(&self.algo, 1, compute).total()
             } else {
-                // Preempted: recompute the full context before resuming,
-                // charged through the roofline model.
-                self.dep.recompute(&self.algo, 1, context).total()
+                // Preempted: recompute the context before resuming,
+                // charged through the roofline model. With sharing, the
+                // prefix KV is already resident and only the remainder is
+                // recomputed.
+                let compute = if shared_tokens > 0 {
+                    context.saturating_sub(shared_tokens).max(1)
+                } else {
+                    context
+                };
+                self.dep.recompute(&self.algo, 1, compute).total()
             };
             self.clock.advance(cost);
             let ttft = match w.ttft_s {
@@ -370,6 +484,9 @@ impl ServerCore {
             admitted = true;
         }
 
+        if self.running.len() > self.peak_batch {
+            self.peak_batch = self.running.len();
+        }
         if self.running.is_empty() {
             return admitted;
         }

@@ -3,7 +3,10 @@
 //! Provides the serving substrate the paper's system-level experiments need:
 //!
 //! * [`BlockManager`] — a PagedAttention-style KV block allocator with
-//!   fragmentation accounting.
+//!   per-block identity: content-hashed copy-on-write prefix sharing
+//!   (refcounted immutable prefix blocks deduplicated across sequences),
+//!   an L1 (GPU) / L2 (host-spill) tier with explicit demote/refill
+//!   policies ([`TierConfig`]), and physical fragmentation accounting.
 //! * [`Engine`] — the discrete-event core: a binary-heap event queue keyed
 //!   on `(sim_time_bits, rank, seq)` for reproducible tie-breaks, driving
 //!   per-server iteration events and cluster arrivals on one simulated
@@ -78,8 +81,12 @@ mod metrics;
 mod request;
 mod scheduler;
 mod server;
+mod tier;
 
-pub use blocks::{BlockError, BlockManager};
+pub use blocks::{
+    prefix_hash_chain, BlockError, BlockManager, BlockPoolStats, BlockTier, BlockView,
+    SharedRegistration, TierMove,
+};
 pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterError, OraclePredictor, RoutePredictor, RoutingPolicy};
 pub use engine::{Engine, RunningSeq, Waiting};
@@ -89,3 +96,4 @@ pub use scheduler::{
     FcfsScheduler, PreemptiveScheduler, Scheduler, SchedulerConfig, SpfScheduler,
 };
 pub use server::{ConfigError, ServerSim, ServingConfig};
+pub use tier::{DemotePolicy, RefillPolicy, TierConfig};

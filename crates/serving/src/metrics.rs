@@ -44,16 +44,23 @@ impl LatencySummary {
         }
     }
 
-    /// Percentile in `[0, 100]` (nearest-rank).
+    /// Percentile in `[0, 100]` by the nearest-rank method: the sample at
+    /// rank `ceil(p/100 * n)` (1-based), clamped to `[1, n]` so `p = 0`
+    /// returns the minimum. Returns `0.0` on an empty summary, consistent
+    /// with [`mean`](Self::mean) and [`max`](Self::max), so a
+    /// zero-completion run cannot abort an experiment sweep.
     ///
     /// # Panics
     ///
-    /// Panics if the summary is empty or `p` is out of range.
+    /// Panics if `p` is out of range.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!(!self.sorted.is_empty(), "empty summary");
         assert!((0.0..=100.0).contains(&p), "percentile out of range");
-        let rank = ((p / 100.0) * (self.sorted.len() - 1) as f64).floor() as usize;
-        self.sorted[rank]
+        let n = self.sorted.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
     }
 
     /// Median latency.
@@ -159,6 +166,33 @@ mod tests {
         assert_eq!(s.p99(), 99.0);
         assert_eq!(s.max(), 100.0);
         assert!((s.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_rank_at_small_n() {
+        // n = 3: rank(p) = ceil(3p/100). p50 -> rank 2, p95/p99 -> rank 3.
+        let s = LatencySummary::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(s.p50(), 20.0);
+        assert_eq!(s.p95(), 30.0);
+        assert_eq!(s.p99(), 30.0);
+        assert_eq!(s.percentile(0.0), 10.0);
+        // n = 40: p99 -> rank ceil(39.6) = 40, the true nearest-rank
+        // sample (the floored linear index regressed to sorted[38]).
+        let s = LatencySummary::new((1..=40).map(|i| i as f64).collect());
+        assert_eq!(s.p99(), 40.0);
+        assert_eq!(s.p95(), 38.0); // ceil(38.0) = 38.
+        assert_eq!(s.p50(), 20.0); // ceil(20.0) = 20.
+    }
+
+    #[test]
+    fn empty_summary_is_all_zeros_not_a_panic() {
+        let s = LatencySummary::new(Vec::new());
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p95(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
     }
 
     #[test]

@@ -17,10 +17,19 @@ pub struct SimRequest {
     /// run different compression policies (compression shifts lengths —
     /// paper §4.3). Index = server id; falls back to `response_len`.
     pub response_len_by_server: Vec<usize>,
+    /// Shared-prefix group id (system prompt identity). Requests in the
+    /// same group open with identical `prefix_len`-token prefixes, which a
+    /// prefix-sharing block manager can deduplicate. Meaningless when
+    /// `prefix_len == 0`.
+    pub prefix_group: u64,
+    /// Leading tokens of the prompt shared verbatim with the group
+    /// (0 = no sharing).
+    pub prefix_len: usize,
 }
 
 impl SimRequest {
-    /// Creates a request with a single response length.
+    /// Creates a request with a single response length and no shared
+    /// prefix.
     pub fn new(id: u64, arrival_s: f64, prompt_len: usize, response_len: usize) -> Self {
         SimRequest {
             id,
@@ -28,7 +37,17 @@ impl SimRequest {
             prompt_len,
             response_len,
             response_len_by_server: Vec::new(),
+            prefix_group: 0,
+            prefix_len: 0,
         }
+    }
+
+    /// Marks the first `prefix_len` prompt tokens as shared with group
+    /// `group` (clamped to the prompt length).
+    pub fn with_shared_prefix(mut self, group: u64, prefix_len: usize) -> Self {
+        self.prefix_group = group;
+        self.prefix_len = prefix_len.min(self.prompt_len);
+        self
     }
 
     /// Response length if served by `server_id`.
@@ -81,6 +100,8 @@ rkvc_tensor::json_struct!(SimRequest {
     prompt_len,
     response_len,
     response_len_by_server,
+    prefix_group,
+    prefix_len,
 });
 rkvc_tensor::json_struct!(CompletedRequest {
     id,
@@ -121,5 +142,14 @@ mod tests {
         r.response_len_by_server = vec![50, 80];
         assert_eq!(r.response_len_on(1), 80);
         assert_eq!(r.response_len_on(9), 50);
+    }
+
+    #[test]
+    fn shared_prefix_is_clamped_to_prompt() {
+        let r = SimRequest::new(1, 0.0, 100, 50).with_shared_prefix(7, 500);
+        assert_eq!(r.prefix_group, 7);
+        assert_eq!(r.prefix_len, 100);
+        let plain = SimRequest::new(2, 0.0, 100, 50);
+        assert_eq!(plain.prefix_len, 0);
     }
 }

@@ -220,6 +220,7 @@ mod tests {
             queue_delay_s: None,
             preemptions: 0,
             queue_seq,
+            spilled: false,
         }
     }
 

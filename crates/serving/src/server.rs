@@ -5,11 +5,14 @@ use rkvc_gpu::DeploymentSpec;
 use rkvc_kvcache::CompressionConfig;
 
 use crate::engine::{ServerCore, RANK_DECODE, RANK_IDLE_START};
-use crate::{CompletedRequest, SchedulerConfig, SimClock, SimRequest};
+use crate::{
+    BlockManager, BlockPoolStats, CompletedRequest, SchedulerConfig, SimClock, SimRequest,
+    TierConfig,
+};
 
 /// Construction-time serving parameters, validated by
 /// [`ServerSim::with_config`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServingConfig {
     /// Maximum concurrent running sequences (continuous-batching width).
     pub max_batch: usize,
@@ -22,6 +25,13 @@ pub struct ServingConfig {
     pub pool_tokens: Option<usize>,
     /// Admission/preemption policy.
     pub scheduler: SchedulerConfig,
+    /// Deduplicate content-identical prefix blocks across sequences (the
+    /// requests must carry `prefix_group`/`prefix_len` annotations). Off
+    /// by default: the flat pool is the seed-compatible baseline.
+    pub prefix_sharing: bool,
+    /// Optional host spill tier. `None` (the default) preempts by
+    /// evict-and-recompute, exactly as the seed did.
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for ServingConfig {
@@ -31,6 +41,8 @@ impl Default for ServingConfig {
             block_tokens: 16,
             pool_tokens: None,
             scheduler: SchedulerConfig::Fcfs,
+            prefix_sharing: false,
+            tier: None,
         }
     }
 }
@@ -60,6 +72,17 @@ impl ServingConfig {
         if self.pool_tokens == Some(0) {
             return Err(ConfigError::ZeroPoolTokens);
         }
+        if let Some(t) = self.tier {
+            if t.l2_blocks == 0 {
+                return Err(ConfigError::ZeroL2Blocks);
+            }
+            if !(t.pcie_gbs > 0.0) || !t.pcie_gbs.is_finite() {
+                return Err(ConfigError::BadLinkBandwidth);
+            }
+            if !(t.transfer_latency_s >= 0.0) || !t.transfer_latency_s.is_finite() {
+                return Err(ConfigError::BadLinkLatency);
+            }
+        }
         Ok(())
     }
 }
@@ -74,6 +97,12 @@ pub enum ConfigError {
     ZeroBlockTokens,
     /// A pinned pool must hold at least one token.
     ZeroPoolTokens,
+    /// A configured spill tier must hold at least one block.
+    ZeroL2Blocks,
+    /// The tier's link bandwidth must be positive and finite.
+    BadLinkBandwidth,
+    /// The tier's transfer latency must be non-negative and finite.
+    BadLinkLatency,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -82,6 +111,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
             ConfigError::ZeroBlockTokens => write!(f, "block_tokens must be at least 1"),
             ConfigError::ZeroPoolTokens => write!(f, "pool_tokens override must be at least 1"),
+            ConfigError::ZeroL2Blocks => write!(f, "tier.l2_blocks must be at least 1"),
+            ConfigError::BadLinkBandwidth => {
+                write!(f, "tier.pcie_gbs must be positive and finite")
+            }
+            ConfigError::BadLinkLatency => {
+                write!(f, "tier.transfer_latency_s must be non-negative and finite")
+            }
         }
     }
 }
@@ -175,6 +211,24 @@ impl ServerSim {
     /// Mean KV length of the running batch (0 when idle).
     pub fn mean_kv_len(&self) -> usize {
         self.core.mean_kv_len()
+    }
+
+    /// The KV block pool (inspection: tiers, sharing, fragmentation).
+    pub fn blocks(&self) -> &BlockManager {
+        &self.core.blocks
+    }
+
+    /// Cumulative block-pool counters (dedup ratio, CoW copies,
+    /// demotions/refills, peaks).
+    pub fn block_stats(&self) -> &BlockPoolStats {
+        self.core.blocks.stats()
+    }
+
+    /// Peak concurrent running batch over the run — the server's
+    /// *effective capacity* at this pool size (spilled-but-registered
+    /// sequences do not count; they are not decoding).
+    pub fn peak_batch(&self) -> usize {
+        self.core.peak_batch
     }
 
     /// Submits a request (its `arrival_s` must not precede the clock of the
@@ -407,6 +461,35 @@ mod tests {
         assert_eq!(bad_pool.validate(), Err(ConfigError::ZeroPoolTokens));
         assert!(ServingConfig::default().validate().is_ok());
         assert!(ServerSim::with_config(0, dep(), CompressionConfig::Fp16, bad_block).is_err());
+        let bad_tier = ServingConfig {
+            tier: Some(TierConfig {
+                l2_blocks: 0,
+                ..TierConfig::default()
+            }),
+            ..ServingConfig::default()
+        };
+        assert_eq!(bad_tier.validate(), Err(ConfigError::ZeroL2Blocks));
+        let bad_link = ServingConfig {
+            tier: Some(TierConfig {
+                pcie_gbs: 0.0,
+                ..TierConfig::default()
+            }),
+            ..ServingConfig::default()
+        };
+        assert_eq!(bad_link.validate(), Err(ConfigError::BadLinkBandwidth));
+        let bad_latency = ServingConfig {
+            tier: Some(TierConfig {
+                transfer_latency_s: f64::NAN,
+                ..TierConfig::default()
+            }),
+            ..ServingConfig::default()
+        };
+        assert_eq!(bad_latency.validate(), Err(ConfigError::BadLinkLatency));
+        let good_tier = ServingConfig {
+            tier: Some(TierConfig::default()),
+            ..ServingConfig::default()
+        };
+        assert!(good_tier.validate().is_ok());
     }
 
     #[test]
@@ -423,6 +506,7 @@ mod tests {
                 block_tokens: 64,
                 pool_tokens: Some(4096),
                 scheduler: SchedulerConfig::Fcfs,
+                ..ServingConfig::default()
             },
         )
         .expect("valid config");

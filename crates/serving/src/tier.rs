@@ -1,0 +1,109 @@
+//! L1/L2 tiering policy for the KV block pool.
+//!
+//! The pool's L1 is GPU HBM — the only tier decode can read. L2 is host
+//! memory across PCIe: a preempted sequence's private blocks can be
+//! *spilled* there instead of discarded, trading a bounded DMA transfer
+//! on re-admission for the full recompute prefill the flat pool pays.
+//! [`TierConfig`] composes one demotion policy with one refill policy, so
+//! the four combinations (spill/drop × transfer/recompute) are expressible
+//! without touching the engine — the same composition-over-enumeration
+//! shape the compression configs use.
+//!
+//! Transfer costs are priced through the `rkvc_gpu` roofline
+//! (`DeploymentSpec::kv_transfer_time`): per-token KV bytes under the
+//! active compression algorithm divided by the link bandwidth, plus a
+//! fixed DMA-setup latency. Spills charge the victim server synchronously;
+//! refills land on the re-admitted request's TTFT.
+
+/// What preemption does with the victim's KV blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DemotePolicy {
+    /// Move the victim's private blocks to the L2 (host) tier; shared
+    /// prefix blocks stay GPU-resident for the sequences still reading
+    /// them. Falls back to dropping when L2 is full.
+    #[default]
+    Spill,
+    /// Discard the victim's blocks outright (the flat-pool behavior, kept
+    /// for ablation).
+    Drop,
+}
+
+/// How a spilled sequence gets its KV back on re-admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefillPolicy {
+    /// DMA the spilled blocks back over PCIe — cost is transfer time, not
+    /// compute.
+    #[default]
+    Transfer,
+    /// Discard the spilled copy and recompute the prefill (models a host
+    /// tier that only extends capacity accounting, e.g. when the link is
+    /// saturated).
+    Recompute,
+}
+
+/// Spill-tier configuration: capacity, the demote/refill policy pair, and
+/// the PCIe link model the transfers are priced on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierConfig {
+    /// Host-tier capacity in blocks.
+    pub l2_blocks: usize,
+    /// What preemption does with victim blocks.
+    pub demote: DemotePolicy,
+    /// How spilled sequences are restored.
+    pub refill: RefillPolicy,
+    /// Host link bandwidth in GB/s (PCIe 4.0 x16 sustains ~25).
+    pub pcie_gbs: f64,
+    /// Fixed per-transfer latency in seconds (DMA setup + sync).
+    pub transfer_latency_s: f64,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            l2_blocks: 4096,
+            demote: DemotePolicy::default(),
+            refill: RefillPolicy::default(),
+            pcie_gbs: 25.0,
+            transfer_latency_s: 50e-6,
+        }
+    }
+}
+
+rkvc_tensor::json_unit_enum!(DemotePolicy { Spill, Drop });
+rkvc_tensor::json_unit_enum!(RefillPolicy { Transfer, Recompute });
+rkvc_tensor::json_struct!(TierConfig {
+    l2_blocks,
+    demote,
+    refill,
+    pcie_gbs,
+    transfer_latency_s,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_spill_transfer() {
+        let t = TierConfig::default();
+        assert_eq!(t.demote, DemotePolicy::Spill);
+        assert_eq!(t.refill, RefillPolicy::Transfer);
+        assert!(t.l2_blocks > 0);
+        assert!(t.pcie_gbs > 0.0);
+        assert!(t.transfer_latency_s >= 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        use rkvc_tensor::json::{FromJson, ToJson};
+        let t = TierConfig {
+            l2_blocks: 128,
+            demote: DemotePolicy::Drop,
+            refill: RefillPolicy::Recompute,
+            pcie_gbs: 12.5,
+            transfer_latency_s: 1e-4,
+        };
+        let back = TierConfig::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -11,6 +11,9 @@
 //!   mirroring LongBench's categories, each with a programmatic scorer.
 //!   Correctness requires retrieving specific tokens from deep context —
 //!   exactly the capability KV compression endangers.
+//! * [`prefix`] — shared-system-prompt traffic: a few fixed prefix groups,
+//!   log-normal private suffixes, Poisson arrivals. The workload where a
+//!   prefix-sharing KV pool separates from a flat one.
 //! * [`semantic`] — token-overlap F1 scoring (the stand-in for the paper's
 //!   ChatGPT-reference semantic score in Table 4).
 //! * [`length`] — the paper's response-length difference statistic
@@ -20,11 +23,13 @@
 
 pub mod length;
 pub mod longbench;
+pub mod prefix;
 pub mod semantic;
 pub mod sharegpt;
 pub mod suite;
 
 pub use length::{length_difference, LengthStats};
+pub use prefix::{sample_shared_prefix, PrefixRequest, SharedPrefixConfig};
 pub use longbench::{generate_sample, generate_suite, LongBenchConfig, Scorer, TaskSample, TaskType};
 pub use semantic::{semantic_score, token_f1};
 pub use sharegpt::{sample_conversations, ConversationRequest, ShareGptConfig};

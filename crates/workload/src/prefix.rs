@@ -1,0 +1,205 @@
+//! Shared-system-prompt workload.
+//!
+//! Production chat/assistant traffic funnels through a handful of system
+//! prompts: every request to the same assistant opens with the same
+//! multi-hundred-token preamble, followed by a short user-specific suffix.
+//! Agrawal & Mayer's long-context benchmark identifies exactly this
+//! shared-prefix regime as where serving-side capacity techniques become
+//! measurable — a prefix-sharing KV pool stores each system prompt once,
+//! while a flat pool pays for it per request.
+//!
+//! [`sample_shared_prefix`] draws that traffic shape: `n_groups` system
+//! prompts of `prefix_len` tokens, Poisson arrivals, each request assigned
+//! a group uniformly and given log-normal suffix/response lengths. The
+//! serving layer consumes the `(group, prefix_len)` annotation via
+//! `SimRequest::with_shared_prefix`.
+
+use rkvc_tensor::det::{Exp, LogNormal};
+use rkvc_tensor::seeded_rng;
+
+/// Configuration for the shared-prefix sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedPrefixConfig {
+    /// Number of requests to draw.
+    pub n_requests: usize,
+    /// Number of distinct system prompts (prefix groups).
+    pub n_groups: usize,
+    /// Tokens in each shared system prompt.
+    pub prefix_len: usize,
+    /// Log-normal `mu` of the user-specific suffix length.
+    pub suffix_log_mean: f64,
+    /// Log-normal `sigma` of the suffix length.
+    pub suffix_log_std: f64,
+    /// Suffix length clamp (min, max).
+    pub suffix_clamp: (usize, usize),
+    /// Log-normal `mu` of the response length.
+    pub response_log_mean: f64,
+    /// Log-normal `sigma` of the response length.
+    pub response_log_std: f64,
+    /// Response length clamp (min, max).
+    pub response_clamp: (usize, usize),
+    /// Mean arrival rate (requests/second) for the Poisson process.
+    pub arrival_rps: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SharedPrefixConfig {
+    /// A multi-assistant chat service: four 1024-token system prompts,
+    /// suffix median ~128 tokens, response median ~96 — the prefix
+    /// dominates each request's KV footprint, so sharing it is the
+    /// difference between fitting a handful of sequences and dozens.
+    pub fn assistants(n_requests: usize, seed: u64) -> Self {
+        SharedPrefixConfig {
+            n_requests,
+            n_groups: 4,
+            prefix_len: 1024,
+            suffix_log_mean: 4.85, // median ~128
+            suffix_log_std: 0.6,
+            suffix_clamp: (16, 1024),
+            response_log_mean: 4.56, // median ~96
+            response_log_std: 0.5,
+            response_clamp: (8, 256),
+            arrival_rps: 10.0,
+            seed,
+        }
+    }
+}
+
+/// One request in the shared-prefix stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixRequest {
+    /// Sequential request id.
+    pub id: usize,
+    /// Arrival time (seconds from epoch start, Poisson process).
+    pub arrival_s: f64,
+    /// Prefix group (which system prompt it opens with).
+    pub group: u64,
+    /// Shared prefix length in tokens.
+    pub prefix_len: usize,
+    /// User-specific suffix length in tokens.
+    pub suffix_len: usize,
+    /// Response length in tokens.
+    pub response_len: usize,
+}
+
+impl PrefixRequest {
+    /// Total prompt length: shared prefix + private suffix.
+    pub fn prompt_len(&self) -> usize {
+        self.prefix_len + self.suffix_len
+    }
+}
+
+/// Draws the shared-prefix workload (deterministic per seed; arrivals are
+/// non-decreasing).
+///
+/// # Examples
+///
+/// ```
+/// use rkvc_workload::{sample_shared_prefix, SharedPrefixConfig};
+///
+/// let reqs = sample_shared_prefix(&SharedPrefixConfig::assistants(10, 7));
+/// assert_eq!(reqs.len(), 10);
+/// assert!(reqs.iter().all(|r| r.prefix_len == 1024));
+/// assert!(reqs.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+/// ```
+pub fn sample_shared_prefix(cfg: &SharedPrefixConfig) -> Vec<PrefixRequest> {
+    let mut rng = seeded_rng(cfg.seed);
+    let mut suffix_dist = LogNormal::new(cfg.suffix_log_mean, cfg.suffix_log_std)
+        .expect("valid log-normal parameters");
+    let mut resp_dist = LogNormal::new(cfg.response_log_mean, cfg.response_log_std)
+        .expect("valid log-normal parameters");
+    let mut interarrival = Exp::new(cfg.arrival_rps).expect("positive rate");
+
+    let mut t = 0.0f64;
+    (0..cfg.n_requests)
+        .map(|id| {
+            t += interarrival.sample(&mut rng);
+            let group = rng.gen_range(0..cfg.n_groups.max(1)) as u64;
+            let suffix_len = (suffix_dist.sample(&mut rng) as usize)
+                .clamp(cfg.suffix_clamp.0, cfg.suffix_clamp.1);
+            let response_len = (resp_dist.sample(&mut rng) as usize)
+                .clamp(cfg.response_clamp.0, cfg.response_clamp.1);
+            PrefixRequest {
+                id,
+                arrival_s: t,
+                group,
+                prefix_len: cfg.prefix_len,
+                suffix_len,
+                response_len,
+            }
+        })
+        .collect()
+}
+
+rkvc_tensor::json_struct!(SharedPrefixConfig {
+    n_requests,
+    n_groups,
+    prefix_len,
+    suffix_log_mean,
+    suffix_log_std,
+    suffix_clamp,
+    response_log_mean,
+    response_log_std,
+    response_clamp,
+    arrival_rps,
+    seed,
+});
+rkvc_tensor::json_struct!(PrefixRequest {
+    id,
+    arrival_s,
+    group,
+    prefix_len,
+    suffix_len,
+    response_len,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sample_shared_prefix(&SharedPrefixConfig::assistants(20, 3));
+        let b = sample_shared_prefix(&SharedPrefixConfig::assistants(20, 3));
+        assert_eq!(a, b);
+        let c = sample_shared_prefix(&SharedPrefixConfig::assistants(20, 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_increase_and_lengths_respect_clamps() {
+        let cfg = SharedPrefixConfig::assistants(100, 9);
+        let reqs = sample_shared_prefix(&cfg);
+        assert!(reqs.windows(2).all(|w| w[0].arrival_s < w[1].arrival_s));
+        for r in &reqs {
+            assert!((cfg.suffix_clamp.0..=cfg.suffix_clamp.1).contains(&r.suffix_len));
+            assert!((cfg.response_clamp.0..=cfg.response_clamp.1).contains(&r.response_len));
+            assert_eq!(r.prompt_len(), r.prefix_len + r.suffix_len);
+            assert!((r.group as usize) < cfg.n_groups);
+        }
+    }
+
+    #[test]
+    fn every_group_receives_traffic() {
+        let reqs = sample_shared_prefix(&SharedPrefixConfig::assistants(100, 1));
+        for g in 0..4u64 {
+            assert!(
+                reqs.iter().any(|r| r.group == g),
+                "group {g} drew no requests"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_dominates_typical_prompts() {
+        // The regime the workload models: most of each prompt is the
+        // shared system prompt.
+        let reqs = sample_shared_prefix(&SharedPrefixConfig::assistants(200, 5));
+        let dominated = reqs
+            .iter()
+            .filter(|r| r.prefix_len > r.suffix_len)
+            .count();
+        assert!(dominated > 180, "{dominated}/200 prefix-dominated");
+    }
+}

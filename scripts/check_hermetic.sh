@@ -22,13 +22,14 @@
 #      bench compiles warning-free with the network unreachable.
 #   3. `cargo test -q --offline --workspace` — the full test suite
 #      passes offline.
-#   4. thread-count invariance — `repro` regenerates fig1, table6, and
-#      table8 (the serving-engine cluster experiment) with
-#      RKVC_THREADS=1 and RKVC_THREADS=4, plus fig1 at RKVC_THREADS=3
-#      (an odd pool width, catching chunk-decomposition bugs that
-#      powers of two hide); the emitted JSON must be byte-identical,
-#      proving experiment output is a pure function of the inputs and
-#      never of the worker-pool width.
+#   4. thread-count invariance — `repro` regenerates fig1, table6,
+#      table8 (the serving-engine cluster experiment), and ext_prefix
+#      (the prefix-shared, tiered block-manager experiment) with
+#      RKVC_THREADS=1 and RKVC_THREADS=4, plus fig1 and ext_prefix at
+#      RKVC_THREADS=3 (an odd pool width, catching chunk-decomposition
+#      bugs that powers of two hide); the emitted JSON must be
+#      byte-identical, proving experiment output is a pure function of
+#      the inputs and never of the worker-pool width.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,7 +59,7 @@ tmp1=$(mktemp -d)
 tmp3=$(mktemp -d)
 tmp4=$(mktemp -d)
 trap 'rm -rf "$tmp1" "$tmp3" "$tmp4"' EXIT
-for exp in fig1 table6 table8; do
+for exp in fig1 table6 table8 ext_prefix; do
     RKVC_THREADS=1 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
         --exp "$exp" --scale quick --out "$tmp1"
     RKVC_THREADS=4 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
@@ -66,11 +67,14 @@ for exp in fig1 table6 table8; do
 done
 # Odd pool width: 3 never divides the power-of-two-shaped fan-outs
 # evenly, so uneven trailing chunks and worker/caller chunk races that
-# widths 1/2/4 mask would surface here.
-RKVC_THREADS=3 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
-    --exp fig1 --scale quick --out "$tmp3"
+# widths 1/2/4 mask would surface here. ext_prefix joins fig1 because
+# the sharing/tiering engine path is the newest dispatch surface.
+for exp in fig1 ext_prefix; do
+    RKVC_THREADS=3 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
+        --exp "$exp" --scale quick --out "$tmp3"
+    diff "$tmp1/$exp.json" "$tmp3/$exp.json"
+done
 diff -r "$tmp1" "$tmp4"
-diff "$tmp1/fig1.json" "$tmp3/fig1.json"
-echo "ok: fig1 + table6 + table8 JSON byte-identical across worker-pool widths (incl. odd width 3)"
+echo "ok: fig1 + table6 + table8 + ext_prefix JSON byte-identical across worker-pool widths (incl. odd width 3)"
 
 echo "hermetic check passed"
