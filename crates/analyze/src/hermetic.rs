@@ -70,7 +70,7 @@ fn unquote(s: &str) -> &str {
 }
 
 /// Reads the `[package] name` out of one manifest, if present.
-pub fn package_name(toml: &str) -> Option<String> {
+pub(crate) fn package_name(toml: &str) -> Option<String> {
     let mut section = String::new();
     for line in toml.lines() {
         let line = strip_comment(line).trim();
@@ -101,7 +101,7 @@ pub struct Manifest {
 /// # Errors
 ///
 /// Returns the underlying IO error with the offending path.
-pub fn load_manifests(root: &Path) -> Result<Vec<Manifest>, String> {
+pub(crate) fn load_manifests(root: &Path) -> Result<Vec<Manifest>, String> {
     let mut paths = vec!["Cargo.toml".to_owned()];
     let crates_dir = root.join("crates");
     let entries = std::fs::read_dir(&crates_dir)

@@ -25,8 +25,9 @@ pub enum Tok {
     CharLit,
     /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
     StrLit,
-    /// Numeric literal.
-    NumLit,
+    /// Numeric literal, carrying its raw text (`42`, `0.5f32`, `1_000`)
+    /// so downstream lints can distinguish float from integer shapes.
+    NumLit(String),
     /// Single punctuation character (`{`, `}`, `#`, `!`, `:`, …).
     Punct(char),
     /// Line comment text (everything after `//`, including doc comments).
@@ -218,20 +219,23 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             c if c.is_ascii_digit() => {
                 // Digits, type suffixes, hex/underscores; one optional
                 // fraction part. `0..10` stops before the range dots.
-                lx.bump();
+                let mut text = String::new();
+                text.push(lx.bump().unwrap_or(c));
                 while let Some(c) = lx.peek(0) {
                     if is_ident_continue(c) {
+                        text.push(c);
                         lx.bump();
                     } else if c == '.'
                         && lx.peek(1).map_or(false, |d| d.is_ascii_digit())
                     {
+                        text.push(c);
                         lx.bump();
                     } else {
                         break;
                     }
                 }
                 out.push(Token {
-                    tok: Tok::NumLit,
+                    tok: Tok::NumLit(text),
                     line,
                 });
             }

@@ -1,5 +1,6 @@
 //! Tier-1 gate 0: scan the workspace, print diagnostics, persist
-//! `results/analyze.json`, and exit non-zero on unsuppressed violations.
+//! `results/analyze.json` (or `--out <path>`), and exit non-zero on
+//! unsuppressed violations.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -7,11 +8,30 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     // The binary lives at crates/analyze; the workspace root is two up.
     // Running from a checkout via `cargo run -p rkvc-analyze` therefore
-    // needs no arguments; an explicit root can be passed for testing.
-    let root = match std::env::args_os().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
-    };
+    // needs no arguments; an explicit root can be passed for testing,
+    // and `--out <path>` redirects the JSON report (gate 0 uses it to
+    // byte-diff scans at different RKVC_THREADS widths).
+    let mut root: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args_os().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("rkvc-analyze: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if root.is_none() {
+            root = Some(PathBuf::from(arg));
+        } else {
+            eprintln!("rkvc-analyze: usage: rkvc-analyze [root] [--out path]");
+            return ExitCode::FAILURE;
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
     let report = match rkvc_analyze::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -21,12 +41,13 @@ fn main() -> ExitCode {
     };
     print!("{}", report.render_human());
 
-    let results_dir = root.join("results");
-    let json_path = results_dir.join("analyze.json");
+    let json_path = out.unwrap_or_else(|| root.join("results").join("analyze.json"));
     let body = report.to_json().to_pretty_string() + "\n";
-    if let Err(e) = std::fs::create_dir_all(&results_dir)
-        .and_then(|()| std::fs::write(&json_path, body))
-    {
+    let write = json_path
+        .parent()
+        .map_or(Ok(()), std::fs::create_dir_all)
+        .and_then(|()| std::fs::write(&json_path, body));
+    if let Err(e) = write {
         eprintln!("rkvc-analyze: writing {}: {e}", json_path.display());
         return ExitCode::FAILURE;
     }

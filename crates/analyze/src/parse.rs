@@ -1,0 +1,697 @@
+//! Item-level parser on top of the [`crate::lexer`] token stream.
+//!
+//! The token-pattern lints (D001–D004, E001) only need to know what is
+//! code and what is not; the semantic lints added for the unsafe audit
+//! need *structure*: where `unsafe` regions sit and what kind they are
+//! (U001/U002), which `use` declarations import what (the D004 import
+//! form, the use-graph), and which module-level items a crate exports
+//! (C001 dead-export detection). This module recovers exactly that much
+//! structure — modules, item declarations with visibility, expanded
+//! `use` trees, and classified `unsafe` regions — without building an
+//! expression-level AST.
+//!
+//! The parser is **total**: it never panics, on any token stream the
+//! lexer can produce. Unbalanced delimiters, truncated items, and
+//! keyword soup degrade to *fewer recognized items*, never to a crash —
+//! a property pinned by a seeded `det_cases!` fuzz test. Recursion into
+//! nested modules and `use` groups is depth-bounded for the same reason.
+
+use crate::lexer::{Tok, Token};
+
+/// Maximum `mod` nesting the parser recurses into; deeper bodies are
+/// skipped (their items are simply not collected).
+const MAX_MOD_DEPTH: usize = 64;
+
+/// Maximum `use`-tree brace nesting expanded; deeper groups are dropped.
+const MAX_USE_DEPTH: usize = 32;
+
+/// Item visibility, as written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Plain `pub` — exported from the crate (modulo module privacy).
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — restricted.
+    Restricted,
+    /// No visibility keyword.
+    Private,
+}
+
+/// The item kinds the symbol table records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// rkvc-allow(C001): field type of Item::kind; consumers match on parsed kinds via inference
+pub enum ItemKind {
+    /// `fn` (including `const fn` / `unsafe fn` / `extern fn`).
+    Fn,
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+    /// `trait`.
+    Trait,
+    /// `type` alias.
+    TypeAlias,
+    /// `const` item.
+    Const,
+    /// `static` item.
+    Static,
+    /// `mod` (inline or out-of-line).
+    Mod,
+    /// `macro_rules!` definition.
+    Macro,
+}
+
+impl ItemKind {
+    /// Lowercase keyword-ish label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ItemKind::Fn => "fn",
+            ItemKind::Struct => "struct",
+            ItemKind::Enum => "enum",
+            ItemKind::Union => "union",
+            ItemKind::Trait => "trait",
+            ItemKind::TypeAlias => "type",
+            ItemKind::Const => "const",
+            ItemKind::Static => "static",
+            ItemKind::Mod => "mod",
+            ItemKind::Macro => "macro",
+        }
+    }
+}
+
+/// One module-level item declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// What kind of declaration.
+    pub kind: ItemKind,
+    /// Declared name.
+    pub name: String,
+    /// Visibility as written.
+    pub vis: Visibility,
+    /// 1-based line of the declaring keyword.
+    pub line: u32,
+    /// `::`-joined module path within the file (empty at file root).
+    pub module: String,
+    /// Whether the declaration sits in test-only code.
+    pub in_test: bool,
+}
+
+/// One `use` declaration, with its tree expanded to full paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// rkvc-allow(C001): element type of ParsedFile::uses; consumers read use-decls via field access
+pub struct UseDecl {
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+    /// Expanded `::`-joined paths (aliases resolved to the source path,
+    /// globs kept as a trailing `*` segment).
+    pub paths: Vec<String>,
+    /// Whether the declaration sits in test-only code.
+    pub in_test: bool,
+}
+
+/// Classification of an `unsafe` region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// rkvc-allow(C001): field type of UnsafeRegion::kind; consumers read region kinds via inference
+pub enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe fn`.
+    Fn,
+    /// `unsafe impl`.
+    Impl,
+    /// `unsafe trait`.
+    Trait,
+    /// `unsafe extern` block.
+    Extern,
+}
+
+impl UnsafeKind {
+    /// Label for diagnostics and the audit inventory.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Extern => "extern",
+        }
+    }
+}
+
+/// One `unsafe` region, wherever it occurs (module level or inside a
+/// function body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+// rkvc-allow(C001): element type of ParsedFile::unsafes; consumers read regions via field access
+pub struct UnsafeRegion {
+    /// What follows the `unsafe` keyword.
+    pub kind: UnsafeKind,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Whether the region sits in test-only code.
+    pub in_test: bool,
+}
+
+/// Everything the item-level parse recovers from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+// rkvc-allow(C001): return type of parse; consumers bind parses without naming the type
+pub struct ParsedFile {
+    /// Module-level item declarations, in source order.
+    pub items: Vec<Item>,
+    /// `use` declarations with expanded paths, in source order.
+    pub uses: Vec<UseDecl>,
+    /// Every `unsafe` region, in source order.
+    pub unsafes: Vec<UnsafeRegion>,
+    /// Token-index ranges `[start, end)` covered by `use` declarations;
+    /// token-pattern lints use this to avoid double-reporting imports.
+    pub use_spans: Vec<(usize, usize)>,
+}
+
+impl ParsedFile {
+    /// A per-token mask of positions inside `use` declarations.
+    pub fn use_mask(&self, n_tokens: usize) -> Vec<bool> {
+        let mut mask = vec![false; n_tokens];
+        for &(lo, hi) in &self.use_spans {
+            for m in mask.iter_mut().take(hi.min(n_tokens)).skip(lo) {
+                *m = true;
+            }
+        }
+        mask
+    }
+}
+
+/// Parses one file's token stream. `in_test` is the lexer's
+/// [`crate::lexer::test_mask`] for the same tokens (any length mismatch
+/// is treated as all-production).
+pub fn parse(tokens: &[Token], in_test: &[bool]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let test_at = |i: usize| in_test.get(i).copied().unwrap_or(false);
+    collect_unsafes(tokens, &test_at, &mut out);
+    parse_module(tokens, &test_at, 0, tokens.len(), "", 0, &mut out);
+    out
+}
+
+fn ident_at<'t>(tokens: &'t [Token], i: usize) -> Option<&'t str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i).map(|t| &t.tok) == Some(&Tok::Punct(c))
+}
+
+/// Index of the next non-comment token at or after `i`, bounded by `end`.
+fn skip_comments(tokens: &[Token], mut i: usize, end: usize) -> usize {
+    while i < end && matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::LineComment(_))) {
+        i += 1;
+    }
+    i
+}
+
+/// Index one past the closer matching the opener at `open` (which must be
+/// `open_c`), treating `open_c`/`close_c` as the delimiter pair. Returns
+/// `end` when unbalanced.
+fn match_delim(tokens: &[Token], open: usize, end: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if punct_at(tokens, i, open_c) {
+            depth += 1;
+        } else if punct_at(tokens, i, close_c) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Flat pass: classify every `unsafe` keyword in the stream.
+fn collect_unsafes(tokens: &[Token], test_at: &dyn Fn(usize) -> bool, out: &mut ParsedFile) {
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) != Some("unsafe") {
+            continue;
+        }
+        let j = skip_comments(tokens, i + 1, tokens.len());
+        let kind = match tokens.get(j).map(|t| &t.tok) {
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "fn" => UnsafeKind::Fn,
+                "impl" => UnsafeKind::Impl,
+                "trait" => UnsafeKind::Trait,
+                "extern" => UnsafeKind::Extern,
+                _ => UnsafeKind::Block,
+            },
+            _ => UnsafeKind::Block,
+        };
+        out.unsafes.push(UnsafeRegion {
+            kind,
+            line: tokens[i].line,
+            in_test: test_at(i),
+        });
+    }
+}
+
+/// Parses the item sequence in `tokens[i..end]` under module path
+/// `module`, recursing into inline `mod` bodies.
+#[allow(clippy::too_many_arguments)]
+fn parse_module(
+    tokens: &[Token],
+    test_at: &dyn Fn(usize) -> bool,
+    mut i: usize,
+    end: usize,
+    module: &str,
+    depth: usize,
+    out: &mut ParsedFile,
+) {
+    while i < end {
+        // Comments and stray punctuation never start an item.
+        let start = skip_comments(tokens, i, end);
+        if start >= end {
+            return;
+        }
+        i = start;
+        // Attributes: `#` `[` … `]` (also `#![…]`).
+        if punct_at(tokens, i, '#') {
+            let mut j = i + 1;
+            if punct_at(tokens, j, '!') {
+                j += 1;
+            }
+            if punct_at(tokens, j, '[') {
+                i = match_delim(tokens, j, end, '[', ']');
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Visibility prefix.
+        let item_start = i;
+        let mut vis = Visibility::Private;
+        if ident_at(tokens, i) == Some("pub") {
+            vis = Visibility::Pub;
+            i += 1;
+            if punct_at(tokens, i, '(') {
+                vis = Visibility::Restricted;
+                i = match_delim(tokens, i, end, '(', ')');
+            }
+        }
+        // Item-qualifier keywords that may precede the defining keyword.
+        while matches!(
+            ident_at(tokens, i),
+            Some("default" | "async" | "unsafe")
+        ) || (ident_at(tokens, i) == Some("const")
+            && matches!(ident_at(tokens, i + 1), Some("fn" | "unsafe" | "async" | "extern")))
+        {
+            i += 1;
+        }
+        if ident_at(tokens, i) == Some("extern") && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::StrLit)) {
+            // `extern "C" fn` qualifier (an `extern "C" { … }` block is
+            // handled below by the brace skip).
+            if matches!(ident_at(tokens, i + 2), Some("fn")) {
+                i += 2;
+            }
+        }
+        let Some(kw) = ident_at(tokens, i) else {
+            // Punctuation / literal at item position: skip it. A stray
+            // `{ … }` is skipped as a whole so statement blocks inside
+            // macro fixtures don't get mined for items.
+            if punct_at(tokens, i, '{') {
+                i = match_delim(tokens, i, end, '{', '}');
+            } else {
+                i += 1;
+            }
+            continue;
+        };
+        let line = tokens[i].line;
+        let in_test = test_at(i);
+        match kw {
+            "use" => {
+                let semi = find_semi(tokens, i + 1, end);
+                let paths = expand_use(tokens, i + 1, semi, MAX_USE_DEPTH);
+                out.uses.push(UseDecl { line, paths, in_test });
+                out.use_spans.push((item_start, (semi + 1).min(end)));
+                i = semi + 1;
+            }
+            "mod" => {
+                let name = ident_at(tokens, i + 1).unwrap_or("").to_owned();
+                push_item(out, ItemKind::Mod, &name, vis, line, module, in_test);
+                let j = skip_comments(tokens, i + 2, end);
+                if punct_at(tokens, j, '{') {
+                    let body_end = match_delim(tokens, j, end, '{', '}');
+                    if depth < MAX_MOD_DEPTH {
+                        let sub = join_module(module, &name);
+                        parse_module(
+                            tokens,
+                            test_at,
+                            j + 1,
+                            body_end.saturating_sub(1),
+                            &sub,
+                            depth + 1,
+                            out,
+                        );
+                    }
+                    i = body_end;
+                } else {
+                    i = j + 1; // `mod name;`
+                }
+            }
+            "fn" => {
+                let name = ident_at(tokens, i + 1).unwrap_or("").to_owned();
+                push_item(out, ItemKind::Fn, &name, vis, line, module, in_test);
+                i = skip_to_body_or_semi(tokens, i + 2, end);
+            }
+            "struct" | "enum" | "union" | "trait" => {
+                let kind = match kw {
+                    "struct" => ItemKind::Struct,
+                    "enum" => ItemKind::Enum,
+                    "union" => ItemKind::Union,
+                    _ => ItemKind::Trait,
+                };
+                let name = ident_at(tokens, i + 1).unwrap_or("").to_owned();
+                push_item(out, kind, &name, vis, line, module, in_test);
+                i = skip_to_body_or_semi(tokens, i + 2, end);
+            }
+            "type" => {
+                let name = ident_at(tokens, i + 1).unwrap_or("").to_owned();
+                push_item(out, ItemKind::TypeAlias, &name, vis, line, module, in_test);
+                i = find_semi(tokens, i + 1, end) + 1;
+            }
+            "const" | "static" => {
+                let kind = if kw == "const" { ItemKind::Const } else { ItemKind::Static };
+                let mut j = i + 1;
+                if ident_at(tokens, j) == Some("mut") {
+                    j += 1;
+                }
+                // `const _: () = …;` uses `_` which lexes as an ident.
+                let name = ident_at(tokens, j).unwrap_or("").to_owned();
+                push_item(out, kind, &name, vis, line, module, in_test);
+                i = find_semi(tokens, j, end) + 1;
+            }
+            "impl" => {
+                // Skip the whole impl body; method-level items are out of
+                // scope for the module symbol table.
+                i = skip_to_body_or_semi(tokens, i + 1, end);
+            }
+            "extern" => {
+                // `extern "C" { … }` or `extern crate x;`.
+                i = skip_to_body_or_semi(tokens, i + 1, end);
+            }
+            "macro_rules" => {
+                let mut j = i + 1;
+                if punct_at(tokens, j, '!') {
+                    j += 1;
+                }
+                let name = ident_at(tokens, j).unwrap_or("").to_owned();
+                push_item(out, ItemKind::Macro, &name, vis, line, module, in_test);
+                i = skip_to_body_or_semi(tokens, j + 1, end);
+            }
+            _ => {
+                // Expression keyword or stray ident at item position
+                // (macro fixture, truncated input): advance one token.
+                i += 1;
+            }
+        }
+        // Guarantee progress even against adversarial inputs.
+        if i <= start {
+            i = start + 1;
+        }
+    }
+}
+
+fn push_item(
+    out: &mut ParsedFile,
+    kind: ItemKind,
+    name: &str,
+    vis: Visibility,
+    line: u32,
+    module: &str,
+    in_test: bool,
+) {
+    if name.is_empty() {
+        return; // Truncated declaration; nothing to record.
+    }
+    out.items.push(Item {
+        kind,
+        name: name.to_owned(),
+        vis,
+        line,
+        module: module.to_owned(),
+        in_test,
+    });
+}
+
+fn join_module(module: &str, name: &str) -> String {
+    if module.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{module}::{name}")
+    }
+}
+
+/// Index of the `;` terminating a declaration (skipping over any bracket
+/// groups), or `end - 1`-ish fallback when truncated.
+fn find_semi(tokens: &[Token], mut i: usize, end: usize) -> usize {
+    while i < end {
+        if punct_at(tokens, i, ';') {
+            return i;
+        }
+        if punct_at(tokens, i, '{') {
+            i = match_delim(tokens, i, end, '{', '}');
+            continue;
+        }
+        if punct_at(tokens, i, '(') {
+            i = match_delim(tokens, i, end, '(', ')');
+            continue;
+        }
+        if punct_at(tokens, i, '[') {
+            i = match_delim(tokens, i, end, '[', ']');
+            continue;
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Advances past an item tail: through the matching `}` of its first
+/// body brace, or past a terminating `;`, whichever comes first.
+fn skip_to_body_or_semi(tokens: &[Token], mut i: usize, end: usize) -> usize {
+    while i < end {
+        if punct_at(tokens, i, '{') {
+            return match_delim(tokens, i, end, '{', '}');
+        }
+        if punct_at(tokens, i, ';') {
+            return i + 1;
+        }
+        if punct_at(tokens, i, '(') {
+            i = match_delim(tokens, i, end, '(', ')');
+            continue;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Expands the use tree in `tokens[i..end]` (the span between `use` and
+/// its `;`) into full `::`-joined paths. `as` aliases resolve to the
+/// source path; groups multiply the prefix; `*` stays a literal segment.
+fn expand_use(tokens: &[Token], i: usize, end: usize, depth: usize) -> Vec<String> {
+    let mut paths = Vec::new();
+    expand_use_into(tokens, i, end, "", depth, &mut paths);
+    paths
+}
+
+fn expand_use_into(
+    tokens: &[Token],
+    mut i: usize,
+    end: usize,
+    prefix: &str,
+    depth: usize,
+    out: &mut Vec<String>,
+) {
+    if depth == 0 {
+        return;
+    }
+    let mut path = prefix.to_owned();
+    while i < end {
+        i = skip_comments(tokens, i, end);
+        if i >= end {
+            break;
+        }
+        match &tokens[i].tok {
+            Tok::Ident(seg) if seg == "as" => {
+                // Alias: the bound name is local; the source path is what
+                // the graph cares about. Skip the alias ident.
+                i += 2;
+            }
+            Tok::Ident(seg) => {
+                if !path.is_empty() {
+                    path.push_str("::");
+                }
+                path.push_str(seg);
+                i += 1;
+            }
+            Tok::Punct('*') => {
+                if !path.is_empty() {
+                    path.push_str("::");
+                }
+                path.push('*');
+                i += 1;
+            }
+            Tok::Punct(':') => {
+                i += 1; // Path separator halves; just skip.
+            }
+            Tok::Punct('{') => {
+                let group_end = match_delim(tokens, i, end, '{', '}');
+                // Split the group body on top-level commas.
+                let body_lo = i + 1;
+                let body_hi = group_end.saturating_sub(1);
+                let mut part_lo = body_lo;
+                let mut j = body_lo;
+                let mut nest = 0usize;
+                while j < body_hi {
+                    if punct_at(tokens, j, '{') {
+                        nest += 1;
+                    } else if punct_at(tokens, j, '}') {
+                        nest = nest.saturating_sub(1);
+                    } else if punct_at(tokens, j, ',') && nest == 0 {
+                        expand_use_into(tokens, part_lo, j, &path, depth - 1, out);
+                        part_lo = j + 1;
+                    }
+                    j += 1;
+                }
+                if part_lo < body_hi {
+                    expand_use_into(tokens, part_lo, body_hi, &path, depth - 1, out);
+                }
+                // A group ends the path on this branch.
+                return;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    if path != prefix || prefix.is_empty() {
+        if !path.is_empty() {
+            out.push(path);
+        }
+    } else {
+        // `self` re-exports of the prefix (`use a::b::{self, c}`) land
+        // here only via the ident arm, so an unchanged path means the
+        // branch was empty — record nothing.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_mask};
+
+    fn parse_src(src: &str) -> ParsedFile {
+        let tokens = lex(src).expect("test source lexes");
+        let mask = test_mask(&tokens);
+        parse(&tokens, &mask)
+    }
+
+    #[test]
+    fn collects_module_level_items_with_visibility() {
+        let src = "pub fn a() {}\n\
+                   fn b() {}\n\
+                   pub(crate) struct C { x: u32 }\n\
+                   pub enum E { V }\n\
+                   pub const K: u32 = 1;\n\
+                   pub static S: u32 = 2;\n\
+                   pub type T = u32;\n\
+                   pub trait Tr { fn m(&self); }\n\
+                   mod inner { pub fn nested() {} }\n";
+        let p = parse_src(src);
+        let find = |name: &str| p.items.iter().find(|it| it.name == name).unwrap();
+        assert_eq!(find("a").vis, Visibility::Pub);
+        assert_eq!(find("a").kind, ItemKind::Fn);
+        assert_eq!(find("b").vis, Visibility::Private);
+        assert_eq!(find("C").vis, Visibility::Restricted);
+        assert_eq!(find("E").kind, ItemKind::Enum);
+        assert_eq!(find("K").kind, ItemKind::Const);
+        assert_eq!(find("S").kind, ItemKind::Static);
+        assert_eq!(find("T").kind, ItemKind::TypeAlias);
+        assert_eq!(find("Tr").kind, ItemKind::Trait);
+        assert_eq!(find("nested").module, "inner");
+        // Trait methods are not module-level items.
+        assert!(p.items.iter().all(|it| it.name != "m"));
+    }
+
+    #[test]
+    fn qualified_fns_and_impl_bodies() {
+        let src = "pub const fn cf() -> u32 { 0 }\n\
+                   pub unsafe fn uf() {}\n\
+                   impl Foo { pub fn method(&self) {} }\n";
+        let p = parse_src(src);
+        assert!(p.items.iter().any(|i| i.name == "cf" && i.kind == ItemKind::Fn));
+        assert!(p.items.iter().any(|i| i.name == "uf" && i.kind == ItemKind::Fn));
+        // Methods inside impl blocks are not collected.
+        assert!(p.items.iter().all(|i| i.name != "method"));
+    }
+
+    #[test]
+    fn use_trees_expand_groups_aliases_and_globs() {
+        let src = "use std::thread;\n\
+                   use std::{thread::spawn as go, io};\n\
+                   use crate::lexer::*;\n";
+        let p = parse_src(src);
+        assert_eq!(p.uses.len(), 3);
+        assert_eq!(p.uses[0].paths, vec!["std::thread"]);
+        assert_eq!(p.uses[1].paths, vec!["std::thread::spawn", "std::io"]);
+        assert_eq!(p.uses[2].paths, vec!["crate::lexer::*"]);
+        // Every token of every declaration is covered by a use span.
+        let toks = lex(src).unwrap();
+        let mask = p.use_mask(toks.len());
+        assert!(mask.iter().all(|&m| m), "{mask:?}");
+    }
+
+    #[test]
+    fn unsafe_regions_are_classified() {
+        let src = "unsafe impl Send for X {}\n\
+                   unsafe fn danger() { unsafe { core() } }\n\
+                   unsafe trait T {}\n";
+        let p = parse_src(src);
+        let kinds: Vec<UnsafeKind> = p.unsafes.iter().map(|u| u.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![UnsafeKind::Impl, UnsafeKind::Fn, UnsafeKind::Block, UnsafeKind::Trait]
+        );
+        assert_eq!(p.unsafes[0].line, 1);
+        assert_eq!(p.unsafes[2].line, 2);
+    }
+
+    #[test]
+    fn test_regions_are_flagged() {
+        let src = "pub fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests { pub fn helper() { unsafe { x() } } }\n";
+        let p = parse_src(src);
+        let prod = p.items.iter().find(|i| i.name == "prod").unwrap();
+        assert!(!prod.in_test);
+        let helper = p.items.iter().find(|i| i.name == "helper").unwrap();
+        assert!(helper.in_test);
+        assert!(p.unsafes[0].in_test);
+    }
+
+    #[test]
+    fn truncated_and_unbalanced_input_degrades_gracefully() {
+        for src in [
+            "pub fn",
+            "pub struct {",
+            "use std::{thread",
+            "mod a { mod b { fn c(",
+            "unsafe",
+            "impl",
+            "pub",
+            "const",
+            "{ { { (",
+        ] {
+            let _ = parse_src(src); // Must not panic.
+        }
+    }
+}

@@ -1,11 +1,57 @@
 //! Diagnostic rendering: human `file:line` output plus the machine
-//! report persisted at `results/analyze.json`.
+//! report persisted at `results/analyze.json` — violations, per-crate
+//! metrics, the `unsafe` audit inventory, and the suppression inventory
+//! with reasons.
 
-use crate::lints::{Violation, LINT_IDS};
+use crate::lints::{self, FileAnalysis, Violation, LINT_IDS};
 use rkvc_tensor::json::JsonValue;
+use std::collections::BTreeMap;
+
+/// Aggregate metrics for one workspace crate.
+#[derive(Debug, Default, Clone)]
+// rkvc-allow(C001): value type of Report::crates; consumers read metrics via field access
+pub struct CrateMetrics {
+    /// Rust files scanned.
+    pub files: usize,
+    /// Total source lines.
+    pub loc: u64,
+    /// `unsafe` regions (blocks, fns, impls) in the crate.
+    pub unsafe_regions: usize,
+    /// Valid `rkvc-allow` directives declared.
+    pub suppressions: usize,
+}
+
+/// One row of the workspace `unsafe` audit.
+#[derive(Debug, Clone)]
+// rkvc-allow(C001): element type of Report::unsafe_inventory; consumers read rows via field access
+pub struct UnsafeEntry {
+    /// Defining file (workspace-relative).
+    pub file: String,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Region kind label (`block`, `fn`, `impl`, …).
+    pub kind: &'static str,
+    /// The adjacent `rkvc-safety` justification, when present.
+    pub justification: Option<String>,
+}
+
+/// One row of the suppression inventory.
+#[derive(Debug, Clone)]
+// rkvc-allow(C001): element type of Report::suppression_inventory; consumers read rows via field access
+pub struct SuppressionEntry {
+    /// Declaring file (workspace-relative).
+    pub file: String,
+    /// Line the directive sits on.
+    pub line: u32,
+    /// The lint it targets.
+    pub lint: String,
+    /// The written reason.
+    pub reason: String,
+}
 
 /// The full scan outcome.
 #[derive(Debug)]
+// rkvc-allow(C001): return type of scan_workspace; the analyzer bin binds the report without naming the type
 pub struct Report {
     /// Rust files scanned.
     pub files_scanned: usize,
@@ -13,22 +59,66 @@ pub struct Report {
     pub manifests_checked: usize,
     /// Every finding, suppressed or not, sorted by (file, line, lint).
     pub violations: Vec<Violation>,
+    /// Per-crate metrics, keyed by crate name (sorted).
+    pub crates: BTreeMap<String, CrateMetrics>,
+    /// Every `unsafe` region in the tree, sorted by (file, line).
+    pub unsafe_inventory: Vec<UnsafeEntry>,
+    /// Every valid suppression in the tree, sorted by (file, line, lint).
+    pub suppression_inventory: Vec<SuppressionEntry>,
 }
 
 impl Report {
-    /// Builds a report, sorting findings deterministically.
+    /// Builds a report from the per-file analyses, sorting everything
+    /// deterministically.
     pub fn new(
-        files_scanned: usize,
         manifests_checked: usize,
+        analyses: &[FileAnalysis],
         mut violations: Vec<Violation>,
     ) -> Self {
         violations.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint))
         });
+        let mut crates: BTreeMap<String, CrateMetrics> = BTreeMap::new();
+        let mut unsafe_inventory = Vec::new();
+        let mut suppression_inventory = Vec::new();
+        for a in analyses {
+            let m = crates.entry(lints::crate_of(&a.path)).or_default();
+            m.files += 1;
+            m.loc += u64::from(a.loc);
+            m.unsafe_regions += a.unsafe_audit.len();
+            m.suppressions += a.suppressions.len();
+            for u in &a.unsafe_audit {
+                unsafe_inventory.push(UnsafeEntry {
+                    file: a.path.clone(),
+                    line: u.line,
+                    kind: u.kind,
+                    justification: u.justification.clone(),
+                });
+            }
+            for s in &a.suppressions {
+                suppression_inventory.push(SuppressionEntry {
+                    file: a.path.clone(),
+                    line: s.line,
+                    lint: s.lint.clone(),
+                    reason: s.reason.clone(),
+                });
+            }
+        }
+        unsafe_inventory.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+        suppression_inventory.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.lint.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.lint.as_str(),
+            ))
+        });
         Report {
-            files_scanned,
+            files_scanned: analyses.len(),
             manifests_checked,
             violations,
+            crates,
+            unsafe_inventory,
+            suppression_inventory,
         }
     }
 
@@ -57,9 +147,20 @@ impl Report {
         }
         let suppressed = self.violations.iter().filter(|v| v.suppressed).count();
         let total: usize = LINT_IDS.iter().map(|id| self.count(id)).sum();
+        let unjustified = self
+            .unsafe_inventory
+            .iter()
+            .filter(|u| u.justification.is_none())
+            .count();
         out.push_str(&format!(
-            "rkvc-analyze: {} files + {} manifests scanned; {} violation(s) ({} suppressed)",
-            self.files_scanned, self.manifests_checked, total, suppressed
+            "rkvc-analyze: {} files + {} manifests scanned; {} violation(s) ({} suppressed); \
+             {} unsafe region(s) ({} unjustified)",
+            self.files_scanned,
+            self.manifests_checked,
+            total,
+            suppressed,
+            self.unsafe_inventory.len(),
+            unjustified
         ));
         out.push('\n');
         for id in LINT_IDS {
@@ -101,6 +202,54 @@ impl Report {
                 .map(|id| ((*id).to_owned(), JsonValue::Int(self.count(id) as i64)))
                 .collect(),
         );
+        let crates = JsonValue::Object(
+            self.crates
+                .iter()
+                .map(|(name, m)| {
+                    (
+                        name.clone(),
+                        JsonValue::object(vec![
+                            ("files", JsonValue::Int(m.files as i64)),
+                            ("loc", JsonValue::Int(m.loc as i64)),
+                            ("unsafe_regions", JsonValue::Int(m.unsafe_regions as i64)),
+                            ("suppressions", JsonValue::Int(m.suppressions as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let unsafe_inventory = JsonValue::Array(
+            self.unsafe_inventory
+                .iter()
+                .map(|u| {
+                    JsonValue::object(vec![
+                        ("file", JsonValue::Str(u.file.clone())),
+                        ("line", JsonValue::Int(u.line as i64)),
+                        ("kind", JsonValue::Str(u.kind.to_owned())),
+                        (
+                            "justification",
+                            match &u.justification {
+                                Some(j) => JsonValue::Str(j.clone()),
+                                None => JsonValue::Null,
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let suppressions = JsonValue::Array(
+            self.suppression_inventory
+                .iter()
+                .map(|s| {
+                    JsonValue::object(vec![
+                        ("file", JsonValue::Str(s.file.clone())),
+                        ("line", JsonValue::Int(s.line as i64)),
+                        ("lint", JsonValue::Str(s.lint.clone())),
+                        ("reason", JsonValue::Str(s.reason.clone())),
+                    ])
+                })
+                .collect(),
+        );
         JsonValue::object(vec![
             ("tool", JsonValue::Str("rkvc-analyze".to_owned())),
             ("files_scanned", JsonValue::Int(self.files_scanned as i64)),
@@ -109,6 +258,9 @@ impl Report {
                 JsonValue::Int(self.manifests_checked as i64),
             ),
             ("unsuppressed_by_lint", counts),
+            ("crates", crates),
+            ("unsafe_inventory", unsafe_inventory),
+            ("suppressions", suppressions),
             ("violations", violations),
         ])
     }

@@ -18,3 +18,25 @@ pub fn planted() -> u128 {
     let b = std::thread::Builder::new().spawn(move || s).is_ok();
     t.elapsed().as_nanos() + u128::from(s) + u128::from(b)
 }
+
+// Planted hits for the semantic lints (U001/U002/D005/D006), the D004
+// import form, and the stacked-suppression chain at the bottom.
+use std::{thread as planted_thread};
+
+pub unsafe fn planted_unsafe(x: &[u8]) -> u32 {
+    static mut PLANTED_COUNT: u32 = 0;
+    let p = x.as_ptr() as *const u32;
+    let v = unsafe { *p };
+    let o = std::sync::atomic::Ordering::Relaxed;
+    let t: u32 = unsafe { std::mem::transmute(1.0f32) };
+    v + t + o as u32
+}
+
+pub fn planted_sums(values: &[f32]) -> f32 {
+    let a = values.iter().sum::<f32>();
+    let b = values.iter().fold(0.5f32, |acc, v| acc + v);
+    // rkvc-allow(D002): stacked directive one — fixture for chained covers
+    // rkvc-allow(E001): stacked directive two — chains past the directive above
+    let c = std::collections::HashMap::<u32, u32>::new().get(&0).copied().unwrap();
+    a + b + c as f32
+}

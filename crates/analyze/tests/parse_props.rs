@@ -1,0 +1,84 @@
+//! Seeded property tests for the item-level parser: `parse` must be
+//! total — no panic, no unbounded recursion — on arbitrary lexed token
+//! streams, and deterministic.
+
+use rkvc_analyze::lexer::{lex, test_mask};
+use rkvc_analyze::parse::parse;
+
+/// Syntax-shaped fragments, including deliberately broken ones: open
+/// delimiters, orphan keywords, truncated items, deep nesting. Any
+/// space-joined concatenation still lexes (each fragment is
+/// self-delimiting at the token level), so the parser sees realistic
+/// adversarial streams.
+const FRAGMENTS: &[&str] = &[
+    "pub fn f() {}",
+    "pub fn",
+    "fn orphan(",
+    "struct S;",
+    "pub struct {",
+    "enum",
+    "impl T for",
+    "unsafe",
+    "unsafe {",
+    "unsafe impl Send for X {}",
+    "use a::{b, c as d, e::*};",
+    "use",
+    "use a::{{{",
+    "mod m {",
+    "mod m { pub fn inner() {} }",
+    "}",
+    "} } }",
+    "pub(crate) const K: u32 = 1;",
+    "static mut G: u32 = 0;",
+    "trait Tr { fn m(&self); }",
+    "type T = fn(",
+    "macro_rules! mac { () => {} }",
+    "#[cfg(test)] mod tests { fn t() {} }",
+    "# [ derive ( Debug ) ]",
+    "extern \"C\" fn c() {}",
+    "let x = y as *const u8;",
+    "-> Vec<u8> { vec![1, 2] }",
+    "'lifetime",
+    "0.5f32 1_000 0x1f",
+    "// a stray comment\n",
+];
+
+rkvc_tensor::det_cases! {
+    fn parser_never_panics_on_fragment_soup(rng, cases = 300) {
+        let n = rng.gen_range(1usize..24);
+        let src: String = (0..n)
+            .map(|_| *rng.choose(FRAGMENTS))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let Ok(tokens) = lex(&src) else { return };
+        let in_test = test_mask(&tokens);
+        // Totality is the property: any lexable stream parses to *some*
+        // ParsedFile without panicking, and every recovered fact points
+        // at a real token position.
+        let parsed = parse(&tokens, &in_test);
+        for (lo, hi) in &parsed.use_spans {
+            assert!(lo <= hi && *hi <= tokens.len(), "{src:?}");
+        }
+        for item in &parsed.items {
+            assert!(item.line >= 1, "{src:?}");
+        }
+        let mask = parsed.use_mask(tokens.len());
+        assert_eq!(mask.len(), tokens.len());
+    }
+
+    fn parsing_is_deterministic(rng, cases = 60) {
+        let n = rng.gen_range(1usize..16);
+        let src: String = (0..n)
+            .map(|_| *rng.choose(FRAGMENTS))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let Ok(tokens) = lex(&src) else { return };
+        let in_test = test_mask(&tokens);
+        let a = parse(&tokens, &in_test);
+        let b = parse(&tokens, &in_test);
+        assert_eq!(a.items.len(), b.items.len());
+        assert_eq!(a.uses.len(), b.uses.len());
+        assert_eq!(a.unsafes.len(), b.unsafes.len());
+        assert_eq!(a.use_spans, b.use_spans);
+    }
+}

@@ -30,7 +30,41 @@ fn planted_fixture_reports_every_lint_at_exact_lines() {
             (16, "E001", true),  // .expect(..) under a valid suppression
             (17, "D004", false), // std::thread::scope(..)
             (18, "D004", false), // std::thread::Builder::new().spawn(..) — the pool's own idiom
+            (24, "D004", false), // use std::{thread as ..} — the aliased import form
+            (26, "U001", false), // pub unsafe fn outside the allowlist
+            (27, "U002", false), // static mut
+            (28, "U002", false), // as *const raw-pointer cast
+            (29, "U001", false), // unsafe block
+            (30, "D005", false), // Ordering::Relaxed
+            (31, "U001", false), // unsafe block ..
+            (31, "U002", false), // .. wrapping a transmute
+            (36, "D006", false), // sum::<f32>()
+            (37, "D006", false), // fold with a float seed
+            (40, "D002", true),  // HashMap under the first stacked directive
+            (40, "E001", true),  // unwrap under the second stacked directive
         ]
+    );
+}
+
+#[test]
+fn stacked_standalone_suppressions_chain_to_the_code_line() {
+    // Two standalone directives above one code line: the first one's
+    // cover must chain past the second (a comment-only line) instead of
+    // dying on it — the regression this PR's satellite fixes.
+    let vs = scan_source(AS_SERVING, FIXTURE);
+    let at_40: Vec<_> = vs.iter().filter(|v| v.line == 40).collect();
+    assert_eq!(at_40.len(), 2, "both planted hits on line 40 must report");
+    assert!(
+        at_40.iter().all(|v| v.suppressed),
+        "both stacked directives must cover line 40, got {:?}",
+        at_40.iter().map(|v| (&v.lint, v.suppressed)).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        at_40
+            .iter()
+            .find(|v| v.lint == "D002")
+            .and_then(|v| v.reason.as_deref()),
+        Some("stacked directive one — fixture for chained covers")
     );
 }
 
@@ -67,11 +101,24 @@ fn persistent_pool_source_is_clean_at_home_and_caught_elsewhere() {
         d004 >= 3,
         "the pool's spawn sites must all trip D004 outside the home module, got {d004}"
     );
+    // Outside its home the pool trips exactly the concurrency-boundary
+    // lints: ad-hoc threading (D004), its unsafe regions (U001), the
+    // transmute/raw-pointer machinery (U002), and its relaxed atomics
+    // (D005). Anything else (a clock read, a hash map) would be a real
+    // hygiene regression.
     assert!(
-        moved.iter().all(|v| v.lint == "D004"),
-        "outside its home the pool may only differ by D004 — anything else \
-         (a clock read, a hash map) would be a real hygiene regression"
+        moved
+            .iter()
+            .all(|v| matches!(v.lint, "D004" | "U001" | "U002" | "D005")),
+        "unexpected lint outside the boundary set: {:?}",
+        moved.iter().map(|v| v.header()).collect::<Vec<_>>()
     );
+    for lint in ["U001", "U002", "D005"] {
+        assert!(
+            moved.iter().any(|v| v.lint == lint),
+            "the pool's {lint} sites must all trip outside the home module"
+        );
+    }
 }
 
 #[test]

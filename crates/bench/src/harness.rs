@@ -32,6 +32,7 @@ const DEFAULT_SAMPLE_SIZE: usize = 30;
 
 /// One benchmark's measured statistics (all per-iteration nanoseconds).
 #[derive(Debug, Clone)]
+// rkvc-allow(C001): return type of Harness::records; consumers iterate records without naming the type
 pub struct BenchRecord {
     /// Group name (suite section).
     pub group: String,
@@ -66,6 +67,7 @@ rkvc_tensor::json_struct!(BenchRecord {
 });
 
 /// Timing driver handed to each benchmark closure.
+// rkvc-allow(C001): closure-parameter type of bench_function; bench bodies receive it by inference
 pub struct Bencher {
     iters: u64,
     elapsed_ns: u128,

@@ -3,11 +3,10 @@
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::{GenerateParams, ModelConfig, TinyLm};
-use rkvc_tensor::SeededRng;
 use rkvc_workload::{sample_conversations, ConversationRequest, ShareGptConfig};
 
 /// The paper's primary deployment: LLaMA-7B on one A6000 under LMDeploy.
-pub fn a6000_lmdeploy(llm: LlmSpec) -> DeploymentSpec {
+pub(crate) fn a6000_lmdeploy(llm: LlmSpec) -> DeploymentSpec {
     DeploymentSpec {
         gpu: GpuSpec::a6000(),
         llm,
@@ -30,18 +29,18 @@ pub fn paper_algos() -> Vec<(String, CompressionConfig)> {
 }
 
 /// Shared TinyLM instance (LLaMA-family stand-in, MHA).
-pub fn tiny_llama() -> TinyLm {
+pub(crate) fn tiny_llama() -> TinyLm {
     TinyLm::new(ModelConfig::induction_mha())
 }
 
 /// Shared TinyLM instance (Mistral-family stand-in, GQA).
-pub fn tiny_mistral() -> TinyLm {
+pub(crate) fn tiny_mistral() -> TinyLm {
     TinyLm::new(ModelConfig::induction_gqa())
 }
 
 /// Measured generation lengths: runs TinyLM over the requests under one
 /// compression policy and returns `(reference_len, measured_len)` pairs.
-pub fn measure_lengths(
+pub(crate) fn measure_lengths(
     model: &TinyLm,
     requests: &[ConversationRequest],
     algo: &CompressionConfig,
@@ -66,7 +65,7 @@ pub fn measure_lengths(
 /// Length multipliers (`measured / reference`) an algorithm induces,
 /// measured on a tiny-scale workload. Used to transfer TinyLM length shifts
 /// onto paper-scale requests.
-pub fn length_multipliers(
+pub(crate) fn length_multipliers(
     model: &TinyLm,
     n: usize,
     algo: &CompressionConfig,
@@ -79,13 +78,8 @@ pub fn length_multipliers(
         .collect()
 }
 
-/// Draws one multiplier from a measured distribution.
-pub fn sample_multiplier(multipliers: &[f64], rng: &mut SeededRng) -> f64 {
-    multipliers[rng.gen_range(0..multipliers.len())]
-}
-
 /// Formats a throughput as the figures do.
-pub fn fmt_thr(v: f64) -> String {
+pub(crate) fn fmt_thr(v: f64) -> String {
     if v >= 1000.0 {
         format!("{v:.0}")
     } else {
@@ -94,6 +88,6 @@ pub fn fmt_thr(v: f64) -> String {
 }
 
 /// Formats milliseconds.
-pub fn fmt_ms(seconds: f64) -> String {
+pub(crate) fn fmt_ms(seconds: f64) -> String {
     format!("{:.2}", seconds * 1e3)
 }

@@ -20,7 +20,7 @@ use crate::report::Table;
 
 /// One representative per granularity family, budgeted to roughly 64
 /// retained-token-equivalents of memory on TinyLM contexts.
-pub fn family_representatives() -> Vec<(&'static str, &'static str, CompressionConfig)> {
+pub(crate) fn family_representatives() -> Vec<(&'static str, &'static str, CompressionConfig)> {
     vec![
         ("token", "H2O-64", rkvc_workload::scaled_h2o(64)),
         // Layer family: budgets 96 (layer 0) down to 32 (last layer),
@@ -69,15 +69,10 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 
     // Evaluate per task type.
     let run_algo = |cfg: &CompressionConfig, samples: &[&rkvc_workload::TaskSample]| -> f64 {
-        samples
-            .iter()
-            .map(|s| {
-                let out =
-                    model.generate(&s.prompt, cfg, &GenerateParams::greedy(s.max_new_tokens));
-                s.scorer.score(&out.tokens)
-            })
-            .sum::<f64>()
-            / samples.len().max(1) as f64
+        rkvc_tensor::seq_sum_f64(samples.iter().map(|s| {
+            let out = model.generate(&s.prompt, cfg, &GenerateParams::greedy(s.max_new_tokens));
+            s.scorer.score(&out.tokens)
+        })) / samples.len().max(1) as f64
     };
 
     for task in TaskType::all() {

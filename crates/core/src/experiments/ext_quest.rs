@@ -16,7 +16,7 @@ use crate::negative::{collect_negatives, evaluate_suite};
 use crate::report::Table;
 
 /// The compared policies, all at a 64-token attended budget.
-pub fn budget_matched_policies() -> Vec<(String, CompressionConfig)> {
+pub(crate) fn budget_matched_policies() -> Vec<(String, CompressionConfig)> {
     vec![
         ("H2O-64".to_owned(), rkvc_workload::scaled_h2o(64)),
         ("Stream-64".to_owned(), rkvc_workload::scaled_streaming(64)),
@@ -51,12 +51,12 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
         let n = rows.len() as f64;
         let mut row = vec![
             task.label().to_owned(),
-            format!("{:.1}", rows.iter().map(|s| s.baseline).sum::<f64>() / n),
+            format!("{:.1}", rkvc_tensor::seq_sum_f64(rows.iter().map(|s| s.baseline)) / n),
         ];
         for i in 0..algos.len() {
             row.push(format!(
                 "{:.1}",
-                rows.iter().map(|s| s.by_algo[i].1).sum::<f64>() / n
+                rkvc_tensor::seq_sum_f64(rows.iter().map(|s| s.by_algo[i].1)) / n
             ));
         }
         t.push_row(row);

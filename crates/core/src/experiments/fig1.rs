@@ -14,9 +14,9 @@ use super::{ExperimentResult, RunOptions};
 use crate::report::Table;
 
 /// Figure 1 sweep axes.
-pub const BATCHES: [usize; 5] = [1, 4, 8, 16, 32];
+pub(crate) const BATCHES: [usize; 5] = [1, 4, 8, 16, 32];
 /// Prompt/KV length axis.
-pub const LENGTHS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+pub(crate) const LENGTHS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
 
 /// One independent panel of the Figure 1 grid; each job builds a whole
 /// table so the fan-out stays coarse enough to amortize the pool.
@@ -47,7 +47,7 @@ const PANEL_EST_OPS: usize = 1 << 12;
 /// The eight panels are independent (engine × batch × length cells of a
 /// pure analytic cost model); the table order is fixed by the job list,
 /// not by completion.
-pub fn run_for_model(llm: LlmSpec, id: &str, title: &str) -> ExperimentResult {
+pub(crate) fn run_for_model(llm: LlmSpec, id: &str, title: &str) -> ExperimentResult {
     let base = a6000_lmdeploy(llm.clone());
     let algos = paper_algos();
     let jobs = [

@@ -13,7 +13,7 @@ use crate::report::{fmt_pct, Table};
 
 /// Measures the `D` distribution of one algorithm against the FP16
 /// baseline.
-pub fn measure_d(
+pub(crate) fn measure_d(
     model: &TinyLm,
     algo: &CompressionConfig,
     n: usize,
@@ -39,7 +39,7 @@ pub fn measure_d(
 }
 
 /// Runs the Figure 4 sweep for one model.
-pub fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
     let n = opts.pick(24, 500);
     let sweep = compression_ratio_sweep();
     let mut t = Table::new(
@@ -88,7 +88,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 }
 
 /// Runs appendix Figure 15 (Mistral-family GQA TinyLM).
-pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_mistral(opts: &RunOptions) -> ExperimentResult {
     run_for_model(&tiny_mistral(), "fig15", opts)
 }
 

@@ -9,9 +9,9 @@
 use rkvc_gpu::LlmSpec;
 use rkvc_kvcache::CompressionConfig;
 use rkvc_model::TinyLm;
-use rkvc_serving::{
-    LatencySummary, ServerSim, ServingConfig, ServingMetrics, SimRequest,
-};
+use rkvc_serving::LatencySummary;
+#[cfg(test)]
+use rkvc_serving::{ServerSim, ServingConfig, ServingMetrics, SimRequest};
 use rkvc_tensor::seeded_rng;
 use rkvc_workload::{sample_conversations, ShareGptConfig};
 
@@ -20,7 +20,7 @@ use super::{ExperimentResult, RunOptions};
 use crate::report::Table;
 
 /// Runs the Figure 5 measurement for one TinyLM length model.
-pub fn run_for_model(model: &TinyLm, llm: LlmSpec, id: &str, opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_for_model(model: &TinyLm, llm: LlmSpec, id: &str, opts: &RunOptions) -> ExperimentResult {
     let n_requests = opts.pick(40, 1000);
     let n_tiny = opts.pick(16, 120);
     let dep = a6000_lmdeploy(llm);
@@ -106,7 +106,8 @@ pub fn run_for_model(model: &TinyLm, llm: LlmSpec, id: &str, opts: &RunOptions) 
 /// admission order, block pressure, and preemption policy decide TTFT and
 /// queue delay. `pool_tokens` pins the KV pool (`None` = the deployment's
 /// HBM-derived pool).
-pub fn served_metrics(opts: &RunOptions, pool_tokens: Option<usize>) -> ServingMetrics {
+#[cfg(test)]
+pub(crate) fn served_metrics(opts: &RunOptions, pool_tokens: Option<usize>) -> ServingMetrics {
     let n_requests = opts.pick(40, 1000);
     let dep = a6000_lmdeploy(LlmSpec::llama2_7b());
     let conversations =
@@ -136,7 +137,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 }
 
 /// Runs appendix Figure 16 (Mistral-family).
-pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_mistral(opts: &RunOptions) -> ExperimentResult {
     run_for_model(&tiny_mistral(), LlmSpec::mistral_7b(), "fig16", opts)
 }
 

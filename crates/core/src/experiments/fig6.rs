@@ -12,7 +12,7 @@ use crate::report::Table;
 
 /// Evaluates the LongBench-like suite under the scaled algorithm set;
 /// shared by Figures 6/7 and Tables 7/11.
-pub fn score_suite(model: &TinyLm, opts: &RunOptions) -> Vec<SampleScores> {
+pub(crate) fn score_suite(model: &TinyLm, opts: &RunOptions) -> Vec<SampleScores> {
     let cfg = LongBenchConfig {
         samples_per_task: opts.pick(4, 25),
         context_len: opts.pick(120, 224),
@@ -28,7 +28,7 @@ pub fn score_suite(model: &TinyLm, opts: &RunOptions) -> Vec<SampleScores> {
 }
 
 /// Runs the threshold sweep for one model.
-pub fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
     let scores = score_suite(model, opts);
     let thetas = [0.05, 0.10, 0.20, 0.30, 0.40, 0.50];
     let sets: [(&str, Vec<&str>); 6] = [
@@ -75,7 +75,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 }
 
 /// Runs appendix Figure 17 (Mistral-family).
-pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_mistral(opts: &RunOptions) -> ExperimentResult {
     run_for_model(&tiny_mistral(), "fig17", opts)
 }
 

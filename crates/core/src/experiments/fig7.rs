@@ -11,7 +11,7 @@ use crate::negative::{collect_negatives, task_breakdown};
 use crate::report::{fmt_pct, Table};
 
 /// Runs the task-type breakdown for one model.
-pub fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
     let scores = score_suite(model, opts);
     let algos = ["KIVI-2", "GEAR-2", "H2O-64", "Stream-64"];
 
@@ -56,7 +56,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 }
 
 /// Runs appendix Figure 18 (Mistral-family).
-pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_mistral(opts: &RunOptions) -> ExperimentResult {
     run_for_model(&tiny_mistral(), "fig18", opts)
 }
 

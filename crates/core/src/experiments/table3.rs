@@ -10,14 +10,14 @@ use crate::report::{fmt_ratio, Table};
 
 /// The Table 3 operating point: batch 4; prompt 2048 for prefill, KV 4096
 /// for decode.
-pub const BATCH: usize = 4;
+pub(crate) const BATCH: usize = 4;
 /// Prefill prompt length.
-pub const PREFILL_LEN: usize = 2048;
+pub(crate) const PREFILL_LEN: usize = 2048;
 /// Decode KV length.
-pub const DECODE_KV: usize = 4096;
+pub(crate) const DECODE_KV: usize = 4096;
 
 /// Runs Table 3 for a model spec (re-used by the appendix TP figures).
-pub fn run_for_model(llm: LlmSpec, id: &str) -> ExperimentResult {
+pub(crate) fn run_for_model(llm: LlmSpec, id: &str) -> ExperimentResult {
     let algos = paper_algos();
     let headers: Vec<&str> = ["stage", "TP", "FP16 (tok/s)"]
         .into_iter()

@@ -15,7 +15,7 @@ use crate::report::{fmt_pct, Table};
 
 /// Runs the Table 5 measurement for one model (Table 9 reuses it with the
 /// GQA TinyLM).
-pub fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
     let n = opts.pick(30, 1000);
     let requests = sample_conversations(&ShareGptConfig::tiny_scale(n, opts.seed), 64);
 
@@ -79,7 +79,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 }
 
 /// Runs appendix Table 9 (Mistral-family GQA TinyLM).
-pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_mistral(opts: &RunOptions) -> ExperimentResult {
     run_for_model(&tiny_mistral(), "table9", opts)
 }
 

@@ -47,7 +47,7 @@ fn length_dataset(
 }
 
 /// Runs the length-predictor half for one model (Table 10 reuses it).
-pub fn length_rows(model: &TinyLm, opts: &RunOptions) -> Vec<(String, f64)> {
+pub(crate) fn length_rows(model: &TinyLm, opts: &RunOptions) -> Vec<(String, f64)> {
     // Quick scale needs ~120 conversations (30 test points): with fewer,
     // the measured accuracy swings tens of points across RNG streams and
     // the calibration-band test below becomes a coin flip.
@@ -101,7 +101,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 }
 
 /// Runs appendix Table 10 (Mistral-family length predictor).
-pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_mistral(opts: &RunOptions) -> ExperimentResult {
     let model = tiny_mistral();
     let mut t = Table::new(
         "Table 10: length-predictor accuracy (Mistral-family)",

@@ -10,7 +10,7 @@ use crate::negative::{collect_negatives, negative_benchmark_scores};
 use crate::report::Table;
 
 /// Runs the negative-benchmark scoring for one model.
-pub fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_for_model(model: &TinyLm, id: &str, opts: &RunOptions) -> ExperimentResult {
     let scores = score_suite(model, opts);
     // The benchmark is mined at the 10% threshold over the union of
     // single-algorithm negatives (a sample that any algorithm degrades is
@@ -56,7 +56,7 @@ pub fn run(opts: &RunOptions) -> ExperimentResult {
 }
 
 /// Runs appendix Table 11 (Mistral-family).
-pub fn run_mistral(opts: &RunOptions) -> ExperimentResult {
+pub(crate) fn run_mistral(opts: &RunOptions) -> ExperimentResult {
     run_for_model(&tiny_mistral(), "table11", opts)
 }
 

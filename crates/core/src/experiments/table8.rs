@@ -126,7 +126,7 @@ fn build_requests(
 }
 
 fn mean_e2e(done: &[rkvc_serving::CompletedRequest]) -> f64 {
-    done.iter().map(|c| c.e2e_s).sum::<f64>() / done.len().max(1) as f64
+    rkvc_tensor::seq_sum_f64(done.iter().map(|c| c.e2e_s)) / done.len().max(1) as f64
 }
 
 /// One Table 8 column (H2O) packaged for scheduler studies: the deployment,

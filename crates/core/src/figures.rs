@@ -18,7 +18,7 @@ fn dep7b() -> DeploymentSpec {
 }
 
 /// Figure 1(a-b): FP16 decode throughput per engine across batch sizes.
-pub fn fig1ab_svg() -> String {
+pub(crate) fn fig1ab_svg() -> String {
     let mut dep = dep7b();
     let batches = [1usize, 2, 4, 8, 16, 32];
     let series: Vec<Series> = EngineKind::all()
@@ -51,7 +51,7 @@ pub fn fig1ab_svg() -> String {
 }
 
 /// Figure 1(c-d): StreamingLLM decode speedup per engine across batches.
-pub fn fig1cd_svg() -> String {
+pub(crate) fn fig1cd_svg() -> String {
     let mut dep = dep7b();
     let stream = CompressionConfig::streaming(64, 448);
     let batches = [1usize, 2, 4, 8, 16, 32];
@@ -84,7 +84,7 @@ pub fn fig1cd_svg() -> String {
 }
 
 /// Figure 1(e-h): prefill throughput per algorithm across prompt lengths.
-pub fn fig1eh_svg() -> String {
+pub(crate) fn fig1eh_svg() -> String {
     let dep = dep7b();
     let lens = [512usize, 1024, 2048, 4096, 8192];
     let series: Vec<Series> = paper_algos()
@@ -110,7 +110,7 @@ pub fn fig1eh_svg() -> String {
 }
 
 /// Figure 1(i-l): decode throughput per algorithm across KV lengths.
-pub fn fig1il_svg() -> String {
+pub(crate) fn fig1il_svg() -> String {
     let dep = dep7b();
     let lens = [512usize, 1024, 2048, 4096, 8192];
     let series: Vec<Series> = paper_algos()
@@ -136,7 +136,7 @@ pub fn fig1il_svg() -> String {
 }
 
 /// Figure 3: attention-layer execution time per algorithm (one stage).
-pub fn fig3_svg(decode: bool) -> String {
+pub(crate) fn fig3_svg(decode: bool) -> String {
     let dep = dep7b();
     let lens = [512usize, 1024, 2048, 4096, 8192];
     let series: Vec<Series> = paper_algos()
@@ -164,7 +164,7 @@ pub fn fig3_svg(decode: bool) -> String {
 
 /// Figure 4: distribution width (std of D) and lengthened fraction per
 /// compression configuration, measured on TinyLM.
-pub fn fig4_svg(opts: &RunOptions) -> String {
+pub(crate) fn fig4_svg(opts: &RunOptions) -> String {
     let model = tiny_llama();
     let n = opts.pick(24, 300);
     let sweep = rkvc_workload::compression_ratio_sweep();
@@ -192,7 +192,7 @@ pub fn fig4_svg(opts: &RunOptions) -> String {
 }
 
 /// Figure 6: threshold vs negative-sample count per algorithm family.
-pub fn fig6_svg(opts: &RunOptions) -> String {
+pub(crate) fn fig6_svg(opts: &RunOptions) -> String {
     let model = tiny_llama();
     let scores = fig6::score_suite(&model, opts);
     let thetas = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5];

@@ -10,11 +10,11 @@
 use rkvc_model::vocab::{self, TokenId};
 use rkvc_tensor::Matrix;
 
-use crate::RidgeRegression;
+use crate::linreg::RidgeRegression;
 
 /// Features extracted from a prompt.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LengthFeatures {
+pub(crate) struct LengthFeatures {
     /// Prompt length in tokens.
     pub prompt_len: f32,
     /// Number of EOS (demonstration-terminator) symbols.

@@ -32,8 +32,7 @@ pub mod survey;
 pub mod task_predictor;
 mod throughput_predictor;
 
-pub use length_predictor::{LengthDataset, LengthFeatures, LengthPredictor};
-pub use linreg::RidgeRegression;
-pub use profiler::{ProfileGrid, ProfileTable};
-pub use task_predictor::{TaskFeatures, TaskPredictor};
+pub use length_predictor::{LengthDataset, LengthPredictor};
+pub use profiler::ProfileGrid;
+pub use task_predictor::TaskPredictor;
 pub use throughput_predictor::ThroughputPredictor;

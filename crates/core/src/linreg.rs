@@ -7,7 +7,7 @@ use rkvc_tensor::Matrix;
 
 /// A fitted ridge-regression model (with intercept).
 #[derive(Debug, Clone, PartialEq)]
-pub struct RidgeRegression {
+pub(crate) struct RidgeRegression {
     weights: Vec<f32>,
     intercept: f32,
     feature_means: Vec<f32>,
@@ -35,8 +35,8 @@ impl RidgeRegression {
         let mut stds = vec![0.0f32; d];
         for c in 0..d {
             let col = x.col(c);
-            let m = col.iter().sum::<f32>() / n as f32;
-            let v = col.iter().map(|v| (v - m).powi(2)).sum::<f32>() / n as f32;
+            let m = rkvc_tensor::seq_sum_f32(col.iter().copied()) / n as f32;
+            let v = rkvc_tensor::seq_sum_f32(col.iter().map(|v| (v - m).powi(2))) / n as f32;
             means[c] = m;
             stds[c] = v.sqrt().max(1e-6);
         }
@@ -46,7 +46,7 @@ impl RidgeRegression {
                 xs.set(r, c, (x.get(r, c) - means[c]) / stds[c]);
             }
         }
-        let y_mean = y.iter().sum::<f32>() / n as f32;
+        let y_mean = rkvc_tensor::seq_sum_f32(y.iter().copied()) / n as f32;
 
         // Normal equations on centered data.
         let xt = xs.transposed();
@@ -87,11 +87,6 @@ impl RidgeRegression {
             out += w * (f - m) / s;
         }
         out
-    }
-
-    /// Learned (standardized-space) weights.
-    pub fn weights(&self) -> &[f32] {
-        &self.weights
     }
 }
 

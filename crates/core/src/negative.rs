@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-sample evaluation record: FP16 score plus each algorithm's score.
 #[derive(Debug, Clone, PartialEq)]
+// rkvc-allow(C001): return/parameter type of the negative-mining API (evaluate_suite and friends); consumers bind scores without naming the type
 pub struct SampleScores {
     /// Sample id within the suite.
     pub id: usize,
@@ -66,7 +67,7 @@ pub fn baseline_average(scores: &[SampleScores]) -> f64 {
     if scores.is_empty() {
         return 0.0;
     }
-    scores.iter().map(|s| s.baseline).sum::<f64>() / scores.len() as f64
+    rkvc_tensor::seq_sum_f64(scores.iter().map(|s| s.baseline)) / scores.len() as f64
 }
 
 /// Algorithm 1: collects the ids of negative samples at threshold `theta`
@@ -125,7 +126,7 @@ pub fn task_breakdown(
 /// Scores every algorithm on a mined negative benchmark, grouped as
 /// Table 7 groups tasks (Summarization / Question Answering / Code).
 /// Returns `group -> [(algo label or "Baseline", mean score)]`.
-pub fn negative_benchmark_scores(
+pub(crate) fn negative_benchmark_scores(
     scores: &[SampleScores],
     negative_ids: &[usize],
 ) -> BTreeMap<&'static str, Vec<(String, f64)>> {
@@ -141,12 +142,12 @@ pub fn negative_benchmark_scores(
             let n = samples.len() as f64;
             let mut rows = vec![(
                 "Baseline".to_owned(),
-                samples.iter().map(|s| s.baseline).sum::<f64>() / n,
+                rkvc_tensor::seq_sum_f64(samples.iter().map(|s| s.baseline)) / n,
             )];
             if let Some(first) = samples.first() {
                 for (i, (label, _)) in first.by_algo.iter().enumerate() {
                     let mean =
-                        samples.iter().map(|s| s.by_algo[i].1).sum::<f64>() / n;
+                        rkvc_tensor::seq_sum_f64(samples.iter().map(|s| s.by_algo[i].1)) / n;
                     rows.push((label.clone(), mean));
                 }
             }

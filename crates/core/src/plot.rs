@@ -29,6 +29,7 @@ impl Series {
 
 /// Axis scaling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// rkvc-allow(C001): field type of pub PlotOptions::x_scale; consumers use defaults without naming the enum
 pub enum AxisScale {
     /// Linear axis.
     Linear,
@@ -289,7 +290,7 @@ pub fn line_chart(series: &[Series], opts: &PlotOptions) -> String {
 ///
 /// Panics if `categories` is empty or any series length differs from the
 /// category count.
-pub fn bar_chart(categories: &[String], series: &[Series], opts: &PlotOptions) -> String {
+pub(crate) fn bar_chart(categories: &[String], series: &[Series], opts: &PlotOptions) -> String {
     assert!(!categories.is_empty(), "need categories");
     for s in series {
         assert_eq!(
@@ -302,6 +303,7 @@ pub fn bar_chart(categories: &[String], series: &[Series], opts: &PlotOptions) -
     let y_hi = series
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.1))
+        // rkvc-allow(D006): max is order-insensitive for the finite axis values plotted here
         .fold(0.0f64, f64::max)
         .max(1e-9)
         * 1.05;

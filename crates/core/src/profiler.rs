@@ -43,7 +43,7 @@ impl ProfileGrid {
 
 /// A profiled attention-time table for one (algorithm, stage).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ProfileTable {
+pub(crate) struct ProfileTable {
     grid: ProfileGrid,
     /// `times[bi][li]` = measured attention-layer seconds.
     times: Vec<Vec<f64>>,
@@ -86,16 +86,12 @@ impl ProfileTable {
         ProfileTable { grid, times }
     }
 
-    /// The grid this table covers.
-    pub fn grid(&self) -> &ProfileGrid {
-        &self.grid
-    }
-
     /// The profiled time at an exact grid point.
     ///
     /// # Panics
     ///
     /// Panics if `(batch, len)` is not a grid point.
+    #[cfg(test)]
     pub fn at(&self, batch: usize, len: usize) -> f64 {
         let bi = self
             .grid

@@ -72,12 +72,12 @@ impl std::fmt::Display for Table {
 }
 
 /// Formats a ratio as the paper does (`1.34x`).
-pub fn fmt_ratio(r: f64) -> String {
+pub(crate) fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}x")
 }
 
 /// Formats a fraction as a percentage (`21.3%`).
-pub fn fmt_pct(frac: f64) -> String {
+pub(crate) fn fmt_pct(frac: f64) -> String {
     format!("{:.1}%", frac * 100.0)
 }
 

@@ -12,6 +12,7 @@ use crate::ThroughputPredictor;
 /// throughput predictors and precomputed per-(request, server) length
 /// predictions (the length predictor runs on the prompt before routing).
 #[derive(Debug)]
+// rkvc-allow(C001): field type of ClusterWorkload::router; consumers route through the RoutePredictor trait
 pub struct ToolRouter {
     /// One throughput predictor per server (index = server id).
     throughput: Vec<ThroughputPredictor>,

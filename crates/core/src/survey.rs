@@ -20,7 +20,7 @@ pub enum Family {
 
 /// Evaluation frameworks a surveyed algorithm reported results on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Framework {
+pub(crate) enum Framework {
     /// HuggingFace Transformers library.
     Transformers,
     /// DeepSpeed.
@@ -33,7 +33,7 @@ pub enum Framework {
 
 /// One row of the paper's Table 1.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SurveyEntry {
+pub(crate) struct SurveyEntry {
     /// Publication date as `(year, month)` (two-digit year, 20xx).
     pub date: (u16, u8),
     /// Algorithm name.
@@ -87,7 +87,7 @@ const TDV: &[Framework] = &[Transformers, DeepSpeed, Vllm];
 const F: &[Framework] = &[FlashInfer];
 
 /// The paper's Table 1, in row order.
-pub fn table1() -> Vec<SurveyEntry> {
+pub(crate) fn table1() -> Vec<SurveyEntry> {
     vec![
         entry!(24, 2, "KVQuant", Quant, "Per-channel key quantization", 65.0, 1, 32_000, 8.0, 0.0, 0.0, T),
         entry!(24, 2, "WKVQuant", Quant, "Loss design for quant parameter optimization", 13.0, 16, 18_000, 4.0, 0.0, 0.0, T),
@@ -135,7 +135,7 @@ pub fn table1() -> Vec<SurveyEntry> {
 
 /// One row of the paper's Table 2 (benchmark studies).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BenchmarkStudy {
+pub(crate) struct BenchmarkStudy {
     /// Study name.
     pub name: &'static str,
     /// Whether it measures accuracy.
@@ -149,7 +149,7 @@ pub struct BenchmarkStudy {
 }
 
 /// The paper's Table 2, in row order.
-pub fn table2() -> Vec<BenchmarkStudy> {
+pub(crate) fn table2() -> Vec<BenchmarkStudy> {
     vec![
         BenchmarkStudy {
             name: "QLLM-Eval",
@@ -184,7 +184,7 @@ pub fn table2() -> Vec<BenchmarkStudy> {
 
 /// The quantitative claims behind the paper's three "missing pieces".
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SurveyStats {
+pub(crate) struct SurveyStats {
     /// Total surveyed algorithms.
     pub total: usize,
     /// Algorithms whose only reported framework is the Transformers
@@ -211,7 +211,7 @@ pub struct SurveyStats {
 }
 
 /// Computes the missing-piece statistics from the survey tables.
-pub fn survey_stats() -> SurveyStats {
+pub(crate) fn survey_stats() -> SurveyStats {
     let t1 = table1();
     let t2 = table2();
     let quant: Vec<_> = t1.iter().filter(|e| e.family == Family::Quant).collect();

@@ -11,11 +11,11 @@ use rkvc_model::vocab::{self, TokenId};
 use rkvc_tensor::Matrix;
 use rkvc_workload::TaskType;
 
-use crate::RidgeRegression;
+use crate::linreg::RidgeRegression;
 
 /// Prompt-structure features for task classification.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TaskFeatures {
+pub(crate) struct TaskFeatures {
     /// Prompt length in tokens.
     pub prompt_len: f32,
     /// EOS (fact/demonstration terminator) count.

@@ -8,7 +8,7 @@
 use rkvc_gpu::DeploymentSpec;
 use rkvc_kvcache::CompressionConfig;
 
-use crate::{ProfileGrid, ProfileTable};
+use crate::profiler::{ProfileGrid, ProfileTable};
 
 /// A fitted throughput predictor for one deployment and one compression
 /// algorithm.

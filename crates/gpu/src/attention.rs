@@ -40,7 +40,7 @@ const GEAR_ITERS: f64 = 6.0;
 
 /// Evaluation environment shared by the attention cost functions.
 #[derive(Debug, Clone, Copy)]
-pub struct AttentionEnv<'a> {
+pub(crate) struct AttentionEnv<'a> {
     /// Target GPU.
     pub gpu: &'a GpuSpec,
     /// Model dimensions.
@@ -77,7 +77,7 @@ fn quant_bytes_per_token(env: &AttentionEnv<'_>, bits: u8, group: usize) -> f64 
 ///
 /// `kv_len` is the logical KV length (tokens generated so far + prompt);
 /// eviction policies cap the *effective* length at their budget.
-pub fn attention_decode_time(
+pub(crate) fn attention_decode_time(
     env: &AttentionEnv<'_>,
     algo: &CompressionConfig,
     batch: usize,
@@ -209,7 +209,7 @@ pub fn attention_decode_time(
 }
 
 /// Prefill-stage attention time for one transformer layer (seconds).
-pub fn attention_prefill_time(
+pub(crate) fn attention_prefill_time(
     env: &AttentionEnv<'_>,
     algo: &CompressionConfig,
     batch: usize,

@@ -36,7 +36,7 @@ mod llm;
 mod memory;
 mod perf;
 
-pub use attention::{attention_decode_time, attention_prefill_time, AttentionEnv};
+pub(crate) use attention::{attention_decode_time, attention_prefill_time, AttentionEnv};
 pub use engine::EngineKind;
 pub use hardware::GpuSpec;
 pub use llm::LlmSpec;

@@ -12,6 +12,7 @@ use crate::{EngineKind, GpuSpec, LlmSpec};
 
 /// Per-GPU memory breakdown for a decode configuration (bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// rkvc-allow(C001): return type of decode_memory_bytes; consumers bind breakdowns without naming the type
 pub struct MemoryBreakdown {
     /// Model weights (FP16, sharded by TP).
     pub weights: u64,

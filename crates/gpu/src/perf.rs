@@ -22,6 +22,7 @@ pub struct DeploymentSpec {
 
 /// Cost breakdown of one stage execution (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+// rkvc-allow(C001): return type of DeploymentSpec::decode_step/prefill/recompute; consumers bind stage times without naming the type
 pub struct StageTime {
     /// GEMM/linear-layer time (weights traffic + matmul compute).
     pub linear_s: f64,

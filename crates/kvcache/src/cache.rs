@@ -11,6 +11,7 @@ use crate::CacheStats;
 /// caches reconstruct (dequantize) on view, so attention downstream sees the
 /// values a real kernel would compute with.
 #[derive(Debug, Clone, PartialEq)]
+// rkvc-allow(C001): return type of KvCache::view(); consumers bind views without naming the type
 pub struct KvView {
     /// Retained key vectors, one row per retained token.
     pub keys: Matrix,

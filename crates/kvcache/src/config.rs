@@ -52,6 +52,7 @@ impl PyramidKvParams {
 
 /// Coarse family of a compression policy, as the paper classifies them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// rkvc-allow(C001): return type of CompressionConfig::family(); consumers match on it without importing the name
 pub enum CompressionFamily {
     /// No compression (FP16 baseline).
     None,

@@ -58,10 +58,7 @@ pub use full::FullPrecisionCache;
 pub use gear::{GearCache, GearParams};
 pub use h2o::{H2OCache, H2OParams};
 pub use kivi::{KiviCache, KiviParams};
-pub use quantizer::{
-    dequantize_group, measure_error, quantize_group, GroupLayout, QuantError, QuantizedGroup,
-    QuantizedMatrix, SupportedBits,
-};
+pub use quantizer::{dequantize_group, quantize_group, GroupLayout, QuantizedGroup, QuantizedMatrix, SupportedBits};
 pub use quest::{QuestCache, QuestParams};
 pub use snapkv::{SnapKvCache, SnapKvParams};
 pub use stats::CacheStats;

@@ -68,6 +68,7 @@ impl SupportedBits {
 
 /// A quantized group: packed codes plus FP16 scale/zero constants.
 #[derive(Debug, Clone, PartialEq)]
+// rkvc-allow(C001): return type of quantize_group; consumers bind groups without naming the type
 pub struct QuantizedGroup {
     packed: Vec<u8>,
     scale: f32,
@@ -113,9 +114,10 @@ impl QuantizedGroup {
     }
 }
 
-/// Quantization error statistics for a group.
+/// Quantization error statistics for a group (test-only diagnostic).
+#[cfg(test)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct QuantError {
+pub(crate) struct QuantError {
     /// Mean absolute reconstruction error.
     pub mean_abs: f32,
     /// Maximum absolute reconstruction error.
@@ -183,7 +185,8 @@ pub fn dequantize_group(group: &QuantizedGroup) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if `original.len() != group.len()`.
-pub fn measure_error(original: &[f32], group: &QuantizedGroup) -> QuantError {
+#[cfg(test)]
+pub(crate) fn measure_error(original: &[f32], group: &QuantizedGroup) -> QuantError {
     assert_eq!(original.len(), group.len(), "length mismatch");
     let recon = dequantize_group(group);
     let mut sum = 0.0f32;
@@ -268,16 +271,6 @@ impl QuantizedMatrix {
         out
     }
 
-    /// Token rows stored.
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Channel columns stored.
-    pub fn cols(&self) -> usize {
-        self.cols
-    }
-
     /// Bytes used by packed codes and constants.
     pub fn memory_bytes(&self) -> usize {
         self.groups.iter().map(QuantizedGroup::memory_bytes).sum()
@@ -285,7 +278,6 @@ impl QuantizedMatrix {
 }
 
 rkvc_tensor::json_unit_enum!(SupportedBits { B1, B2, B4, B8 });
-rkvc_tensor::json_struct!(QuantError { mean_abs, max_abs });
 rkvc_tensor::json_unit_enum!(GroupLayout { PerChannel, PerToken });
 
 rkvc_tensor::json_struct!(QuantizedGroup {

@@ -124,6 +124,7 @@ impl SnapKvCache {
         for i in 0..n {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(n);
+            // rkvc-allow(D006): max-pooling is order-insensitive over the finite vote scores
             pooled[i] = votes[lo..hi].iter().copied().fold(0.0, f32::max);
         }
         pooled

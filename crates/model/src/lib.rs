@@ -52,6 +52,4 @@ mod weights;
 pub use config::ModelConfig;
 pub use generate::{GenerateParams, GenerationOutput};
 pub use model::{Session, TinyLm};
-pub use posenc::PositionEncoder;
 pub use sampler::Sampler;
-pub use weights::ModelWeights;

@@ -4,7 +4,9 @@ use rkvc_kvcache::{CacheStats, CompressionConfig, KvCache};
 use rkvc_tensor::{silu, softmax_into, Matrix};
 
 use crate::vocab::TokenId;
-use crate::{ModelConfig, ModelWeights, PositionEncoder};
+use crate::config::ModelConfig;
+use crate::posenc::PositionEncoder;
+use crate::weights::ModelWeights;
 
 /// The TinyLM transformer.
 ///
@@ -41,10 +43,6 @@ impl TinyLm {
         &self.cfg
     }
 
-    /// The constructed weights.
-    pub fn weights(&self) -> &ModelWeights {
-        &self.weights
-    }
 
     /// Opens a generation session whose per-head KV caches use the given
     /// compression policy.

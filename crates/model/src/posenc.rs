@@ -7,7 +7,7 @@
 /// per pair. These feed the noise heads' positional mixing; the constructed
 /// induction head does not depend on them.
 #[derive(Debug, Clone)]
-pub struct PositionEncoder {
+pub(crate) struct PositionEncoder {
     freqs: Vec<f32>,
     dim: usize,
 }
@@ -28,6 +28,7 @@ impl PositionEncoder {
     }
 
     /// Encoding width.
+    #[cfg(test)]
     pub fn dim(&self) -> usize {
         self.dim
     }

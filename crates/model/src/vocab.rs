@@ -27,7 +27,8 @@ pub fn content_count(vocab_size: usize) -> usize {
 }
 
 /// Whether `t` is a content symbol under the given vocabulary size.
-pub fn is_content(t: TokenId, vocab_size: usize) -> bool {
+#[cfg(test)]
+pub(crate) fn is_content(t: TokenId, vocab_size: usize) -> bool {
     (CONTENT_START..vocab_size).contains(&t)
 }
 

@@ -11,7 +11,7 @@ use crate::ModelConfig;
 
 /// Per-layer projection weights.
 #[derive(Debug, Clone)]
-pub struct LayerWeights {
+pub(crate) struct LayerWeights {
     /// Query projection, `d_model x (n_heads * head_dim)`.
     pub wq: Matrix,
     /// Key projection, `d_model x (n_kv_heads * head_dim)`.
@@ -30,7 +30,7 @@ pub struct LayerWeights {
 
 /// Full model weights.
 #[derive(Debug, Clone)]
-pub struct ModelWeights {
+pub(crate) struct ModelWeights {
     /// Dense unit token codes, `vocab_size x code_dim`.
     pub codes: Matrix,
     /// Transformer layers.
@@ -54,7 +54,8 @@ fn token_codes(vocab: usize, dim: usize, rng: &mut SeededRng) -> Matrix {
         let row: Vec<f32> = (0..dim)
             .map(|_| {
                 // Box-Muller-free gaussian-ish sample: sum of uniforms.
-                let v: f32 = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>() / 2.0;
+                let v: f32 =
+                    rkvc_tensor::seq_sum_f32((0..4).map(|_| rng.gen_range(-1.0f32..1.0))) / 2.0;
                 norm += v * v;
                 v
             })

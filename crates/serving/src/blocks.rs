@@ -123,6 +123,7 @@ pub struct BlockView {
 
 /// Cumulative counters the prefix-sharing/tiering experiments report.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+// rkvc-allow(C001): return type of BlockManager::stats and ServerSim::block_stats; consumers bind stats without naming the type
 pub struct BlockPoolStats {
     /// Blocks registrations asked for (shared hits + fresh allocations).
     pub logical_blocks_registered: u64,
@@ -175,6 +176,7 @@ rkvc_tensor::json_struct!(BlockPoolStats {
 
 /// What a shared registration reused from the dedup index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// rkvc-allow(C001): return type of BlockManager::register_shared; consumers bind registrations without naming the type
 pub struct SharedRegistration {
     /// Prefix blocks satisfied by resident published blocks.
     pub shared_blocks: usize,
@@ -186,6 +188,7 @@ pub struct SharedRegistration {
 /// [`refill_seq`](BlockManager::refill_seq) call — what the engine prices
 /// over the PCIe link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// rkvc-allow(C001): return type of BlockManager::demote_seq/refill_seq; consumers bind moves without naming the type
 pub struct TierMove {
     /// Blocks moved between tiers.
     pub blocks: usize,

@@ -58,6 +58,7 @@ pub(crate) const RANK_DECODE: u8 = 2;
 /// A request waiting in a server's queue — either freshly routed
 /// (`generated == 0`) or preempted mid-decode and awaiting recompute.
 #[derive(Debug, Clone)]
+// rkvc-allow(C001): parameter type of the pub Scheduler trait; pluggable schedulers implement against it
 pub struct Waiting {
     pub(crate) req: SimRequest,
     pub(crate) predicted_len: f64,
@@ -111,6 +112,7 @@ impl Waiting {
 
 /// A sequence resident in the running batch.
 #[derive(Debug, Clone)]
+// rkvc-allow(C001): parameter type of the pub Scheduler trait; pluggable schedulers implement against it
 pub struct RunningSeq {
     pub(crate) req: SimRequest,
     pub(crate) target_len: usize,

@@ -40,7 +40,7 @@ impl LatencySummary {
         if self.sorted.is_empty() {
             0.0
         } else {
-            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+            rkvc_tensor::seq_sum_f64(self.sorted.iter().copied()) / self.sorted.len() as f64
         }
     }
 

@@ -30,6 +30,7 @@ pub enum DemotePolicy {
 
 /// How a spilled sequence gets its KV back on re-admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// rkvc-allow(C001): field type of pub TierConfig::refill; consumers use the default without naming the enum
 pub enum RefillPolicy {
     /// DMA the spilled blocks back over PCIe — cost is transfer time, not
     /// compute.

@@ -157,6 +157,7 @@ impl SeededRng {
 }
 
 /// Types that can be drawn uniformly over their whole domain.
+// rkvc-allow(C001): bound of SeededRng::gen; callers invoke the method without naming the trait
 pub trait DetRandom {
     /// Draws one value from `rng`.
     fn det_random(rng: &mut SeededRng) -> Self;
@@ -202,6 +203,7 @@ impl DetRandom for f32 {
 /// The element type is a trait parameter (not an associated type) so that
 /// integer-literal ranges infer their width from the call site, exactly as
 /// `rand::Rng::gen_range` did.
+// rkvc-allow(C001): bound of SeededRng::gen_range; callers invoke the method without naming the trait
 pub trait RangeSample<T> {
     /// Draws one value uniformly from the range.
     fn sample_from(self, rng: &mut SeededRng) -> T;
@@ -259,6 +261,7 @@ float_range_sample!(f32, gen_f32; f64, gen_f64);
 
 /// Error constructing a distribution with out-of-domain parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// rkvc-allow(C001): error type of the pub distribution constructors; consumers propagate it without naming it
 pub struct DistError(&'static str);
 
 impl std::fmt::Display for DistError {

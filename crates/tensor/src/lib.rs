@@ -30,7 +30,10 @@ mod rng;
 pub use half::{f16_bits_to_f32, f32_to_f16_bits, round_to_f16, round_slice_to_f16};
 pub use lowrank::{low_rank_approximate, LowRankFactors};
 pub use matrix::Matrix;
-pub use ops::{argmax, rms_norm, rope_rotate, silu, softmax_in_place, softmax_into, softmax_row, top_k};
+pub use ops::{
+    argmax, rms_norm, rope_rotate, seq_sum_f32, seq_sum_f64, silu, softmax_in_place, softmax_into,
+    softmax_row, top_k,
+};
 pub use rng::{seeded_rng, xavier_matrix, SeededRng};
 
 /// Error raised by tensor operations on shape mismatches or invalid

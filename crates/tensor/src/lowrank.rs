@@ -10,6 +10,7 @@ use crate::{seeded_rng, xavier_matrix, Matrix, TensorError};
 
 /// A rank-`r` factorization `U * V` of a matrix.
 #[derive(Debug, Clone, PartialEq)]
+// rkvc-allow(C001): return type of low_rank_approximate; consumers bind it without naming the type
 pub struct LowRankFactors {
     /// Left factor, `m x r`.
     pub u: Matrix,

@@ -44,6 +44,7 @@ fn softmax_slice(row: &mut [f32]) {
 }
 
 /// Applies a numerically stable softmax to every row of `m` in place.
+// rkvc-allow(C001): reference kernel surface of the hermetic tensor crate, exercised by its unit tests
 pub fn softmax_in_place(m: &mut Matrix) {
     for r in 0..m.rows() {
         softmax_slice(m.row_mut(r));
@@ -55,6 +56,7 @@ pub fn softmax_in_place(m: &mut Matrix) {
 /// # Panics
 ///
 /// Panics if `x.len() != gain.len()`.
+// rkvc-allow(C001): reference kernel surface of the hermetic tensor crate, exercised by its unit tests
 pub fn rms_norm(x: &[f32], gain: &[f32]) -> Vec<f32> {
     assert_eq!(x.len(), gain.len(), "rms_norm length mismatch");
     let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len().max(1) as f32;
@@ -71,6 +73,7 @@ pub fn silu(x: f32) -> f32 {
 ///
 /// Pairs `(x[2i], x[2i+1])` are rotated by `pos * theta^(-2i/d)` with the
 /// standard base `10000`. Odd trailing elements are left untouched.
+// rkvc-allow(C001): reference kernel surface of the hermetic tensor crate, exercised by its unit tests
 pub fn rope_rotate(x: &mut [f32], pos: usize, head_dim: usize) {
     let half = head_dim / 2;
     for i in 0..half {
@@ -82,6 +85,25 @@ pub fn rope_rotate(x: &mut [f32], pos: usize, head_dim: usize) {
         x[2 * i] = a * cos - b * sin;
         x[2 * i + 1] = a * sin + b * cos;
     }
+}
+
+/// Left-to-right `f64` summation with a fixed accumulation order.
+///
+/// Float addition is not associative, so the order of a reduction is
+/// part of its semantics. This helper (and [`seq_sum_f32`]) is the
+/// audited home for sequential accumulation: bit-identical to
+/// `iter.sum::<f64>()`, but centralized so the D006 lint can confine
+/// order-dependent reductions to code that has declared its order.
+/// Large reductions that may be parallelized belong in
+/// [`crate::par::par_reduce`]'s fixed tree instead.
+pub fn seq_sum_f64(it: impl Iterator<Item = f64>) -> f64 {
+    it.fold(0.0, |acc, v| acc + v)
+}
+
+/// Left-to-right `f32` summation with a fixed accumulation order.
+/// See [`seq_sum_f64`].
+pub fn seq_sum_f32(it: impl Iterator<Item = f32>) -> f32 {
+    it.fold(0.0, |acc, v| acc + v)
 }
 
 /// Index of the maximum element (first occurrence wins). Returns 0 for an
@@ -99,6 +121,7 @@ pub fn argmax(values: &[f32]) -> usize {
 }
 
 /// Indices of the `k` largest elements, in descending value order.
+// rkvc-allow(C001): reference kernel surface of the hermetic tensor crate, exercised by its unit tests
 pub fn top_k(values: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal));

@@ -342,9 +342,9 @@ fn run_job(threads: usize, body: &(dyn Fn() + Sync)) {
             st.entered = 0;
             st.exited = 0;
             st.panic = None;
-            // SAFETY: the job reference is cleared — and every checked-in
-            // worker awaited — before this function returns or unwinds,
-            // so the erased lifetime never outlives the borrow.
+            // rkvc-safety: the job reference is cleared — and every
+            // checked-in worker awaited — before this function returns or
+            // unwinds, so the erased lifetime never outlives the borrow.
             st.job = Some(JobRef(unsafe {
                 std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body)
             }));
@@ -399,7 +399,11 @@ impl<T> SendPtr<T> {
     }
 }
 
+// rkvc-safety: SendPtr is only handed to pool workers that write disjoint
+// chunk ranges of one reserved allocation; T: Send bounds the payload.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// rkvc-safety: shared access is read-only pointer arithmetic; every write
+// target is a slot claimed by exactly one worker.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Maps `f` over `0..len` in chunks of `grain` indices, in parallel.
@@ -431,13 +435,13 @@ where
         let lo = c * grain;
         let hi = (lo + grain).min(len);
         for i in lo..hi {
-            // SAFETY: chunk `c` is claimed exactly once, chunk ranges are
-            // disjoint, and slot `i` lies inside the reserved capacity;
-            // each slot is written at most once.
+            // rkvc-safety: chunk `c` is claimed exactly once, chunk
+            // ranges are disjoint, and slot `i` lies inside the reserved
+            // capacity; each slot is written at most once.
             unsafe { base.get().add(i).write(fr(i)) };
         }
     });
-    // SAFETY: run_job returns normally only after every chunk index was
+    // rkvc-safety: run_job returns normally only after every chunk index was
     // claimed and completed, so all `len` slots are initialized. If any
     // closure panicked, run_job resumed the unwind above and the vector
     // drops with len 0 — written elements leak rather than risk dropping
@@ -494,9 +498,9 @@ where
         }
         let lo = c * grain;
         let hi = (lo + grain).min(len);
-        // SAFETY: chunk `c` is claimed exactly once and `[lo, hi)` ranges
-        // are pairwise disjoint and in bounds, so each element is aliased
-        // by at most one live `&mut` slice.
+        // rkvc-safety: chunk `c` is claimed exactly once and `[lo, hi)`
+        // ranges are pairwise disjoint and in bounds, so each element is
+        // aliased by at most one live `&mut` slice.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
         fr(c, chunk);
     });

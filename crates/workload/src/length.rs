@@ -86,7 +86,7 @@ impl LengthStats {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().sum::<f64>() / self.values.len() as f64
+            rkvc_tensor::seq_sum_f64(self.values.iter().copied()) / self.values.len() as f64
         }
     }
 
@@ -97,7 +97,7 @@ impl LengthStats {
             return 0.0;
         }
         let m = self.mean();
-        (self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>()
+        (rkvc_tensor::seq_sum_f64(self.values.iter().map(|v| (v - m).powi(2)))
             / (self.values.len() - 1) as f64)
             .sqrt()
     }
@@ -131,11 +131,9 @@ impl LengthStats {
         points
             .iter()
             .map(|&x| {
-                norm * self
-                    .values
-                    .iter()
-                    .map(|&v| (-0.5 * ((x - v) / h).powi(2)).exp())
-                    .sum::<f64>()
+                norm * rkvc_tensor::seq_sum_f64(
+                    self.values.iter().map(|&v| (-0.5 * ((x - v) / h).powi(2)).exp()),
+                )
             })
             .collect()
     }

@@ -60,7 +60,7 @@ pub fn token_f1(candidate: &[TokenId], reference: &[TokenId]) -> f64 {
 }
 
 /// Bigram-overlap F1 in `[0, 1]`.
-pub fn bigram_f1(candidate: &[TokenId], reference: &[TokenId]) -> f64 {
+pub(crate) fn bigram_f1(candidate: &[TokenId], reference: &[TokenId]) -> f64 {
     let big = |s: &[TokenId]| counts(s.windows(2).map(|w| (w[0], w[1])));
     overlap_f1(
         big(candidate),

@@ -10,6 +10,7 @@ use rkvc_kvcache::{CompressionConfig, GearParams, KiviParams};
 
 /// A labelled compression configuration scaled for TinyLM experiments.
 #[derive(Debug, Clone, PartialEq)]
+// rkvc-allow(C001): element type of scaled_paper_suite/accuracy_suite; consumers iterate without naming the type
 pub struct ScaledAlgo {
     /// Paper-style label (`KIVI-4`, `H2O-64`, ...).
     pub label: String,

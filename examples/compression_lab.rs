@@ -27,12 +27,9 @@ fn main() {
     for bits in [SupportedBits::B1, SupportedBits::B2, SupportedBits::B4, SupportedBits::B8] {
         let g = quantize_group(&values, bits);
         let recon = dequantize_group(&g);
-        let err: f32 = values
-            .iter()
-            .zip(&recon)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / values.len() as f32;
+        let err: f32 = rkvc_tensor::seq_sum_f32(
+            values.iter().zip(&recon).map(|(a, b)| (a - b).abs()),
+        ) / values.len() as f32;
         println!("{:<6} {:>12} {:>14.5}", bits.bits(), g.memory_bytes(), err);
     }
 
