@@ -1,15 +1,16 @@
 //! Bench: the deterministic parallel runtime (`rkvc_tensor::par`) and the
-//! blocked/memoized kernels behind the decode and experiment hot paths.
+//! blocked/fused kernels behind the decode and experiment hot paths.
 //!
-//! Every comparison pits the seed single-threaded path (naive matmul,
-//! per-token prefill, re-dequantizing cache views) against the PR's path
-//! (blocked matmul over the pool, layer-batched prefill, flush-time
-//! dequant memoization), plus an explicit `RKVC_THREADS` sweep. On top of
-//! the usual `results/bench_par_scaling.json`, this suite writes a
-//! machine-readable `BENCH_par.json` at the workspace root summarizing
-//! the speedups and the machine parallelism they were measured at —
-//! thread-sweep ratios are only meaningful when the host has cores to
-//! scale onto, so the file records that context instead of hiding it.
+//! Every comparison pits the predecessor path (naive matmul, per-token
+//! prefill, materialize-a-full-f32-view-then-attend) against the current
+//! path (register-tiled microkernel over the pool, layer-batched prefill,
+//! fused dequant-attention straight off the packed codes), plus an
+//! explicit `RKVC_THREADS` sweep. On top of the usual
+//! `results/bench_par_scaling.json`, this suite writes a machine-readable
+//! `BENCH_par.json` at the workspace root summarizing the speedups and
+//! the machine parallelism they were measured at — thread-sweep ratios
+//! are only meaningful when the host has cores to scale onto, so the
+//! file records that context instead of hiding it.
 
 use rkvc_bench::{workspace_root, Harness};
 use rkvc_core::experiments::{run_by_id, RunOptions};
@@ -85,27 +86,125 @@ fn bench_prefill(h: &mut Harness, threads: &[usize]) {
     g.finish();
 }
 
-fn bench_decode_views(h: &mut Harness) {
-    // The decode-step hot loop materializes one view per (layer, kv-head)
-    // per token; at 256 retained tokens the seed path re-dequantizes every
-    // flushed chunk each step while the memoized path only re-reads them.
+/// The attend sequence of the memo-view era, replayed faithfully: the
+/// memoized `view()` assembled a fresh full-size matrix pair every
+/// decode step (zeroed allocation, then row-by-row copies out of the
+/// flush-time dequant memos), and the model then ran the naive
+/// score/softmax/weighted-sum loops over it. `memo_keys`/`memo_values`
+/// stand in for the dropped memos.
+fn memo_view_attend(memo_keys: &Matrix, memo_values: &Matrix, q: &[f32], scale: f32, out: &mut [f32]) {
+    let n = memo_keys.rows();
+    let hd = memo_keys.cols();
+    let mut keys = Matrix::zeros(n, hd);
+    let mut values = Matrix::zeros(n, hd);
+    for r in 0..n {
+        keys.row_mut(r).copy_from_slice(memo_keys.row(r));
+        values.row_mut(r).copy_from_slice(memo_values.row(r));
+    }
+    let mut scores = Vec::with_capacity(n);
+    for r in 0..n {
+        let dot: f32 = keys.row(r).iter().zip(q).map(|(a, b)| a * b).sum();
+        scores.push(dot * scale);
+    }
+    let mut weights = Vec::new();
+    rkvc_tensor::softmax_into(&scores, &mut weights);
+    out.fill(0.0);
+    for (r, &w) in weights.iter().enumerate() {
+        for (o, v) in out.iter_mut().zip(values.row(r)) {
+            *o += w * v;
+        }
+    }
+}
+
+fn bench_fused_decode(h: &mut Harness) {
+    // The decode-step hot loop runs one attention pass per (layer,
+    // kv-head) per token. The memo-view era materialized a dense f32 view
+    // (flush-time dequant memos, re-assembled into one matrix per step)
+    // and looped over it; the fused path decodes packed codes in-register
+    // as they are consumed, so nothing of context size is materialized.
+    // 4096 retained tokens — the long-context regime KV compression
+    // targets, where the full-view rebuild streams ~0.5 MB per step while
+    // the fused path reads the ~8x smaller packed stream. Single-threaded;
+    // attend is sequential by design.
     let mut rng = seeded_rng(0xdec0de);
     let head_dim = 16;
     let mut kivi = KiviCache::new(head_dim, KiviParams::default()).expect("valid params");
     let mut gear = GearCache::new(head_dim, GearParams::default()).expect("valid params");
-    for pos in 0..256 {
+    for pos in 0..4096 {
         let k: Vec<f32> = (0..head_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let v: Vec<f32> = (0..head_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         kivi.append(&k, &v, pos);
         gear.append(&k, &v, pos);
     }
-    let mut g = h.group("decode_view_256tok");
-    g.sample_size(20);
-    g.bench_function("kivi_seed_uncached", |b| b.iter(|| kivi.view_uncached().len()));
-    g.bench_function("kivi_memoized", |b| b.iter(|| KvCache::view(&kivi).len()));
-    g.bench_function("gear_seed_uncached", |b| b.iter(|| gear.view_uncached().len()));
-    g.bench_function("gear_memoized", |b| b.iter(|| KvCache::view(&gear).len()));
+    let q: Vec<f32> = (0..head_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    // Dense f32 twins of the compressed state — what the flush-time memos
+    // held resident before they were dropped.
+    let kivi_view = kivi.view_uncached();
+    let (kivi_keys, kivi_values) = (kivi_view.keys.clone(), kivi_view.values.clone());
+    let gear_view = gear.view_uncached();
+    let (gear_keys, gear_values) = (gear_view.keys.clone(), gear_view.values.clone());
+    drop((kivi_view, gear_view));
+
+    par::set_threads(Some(1));
+    let mut g = h.group("fused_decode_4096tok");
+    g.sample_size(30);
+    let mut out = vec![0.0f32; head_dim];
+    let (mut scores, mut weights) = (Vec::new(), Vec::new());
+    g.bench_function("kivi_memo_view", |b| {
+        b.iter(|| {
+            memo_view_attend(&kivi_keys, &kivi_values, black_box(&q), scale, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.bench_function("kivi_fused", |b| {
+        b.iter(|| {
+            out.fill(0.0);
+            kivi.attend(black_box(&q), scale, &mut scores, &mut weights, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.bench_function("gear_memo_view", |b| {
+        b.iter(|| {
+            memo_view_attend(&gear_keys, &gear_values, black_box(&q), scale, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.bench_function("gear_fused", |b| {
+        b.iter(|| {
+            out.fill(0.0);
+            gear.attend(black_box(&q), scale, &mut scores, &mut weights, &mut out);
+            black_box(out[0])
+        })
+    });
     g.finish();
+    par::set_threads(None);
+}
+
+fn bench_microkernel(h: &mut Harness) {
+    // Register-tiled 4x8 microkernel vs the row-blocked streaming kernel
+    // it replaced inside the same decomposition, pinned to one thread so
+    // the ratio is pure kernel quality, not pool scaling.
+    let a = bench_matrix(96, 128, 0x9a21);
+    let b = bench_matrix(128, 96, 0x9a22);
+    let bt = bench_matrix(96, 128, 0x9a23);
+    par::set_threads(Some(1));
+    let mut g = h.group("microkernel_matmul_96x128x96");
+    g.sample_size(20);
+    g.bench_function("blocked", |ben| {
+        ben.iter(|| black_box(&a).matmul_blocked(black_box(&b)))
+    });
+    g.bench_function("micro", |ben| {
+        ben.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+    g.bench_function("blocked_transposed", |ben| {
+        ben.iter(|| black_box(&a).matmul_transposed_blocked(black_box(&bt)))
+    });
+    g.bench_function("micro_transposed", |ben| {
+        ben.iter(|| black_box(&a).matmul_transposed(black_box(&bt)))
+    });
+    g.finish();
+    par::set_threads(None);
 }
 
 fn bench_single_stream_decode(h: &mut Harness) {
@@ -198,7 +297,8 @@ fn main() {
     let mut h = Harness::new("par_scaling");
     bench_matmul(&mut h, &sweep);
     bench_prefill(&mut h, &sweep);
-    bench_decode_views(&mut h);
+    bench_fused_decode(&mut h);
+    bench_microkernel(&mut h);
     bench_single_stream_decode(&mut h);
     bench_dispatch(&mut h);
     bench_fig1_grid(&mut h, &sweep);
@@ -231,12 +331,21 @@ fn main() {
                 .to_json(),
         ),
         (
-            "kivi_decode_view_memo_vs_seed",
-            speedup(&h, "decode_view_256tok", "kivi_seed_uncached", "kivi_memoized").to_json(),
+            "fused_kivi_decode_vs_memo_view",
+            speedup(&h, "fused_decode_4096tok", "kivi_memo_view", "kivi_fused").to_json(),
         ),
         (
-            "gear_decode_view_memo_vs_seed",
-            speedup(&h, "decode_view_256tok", "gear_seed_uncached", "gear_memoized").to_json(),
+            "fused_gear_decode_vs_memo_view",
+            speedup(&h, "fused_decode_4096tok", "gear_memo_view", "gear_fused").to_json(),
+        ),
+        (
+            "microkernel_matmul_vs_blocked",
+            speedup(&h, "microkernel_matmul_96x128x96", "blocked", "micro").to_json(),
+        ),
+        (
+            "microkernel_matmul_transposed_vs_blocked",
+            speedup(&h, "microkernel_matmul_96x128x96", "blocked_transposed", "micro_transposed")
+                .to_json(),
         ),
         (
             "fig1_grid_topt_vs_t1",

@@ -1,6 +1,6 @@
 //! The per-(layer, head) KV cache abstraction.
 
-use rkvc_tensor::Matrix;
+use rkvc_tensor::{seq_sum_f32, softmax_into, Matrix};
 
 use crate::CacheStats;
 
@@ -75,6 +75,52 @@ pub trait KvCache: std::fmt::Debug + Send {
     /// Policies that do not use attention scores ignore this.
     fn observe_attention(&mut self, _weights: &[f32]) {}
 
+    /// Runs one query head's full attention against the cache:
+    /// score dots over the retained keys, softmax, the
+    /// [`observe_attention`](KvCache::observe_attention) feedback call,
+    /// and the weighted value sum accumulated into `out` (`+=`, caller
+    /// zeroes). `scores`/`weights` are caller-owned scratch reused across
+    /// tokens.
+    ///
+    /// The default materializes
+    /// [`view_for_query`](KvCache::view_for_query) and runs the naive
+    /// loops — the exact sequence the model's per-token oracle performed
+    /// inline — so every policy behaves bit-identically whether the
+    /// model calls `attend` or replays the view-based steps itself.
+    /// Quantizing policies (KIVI, GEAR) override this with fused kernels
+    /// that decode packed codes in-register as they are consumed,
+    /// skipping the full-precision view; the override contract is
+    /// bitwise equality with this default.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `query.len()` or `out.len()` differ from
+    /// the head dimension fixed at construction.
+    fn attend(
+        &mut self,
+        query: &[f32],
+        scale: f32,
+        scores: &mut Vec<f32>,
+        weights: &mut Vec<f32>,
+        out: &mut [f32],
+    ) {
+        let view = self.view_for_query(query);
+        scores.clear();
+        for r in 0..view.len() {
+            // Ascending-channel fold from 0.0: `seq_sum_f32` is
+            // bit-identical to the `.sum()` the inline loop used.
+            let dot = seq_sum_f32(view.keys.row(r).iter().zip(query).map(|(a, b)| a * b));
+            scores.push(dot * scale);
+        }
+        softmax_into(scores, weights);
+        self.observe_attention(weights);
+        for (r, &w) in weights.iter().enumerate() {
+            for (o, v) in out.iter_mut().zip(view.values.row(r)) {
+                *o += w * v;
+            }
+        }
+    }
+
     /// Signals that the prompt has been fully ingested.
     fn finish_prefill(&mut self) {}
 
@@ -93,6 +139,22 @@ pub trait KvCache: std::fmt::Debug + Send {
     /// storage format (packed codes + constants for quantizers, FP16 for
     /// dense policies).
     fn memory_bytes(&self) -> usize;
+
+    /// Bytes of host memory the simulator process actually holds for the
+    /// retained state — packed codes at true size, f32-backed tensors at
+    /// 4 bytes per element — as opposed to
+    /// [`memory_bytes`](KvCache::memory_bytes), which models the
+    /// simulated device format (FP16 dense tensors, FP16 constants).
+    ///
+    /// The default covers dense policies, whose f32 backing is exactly
+    /// twice the FP16 bytes they model; quantizing policies override
+    /// with exact accounting. KIVI/GEAR used to also hold full-precision
+    /// dequantization memos here (doubling residency and defeating the
+    /// simulated compression) until the fused attention kernels removed
+    /// them.
+    fn resident_bytes(&self) -> usize {
+        2 * self.memory_bytes()
+    }
 
     /// Aggregate statistics (retention, memory, quantization error).
     fn stats(&self) -> CacheStats;

@@ -80,6 +80,7 @@ impl KvCache for FullPrecisionCache {
             tokens_retained: self.len(),
             tokens_evicted: 0,
             memory_bytes: self.memory_bytes(),
+            resident_bytes: self.resident_bytes(),
             fp16_baseline_bytes: self.memory_bytes(),
             mean_quant_error: 0.0,
         }

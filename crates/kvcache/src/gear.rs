@@ -8,7 +8,7 @@
 //! `dequant(Q) + U·V + sparse` — near-lossless at the cost of extra compute,
 //! which is precisely the overhead the paper measures in Figure 3.
 
-use rkvc_tensor::{low_rank_approximate, round_slice_to_f16, round_to_f16, Matrix};
+use rkvc_tensor::{low_rank_approximate, round_slice_to_f16, round_to_f16, seq_sum_f32, softmax_into, Matrix};
 
 use crate::quantizer::{GroupLayout, QuantizedMatrix, SupportedBits};
 use crate::{CacheError, CacheStats, KvCache, KvView};
@@ -83,6 +83,11 @@ impl CorrectedTensor {
             });
             error.set(row, col, 0.0);
         }
+        // Sort by (row, col) so the fused attention kernels can walk a
+        // row's outliers with a cursor. Cells are unique (each picked
+        // flat index is zeroed before the next pick), so reordering the
+        // list cannot change any reconstruction.
+        outliers.sort_by_key(|o| (o.row, o.col));
 
         // Low-rank approximation of the remaining error.
         let max_rank = error.rows().min(error.cols());
@@ -118,6 +123,90 @@ impl CorrectedTensor {
         out
     }
 
+    /// Reconstructs every row of this chunk into `scratch`, row `r` of
+    /// the chunk landing in row `r` of the scratch tile. The tile is
+    /// chunk-sized — `buffer × head_dim`, a fixed L1-resident block
+    /// independent of context length — so decoding stays bounded while
+    /// the dot/axpy loops that follow read distinct rows (restoring the
+    /// cross-row instruction-level parallelism a single shared row
+    /// buffer serializes away).
+    ///
+    /// Three tile-wide passes, each preserving the term order of
+    /// [`CorrectedTensor::reconstruct`] exactly: the low-rank product
+    /// accumulates ascending-`k` over rows of `V` with the
+    /// [`Matrix::matmul`] zero-skip on the `U` operand (replicating the
+    /// skip is required for bit identity — adding a `0.0 * v` term can
+    /// flip signed zeros); then every element becomes `dequant + uv`
+    /// with the dequantized code as the left operand, as in
+    /// `dequantize().add(..)`; then the outliers (sorted by
+    /// `(row, col)`) add in, in list order. The tile equals
+    /// `reconstruct()` bit for bit.
+    fn fused_tile_into(&self, scratch: &mut Matrix) {
+        let rows = self.low_rank_u.rows();
+        // k-outer keeps each element's terms ascending-k while binding
+        // the V row once per rank component instead of once per row.
+        // The k = 0 pass initializes each row in a single sweep: a row
+        // whose leading U entry is nonzero is written as `0.0 + u·v` —
+        // the accumulator fold [`Matrix::matmul`] performs on its first
+        // unskipped term, signed zeros included — and a skipped row is
+        // zero-filled, exactly the all-terms-skipped oracle value.
+        for r in 0..rows {
+            let uk = if self.low_rank_v.rows() > 0 { self.low_rank_u.row(r)[0] } else { 0.0 };
+            if uk == 0.0 {
+                scratch.row_mut(r).fill(0.0);
+            } else {
+                let vrow = self.low_rank_v.row(0);
+                for (o, &v) in scratch.row_mut(r).iter_mut().zip(vrow) {
+                    *o = 0.0 + uk * v;
+                }
+            }
+        }
+        for k in 1..self.low_rank_v.rows() {
+            let vrow = self.low_rank_v.row(k);
+            for r in 0..rows {
+                let uk = self.low_rank_u.row(r)[k];
+                if uk == 0.0 {
+                    continue;
+                }
+                for (o, &v) in scratch.row_mut(r).iter_mut().zip(vrow) {
+                    *o += uk * v;
+                }
+            }
+        }
+        self.quant.add_dequant_rows(scratch);
+        for o in &self.outliers {
+            let v = scratch.get(o.row, o.col) + o.value;
+            scratch.set(o.row, o.col, v);
+        }
+    }
+
+    /// Batch fused score primitive: pushes
+    /// `dot(reconstruct().row(r), q) * scale` for every row, ascending.
+    /// Each dot is the ascending-channel fold from `0.0` over the
+    /// reconstructed row — bit-identical to the view path.
+    fn fused_rows_dots(&self, q: &[f32], scale: f32, scores: &mut Vec<f32>, scratch: &mut Matrix) {
+        self.fused_tile_into(scratch);
+        for r in 0..self.low_rank_u.rows() {
+            let mut acc = 0.0f32;
+            for (&v, &qv) in scratch.row(r).iter().zip(q) {
+                acc += v * qv;
+            }
+            scores.push(acc * scale);
+        }
+    }
+
+    /// Batch fused weighted-sum: `out[c] += w[r] * reconstruct(r, c)`
+    /// for every row, ascending `r` — the view path's accumulation
+    /// order, term for term.
+    fn fused_rows_axpy(&self, w: &[f32], out: &mut [f32], scratch: &mut Matrix) {
+        self.fused_tile_into(scratch);
+        for (r, &wr) in w.iter().enumerate() {
+            for (o, &v) in out.iter_mut().zip(scratch.row(r)) {
+                *o += wr * v;
+            }
+        }
+    }
+
     fn memory_bytes(&self) -> usize {
         // Quantized codes + FP16 low-rank factors + outliers (FP16 value +
         // u32 flat index).
@@ -125,22 +214,31 @@ impl CorrectedTensor {
             + (self.low_rank_u.len() + self.low_rank_v.len()) * 2
             + self.outliers.len() * 6
     }
+
+    /// Bytes the simulator process actually holds: packed codes with f32
+    /// constants, f32 low-rank factors, and the in-memory outlier
+    /// structs.
+    fn resident_bytes(&self) -> usize {
+        self.quant.resident_bytes()
+            + (self.low_rank_u.len() + self.low_rank_v.len()) * std::mem::size_of::<f32>()
+            + self.outliers.len() * std::mem::size_of::<Outlier>()
+    }
 }
 
 /// One chunk of tokens in corrected-quantized storage.
 ///
-/// Chunks are immutable once flushed, so the reconstruction
-/// (`dequant(Q) + U·V + sparse`) is computed exactly once at flush time
-/// and memoized: `view()` used to redo the dequantize + low-rank matmul
-/// per chunk on every decode step. The memo is a host-side decode cache —
-/// the simulated device memory accounting counts only the compressed
-/// representation.
+/// Chunks are immutable once flushed and hold *only* the compressed
+/// representation (`Q`, the low-rank factors, and the sparse outliers):
+/// the fused [`KvCache::attend`] override reconstructs
+/// `dequant(Q) + U·V + sparse` element-by-element in-register as the
+/// attention loops consume it. (An earlier revision memoized the full
+/// reconstruction per chunk at flush time — a host-side decode cache
+/// that doubled resident memory and defeated the compression being
+/// simulated; the fused path made it unnecessary.)
 #[derive(Debug, Clone)]
 struct GearChunk {
     keys: CorrectedTensor,
     values: CorrectedTensor,
-    recon_keys: Matrix,
-    recon_values: Matrix,
     positions: Vec<usize>,
 }
 
@@ -214,10 +312,11 @@ impl GearCache {
         self.chunks.iter().map(|c| c.positions.len()).sum()
     }
 
-    /// Rebuilds the view by re-running every chunk's reconstruction —
-    /// the pre-memoization decode path. Retained as the equality oracle
-    /// for the flush-time reconstruction cache and as the baseline the
-    /// `par_scaling` bench measures the decode-kernel win against.
+    /// Rebuilds the view by re-running every chunk's reconstruction with
+    /// per-row `push_row` growth — the original decode path. Retained as
+    /// the exact-equality oracle: the fused [`KvCache::attend`] kernels
+    /// must be bitwise indistinguishable from running naive attention
+    /// over this view.
     pub fn view_uncached(&self) -> KvView {
         let mut keys = Matrix::zeros(0, self.head_dim);
         let mut values = Matrix::zeros(0, self.head_dim);
@@ -256,13 +355,9 @@ impl GearCache {
             self.err_sum += (ek + ev) as f64 * 0.5;
             self.err_count += 1;
 
-            let rk = ck.reconstruct();
-            let rv = cv.reconstruct();
             self.chunks.push(GearChunk {
                 keys: ck,
                 values: cv,
-                recon_keys: rk,
-                recon_values: rv,
                 positions,
             });
 
@@ -289,8 +384,12 @@ impl KvCache for GearCache {
     }
 
     fn view(&self) -> KvView {
+        // Off the decode hot path since the fused `attend` override:
+        // only inspection, eviction baselines, and tests materialize a
+        // full view now, so chunks reconstruct on demand into an
+        // exact-size buffer. Bit-identical to `view_uncached` (same
+        // per-element reconstruction, same row order).
         let hd = self.head_dim;
-        let b = self.params.buffer.max(1);
         let crows = self.compressed_len();
         let total = crows + self.buf_keys.rows();
         let mut positions = Vec::with_capacity(total);
@@ -298,41 +397,70 @@ impl KvCache for GearCache {
             positions.extend_from_slice(&chunk.positions);
         }
         positions.extend_from_slice(&self.buf_positions);
-        // Exact-size assembly replaces the push_rows growth reallocs this
-        // path paid on every decode step. Every flushed chunk holds
-        // exactly `buffer` rows, so a destination row maps straight to
-        // its memoized reconstruction; copies fan across the pool only
-        // once the cache clears the dispatch threshold (assembling one
-        // view row moves ~4·head_dim floats counting keys and values).
         let mut keys = Matrix::zeros(total, hd);
         let mut values = Matrix::zeros(total, hd);
-        let row_grain = rkvc_tensor::par::grain_for(total, 4 * hd);
-        rkvc_tensor::par::par_chunks_mut(keys.as_mut_slice(), row_grain * hd, |ci, dst| {
-            for (i, row) in dst.chunks_mut(hd).enumerate() {
-                let r = ci * row_grain + i;
-                let src = if r < crows {
-                    self.chunks[r / b].recon_keys.row(r % b)
-                } else {
-                    self.buf_keys.row(r - crows)
-                };
-                row.copy_from_slice(src);
+        let mut r0 = 0;
+        for chunk in &self.chunks {
+            let rk = chunk.keys.reconstruct();
+            let rv = chunk.values.reconstruct();
+            for r in 0..rk.rows() {
+                keys.row_mut(r0 + r).copy_from_slice(rk.row(r));
+                values.row_mut(r0 + r).copy_from_slice(rv.row(r));
             }
-        });
-        rkvc_tensor::par::par_chunks_mut(values.as_mut_slice(), row_grain * hd, |ci, dst| {
-            for (i, row) in dst.chunks_mut(hd).enumerate() {
-                let r = ci * row_grain + i;
-                let src = if r < crows {
-                    self.chunks[r / b].recon_values.row(r % b)
-                } else {
-                    self.buf_values.row(r - crows)
-                };
-                row.copy_from_slice(src);
-            }
-        });
+            r0 += rk.rows();
+        }
+        for r in 0..self.buf_keys.rows() {
+            keys.row_mut(crows + r).copy_from_slice(self.buf_keys.row(r));
+            values.row_mut(crows + r).copy_from_slice(self.buf_values.row(r));
+        }
         KvView {
             keys,
             values,
             positions,
+        }
+    }
+
+    fn attend(
+        &mut self,
+        query: &[f32],
+        scale: f32,
+        scores: &mut Vec<f32>,
+        weights: &mut Vec<f32>,
+        out: &mut [f32],
+    ) {
+        assert_eq!(query.len(), self.head_dim, "query dim mismatch");
+        // Fused score loop: each chunk is reconstructed (code decode +
+        // low-rank term + outlier cursor) into one chunk-sized scratch
+        // tile — `buffer × head_dim`, fixed and L1-resident — as the
+        // dots consume it; nothing of token-dimension size is
+        // materialized. Row order (flushed chunks in order, then the
+        // buffer) and each dot's ascending-channel fold match the view
+        // path exactly.
+        let mut scratch = Matrix::zeros(self.params.buffer, self.head_dim);
+        scores.clear();
+        for chunk in &self.chunks {
+            chunk.keys.fused_rows_dots(query, scale, scores, &mut scratch);
+        }
+        for r in 0..self.buf_keys.rows() {
+            let dot = seq_sum_f32(self.buf_keys.row(r).iter().zip(query).map(|(a, b)| a * b));
+            scores.push(dot * scale);
+        }
+        softmax_into(scores, weights);
+        self.observe_attention(weights);
+        // Fused weighted sum: reconstruction feeds the output
+        // accumulation directly, same term order as the view path.
+        let mut wi = 0;
+        for chunk in &self.chunks {
+            let n = chunk.positions.len();
+            chunk.values.fused_rows_axpy(&weights[wi..wi + n], out, &mut scratch);
+            wi += n;
+        }
+        for r in 0..self.buf_values.rows() {
+            let w = weights[wi];
+            wi += 1;
+            for (o, v) in out.iter_mut().zip(self.buf_values.row(r)) {
+                *o += w * v;
+            }
         }
     }
 
@@ -353,12 +481,26 @@ impl KvCache for GearCache {
         chunks + 2 * self.buf_positions.len() * self.head_dim * 2
     }
 
+    fn resident_bytes(&self) -> usize {
+        // Exact in-process accounting: the compressed chunk structures
+        // plus the f32-backed buffer window. The flush-time
+        // reconstruction memos that used to add a full-precision copy of
+        // every chunk are gone.
+        let chunks: usize = self
+            .chunks
+            .iter()
+            .map(|c| c.keys.resident_bytes() + c.values.resident_bytes())
+            .sum();
+        chunks + 2 * self.buf_positions.len() * self.head_dim * 4
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             tokens_seen: self.seen,
             tokens_retained: self.len(),
             tokens_evicted: 0,
             memory_bytes: self.memory_bytes(),
+            resident_bytes: self.resident_bytes(),
             fp16_baseline_bytes: 2 * self.seen * self.head_dim * 2,
             mean_quant_error: if self.err_count == 0 {
                 0.0
@@ -466,10 +608,10 @@ mod tests {
         assert_eq!(v.keys.row(v.keys.rows() - 1), &[0.5, -0.5]);
     }
 
-    /// The flush-time reconstruction memo must be indistinguishable from
-    /// re-running the reconstruction on every view call.
+    /// Exact-size view assembly must be indistinguishable from the
+    /// push_row-based oracle.
     #[test]
-    fn memoized_view_matches_uncached_oracle() {
+    fn view_matches_uncached_oracle() {
         let mut c = GearCache::new(8, GearParams { buffer: 4, ..Default::default() }).unwrap();
         fill(&mut c, 50, 8, 9);
         let fast = c.view();
@@ -477,6 +619,61 @@ mod tests {
         assert_eq!(fast.positions, slow.positions);
         assert_eq!(fast.keys, slow.keys);
         assert_eq!(fast.values, slow.values);
+    }
+
+    /// The in-register fused element path must reproduce every bit of
+    /// the matrix-level reconstruction, outliers and low-rank included.
+    #[test]
+    fn fused_attend_matches_view_oracle() {
+        let mut c = GearCache::new(
+            8,
+            GearParams { bits: 2, buffer: 4, outlier_ratio: 0.1, rank_ratio: 0.25 },
+        )
+        .unwrap();
+        fill(&mut c, 50, 8, 12);
+        let mut rng = seeded_rng(13);
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let scale = 0.35355339;
+
+        let view = c.view_uncached();
+        let mut oracle_scores = Vec::new();
+        for r in 0..view.len() {
+            let dot: f32 = view.keys.row(r).iter().zip(&q).map(|(a, b)| a * b).sum();
+            oracle_scores.push(dot * scale);
+        }
+        let mut oracle_weights = Vec::new();
+        softmax_into(&oracle_scores, &mut oracle_weights);
+        let mut oracle_out = vec![0.0f32; 8];
+        for (r, &w) in oracle_weights.iter().enumerate() {
+            for (o, v) in oracle_out.iter_mut().zip(view.values.row(r)) {
+                *o += w * v;
+            }
+        }
+
+        let mut scores = Vec::new();
+        let mut weights = Vec::new();
+        let mut out = vec![0.0f32; 8];
+        c.attend(&q, scale, &mut scores, &mut weights, &mut out);
+        for (a, b) in out.iter().zip(&oracle_out) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fused attend diverged from oracle");
+        }
+    }
+
+    /// Dropping the reconstruction memos keeps residency well below a
+    /// full-precision copy of the stream.
+    #[test]
+    fn resident_bytes_reflect_compressed_storage() {
+        let mut c = GearCache::new(8, GearParams { buffer: 4, ..Default::default() }).unwrap();
+        fill(&mut c, 64, 8, 14);
+        let stats = c.stats();
+        assert_eq!(stats.resident_bytes, c.resident_bytes());
+        let full_f32 = 2 * c.seen() * 8 * 4;
+        assert!(
+            stats.resident_bytes < full_f32,
+            "resident {} vs full f32 {}",
+            stats.resident_bytes,
+            full_f32
+        );
     }
 
     #[test]

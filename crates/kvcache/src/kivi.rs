@@ -8,7 +8,7 @@
 //! group. This windowed design is exactly what the paper flags as awkward for
 //! PagedAttention (two tensor types per page).
 
-use rkvc_tensor::{round_slice_to_f16, Matrix};
+use rkvc_tensor::{round_slice_to_f16, seq_sum_f32, softmax_into, Matrix};
 
 use crate::quantizer::{GroupLayout, QuantizedMatrix, SupportedBits};
 use crate::{CacheError, CacheStats, KvCache, KvView};
@@ -37,17 +37,17 @@ impl Default for KiviParams {
 
 /// One flushed group of `G` tokens in quantized storage.
 ///
-/// Chunks are immutable once flushed, so the dequantized form is computed
-/// exactly once (at flush time) and memoized: `view()` used to
-/// re-dequantize every chunk on every decode step, an O(n²) bit-unpacking
-/// cost over a generation. The memo is a host-side decode cache — the
-/// simulated device memory accounting counts only the quantized codes.
+/// Chunks are immutable once flushed and hold *only* the packed codes:
+/// the fused [`KvCache::attend`] override decodes them in-register as
+/// the score and weighted-sum loops consume them. (An earlier revision
+/// memoized full-precision `dequant_keys`/`dequant_values` here to speed
+/// up view assembly — a host-side decode cache that doubled resident
+/// memory and defeated the very compression being simulated; the fused
+/// path made it unnecessary.)
 #[derive(Debug, Clone)]
 struct QuantChunk {
     keys: QuantizedMatrix,
     values: QuantizedMatrix,
-    dequant_keys: Matrix,
-    dequant_values: Matrix,
     positions: Vec<usize>,
 }
 
@@ -126,9 +126,10 @@ impl KiviCache {
     }
 
     /// Rebuilds the view by re-dequantizing every chunk from its packed
-    /// codes — the pre-memoization decode path. Retained as the equality
-    /// oracle for the flush-time dequant cache and as the baseline the
-    /// `par_scaling` bench measures the decode-kernel win against.
+    /// codes with per-row `push_row` growth — the original decode path.
+    /// Retained as the exact-equality oracle: the fused
+    /// [`KvCache::attend`] kernels must be bitwise indistinguishable
+    /// from running naive attention over this view.
     pub fn view_uncached(&self) -> KvView {
         let mut keys = Matrix::zeros(0, self.head_dim);
         let mut values = Matrix::zeros(0, self.head_dim);
@@ -164,11 +165,11 @@ impl KiviCache {
 
             let qk = QuantizedMatrix::quantize(&key_chunk, GroupLayout::PerChannel, self.bits);
             let qv = QuantizedMatrix::quantize(&val_chunk, GroupLayout::PerToken, self.bits);
-            let dk = qk.dequantize();
-            let dv = qv.dequantize();
 
             // Track reconstruction error (keys dominate accuracy impact).
-            let err = dk.sub(&key_chunk);
+            // The dequantized form is transient: nothing full-precision
+            // outlives the flush.
+            let err = qk.dequantize().sub(&key_chunk);
             for e in err.as_slice() {
                 self.err_sum += e.abs() as f64;
             }
@@ -177,8 +178,6 @@ impl KiviCache {
             self.chunks.push(QuantChunk {
                 keys: qk,
                 values: qv,
-                dequant_keys: dk,
-                dequant_values: dv,
                 positions,
             });
 
@@ -206,8 +205,12 @@ impl KvCache for KiviCache {
     }
 
     fn view(&self) -> KvView {
+        // Off the decode hot path since the fused `attend` override:
+        // only inspection, eviction baselines, and tests materialize a
+        // full view now, so chunks dequantize on demand into an
+        // exact-size buffer. Bit-identical to `view_uncached` (same
+        // per-element dequant, same row order).
         let hd = self.head_dim;
-        let g = self.params.group_size.max(1);
         let qrows = self.quantized_len();
         let total = qrows + self.res_keys.rows();
         let mut positions = Vec::with_capacity(total);
@@ -215,41 +218,67 @@ impl KvCache for KiviCache {
             positions.extend_from_slice(&chunk.positions);
         }
         positions.extend_from_slice(&self.res_positions);
-        // Exact-size assembly replaces the push_rows growth reallocs this
-        // path paid on every decode step. Every flushed chunk holds
-        // exactly `group_size` rows, so a destination row maps straight
-        // to its source; copies fan across the pool only once the cache
-        // clears the dispatch threshold (assembling one view row moves
-        // ~4·head_dim floats counting keys and values).
         let mut keys = Matrix::zeros(total, hd);
         let mut values = Matrix::zeros(total, hd);
-        let row_grain = rkvc_tensor::par::grain_for(total, 4 * hd);
-        rkvc_tensor::par::par_chunks_mut(keys.as_mut_slice(), row_grain * hd, |ci, dst| {
-            for (i, row) in dst.chunks_mut(hd).enumerate() {
-                let r = ci * row_grain + i;
-                let src = if r < qrows {
-                    self.chunks[r / g].dequant_keys.row(r % g)
-                } else {
-                    self.res_keys.row(r - qrows)
-                };
-                row.copy_from_slice(src);
+        let mut r0 = 0;
+        for chunk in &self.chunks {
+            let dk = chunk.keys.dequantize();
+            let dv = chunk.values.dequantize();
+            for r in 0..dk.rows() {
+                keys.row_mut(r0 + r).copy_from_slice(dk.row(r));
+                values.row_mut(r0 + r).copy_from_slice(dv.row(r));
             }
-        });
-        rkvc_tensor::par::par_chunks_mut(values.as_mut_slice(), row_grain * hd, |ci, dst| {
-            for (i, row) in dst.chunks_mut(hd).enumerate() {
-                let r = ci * row_grain + i;
-                let src = if r < qrows {
-                    self.chunks[r / g].dequant_values.row(r % g)
-                } else {
-                    self.res_values.row(r - qrows)
-                };
-                row.copy_from_slice(src);
-            }
-        });
+            r0 += dk.rows();
+        }
+        for r in 0..self.res_keys.rows() {
+            keys.row_mut(qrows + r).copy_from_slice(self.res_keys.row(r));
+            values.row_mut(qrows + r).copy_from_slice(self.res_values.row(r));
+        }
         KvView {
             keys,
             values,
             positions,
+        }
+    }
+
+    fn attend(
+        &mut self,
+        query: &[f32],
+        scale: f32,
+        scores: &mut Vec<f32>,
+        weights: &mut Vec<f32>,
+        out: &mut [f32],
+    ) {
+        assert_eq!(query.len(), self.head_dim, "query dim mismatch");
+        // Fused score loop: per-channel key groups decode in-register as
+        // the dot consumes them — no f32 view is materialized. Row order
+        // (flushed chunks in flush order, then the residual window) and
+        // each dot's ascending-channel fold match the view path exactly,
+        // so the scores are bit-identical to the default `attend`.
+        scores.clear();
+        for chunk in &self.chunks {
+            chunk.keys.fused_dots_into(query, scale, scores);
+        }
+        for r in 0..self.res_keys.rows() {
+            let dot = seq_sum_f32(self.res_keys.row(r).iter().zip(query).map(|(a, b)| a * b));
+            scores.push(dot * scale);
+        }
+        softmax_into(scores, weights);
+        self.observe_attention(weights);
+        // Fused weighted sum: per-token value groups decode in-register
+        // into the output accumulation, same term order as the view path.
+        let mut wi = 0;
+        for chunk in &self.chunks {
+            let n = chunk.positions.len();
+            chunk.values.fused_axpy_rows(&weights[wi..wi + n], out);
+            wi += n;
+        }
+        for r in 0..self.res_values.rows() {
+            let w = weights[wi];
+            wi += 1;
+            for (o, v) in out.iter_mut().zip(self.res_values.row(r)) {
+                *o += w * v;
+            }
         }
     }
 
@@ -271,12 +300,27 @@ impl KvCache for KiviCache {
         quant + residual
     }
 
+    fn resident_bytes(&self) -> usize {
+        // Exact in-process accounting: packed codes at true size with f32
+        // group constants, plus the f32-backed residual window. Nothing
+        // else is held — the flush-time dequant memos that used to add a
+        // full-precision copy of every quantized chunk are gone.
+        let quant: usize = self
+            .chunks
+            .iter()
+            .map(|c| c.keys.resident_bytes() + c.values.resident_bytes())
+            .sum();
+        let residual = 2 * self.res_positions.len() * self.head_dim * 4;
+        quant + residual
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             tokens_seen: self.seen,
             tokens_retained: self.len(),
             tokens_evicted: 0,
             memory_bytes: self.memory_bytes(),
+            resident_bytes: self.resident_bytes(),
             fp16_baseline_bytes: 2 * self.seen * self.head_dim * 2,
             mean_quant_error: if self.err_count == 0 {
                 0.0
@@ -386,10 +430,10 @@ mod tests {
         assert_eq!(last, &k_last[..]); // Representable in f16, kept in residual.
     }
 
-    /// The flush-time dequant memo must be indistinguishable from
-    /// re-dequantizing the packed codes on every view call.
+    /// Exact-size view assembly must be indistinguishable from the
+    /// push_row-based oracle.
     #[test]
-    fn memoized_view_matches_uncached_oracle() {
+    fn view_matches_uncached_oracle() {
         let mut c = KiviCache::new(8, small_params()).unwrap();
         fill(&mut c, 70, 8, 8);
         let fast = c.view();
@@ -397,6 +441,62 @@ mod tests {
         assert_eq!(fast.positions, slow.positions);
         assert_eq!(fast.keys, slow.keys);
         assert_eq!(fast.values, slow.values);
+    }
+
+    /// The fused attend override must be bitwise equal to replaying the
+    /// default view-based sequence over `view_uncached`.
+    #[test]
+    fn fused_attend_matches_view_oracle() {
+        let mut c = KiviCache::new(8, small_params()).unwrap();
+        fill(&mut c, 70, 8, 9);
+        let mut rng = seeded_rng(10);
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let scale = 0.35355339;
+
+        let view = c.view_uncached();
+        let mut oracle_out = vec![0.0f32; 8];
+        let mut oracle_scores = Vec::new();
+        for r in 0..view.len() {
+            let dot: f32 = view.keys.row(r).iter().zip(&q).map(|(a, b)| a * b).sum();
+            oracle_scores.push(dot * scale);
+        }
+        let mut oracle_weights = Vec::new();
+        softmax_into(&oracle_scores, &mut oracle_weights);
+        for (r, &w) in oracle_weights.iter().enumerate() {
+            for (o, v) in oracle_out.iter_mut().zip(view.values.row(r)) {
+                *o += w * v;
+            }
+        }
+
+        let mut scores = Vec::new();
+        let mut weights = Vec::new();
+        let mut out = vec![0.0f32; 8];
+        c.attend(&q, scale, &mut scores, &mut weights, &mut out);
+        for (a, b) in out.iter().zip(&oracle_out) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fused attend diverged from oracle");
+        }
+    }
+
+    /// Resident accounting holds packed codes + the f32 residual window
+    /// only — dropping the dequant memos means residency sits far below
+    /// a full-precision copy of the stream.
+    #[test]
+    fn resident_bytes_reflect_packed_storage() {
+        let mut c = KiviCache::new(8, small_params()).unwrap();
+        fill(&mut c, 70, 8, 11);
+        let stats = c.stats();
+        assert_eq!(stats.resident_bytes, c.resident_bytes());
+        // The memo era held, on top of today's residency, a full f32
+        // copy of every quantized token (keys and values) — resident
+        // accounting must now sit strictly below even a plain f32 copy
+        // of the stream.
+        let full_f32 = 2 * c.seen() * 8 * 4;
+        assert!(
+            stats.resident_bytes < full_f32,
+            "resident {} vs full f32 {}",
+            stats.resident_bytes,
+            full_f32
+        );
     }
 
     #[test]

@@ -112,7 +112,109 @@ impl QuantizedGroup {
         let shift = (i % per) * bits;
         ((byte >> shift) as u32) & self.bits.max_code()
     }
+
+    /// Dequantizes the single value at index `i` in-register:
+    /// `code(i) * scale + zero`, the exact f32 that
+    /// [`dequantize_group`] writes at position `i`. This is the primitive
+    /// the fused attention kernels consume — no group-sized buffer is
+    /// materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn dequant(&self, i: usize) -> f32 {
+        self.code(i) as f32 * self.scale + self.zero
+    }
+
+    /// The FP16-rounded scale constant shared by the group.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The FP16-rounded zero point shared by the group.
+    pub fn zero(&self) -> f32 {
+        self.zero
+    }
+
+    /// The packed code words, `values_per_byte()` codes per byte in
+    /// little-endian bit order. Exposed so attention kernels (and the
+    /// fused-vs-oracle tests) can consume the compressed representation
+    /// directly.
+    pub fn packed(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// Bytes this group actually occupies in the simulator process:
+    /// packed codes plus two f32 constants. Compare
+    /// [`QuantizedGroup::memory_bytes`], which models the deployment
+    /// format (FP16 constants).
+    pub fn resident_bytes(&self) -> usize {
+        self.packed.len() + 2 * std::mem::size_of::<f32>()
+    }
 }
+
+/// Codes decoded per tile by the fused kernels. A multiple of every
+/// supported `values_per_byte` (8/4/2/1), so a tile always covers whole
+/// packed bytes; 64 i32 slots keep the scratch inside four cache lines
+/// of stack.
+const CODE_TILE: usize = 64;
+
+/// Unpacks whole bytes into `codes`, LSB-first — exactly the bit order
+/// [`QuantizedGroup::code`] reads. `codes.len()` must be
+/// `bytes.len() * values_per_byte`. Monomorphized per bit width so the
+/// per-byte peel loop fully unrolls.
+#[inline]
+fn unpack_bytes<const NBITS: u32>(bytes: &[u8], codes: &mut [i32]) {
+    let per = (8 / NBITS) as usize;
+    let mask = (1u32 << NBITS) - 1;
+    for (chunk, &byte) in codes.chunks_exact_mut(per).zip(bytes) {
+        let mut word = byte as u32;
+        for c in chunk {
+            *c = (word & mask) as i32;
+            word >>= NBITS;
+        }
+    }
+}
+
+#[inline]
+fn unpack_codes(bytes: &[u8], bits: SupportedBits, codes: &mut [i32]) {
+    match bits {
+        SupportedBits::B1 => unpack_bytes::<1>(bytes, codes),
+        SupportedBits::B2 => unpack_bytes::<2>(bytes, codes),
+        SupportedBits::B4 => unpack_bytes::<4>(bytes, codes),
+        SupportedBits::B8 => unpack_bytes::<8>(bytes, codes),
+    }
+}
+
+/// Builds the byte → code-values table for one bit width: entry `b`
+/// holds the `PER` codes packed in byte `b`, LSB-first, each converted
+/// with the exact `code as f32` cast the arithmetic decode performs.
+/// Codes are small integers, which f32 represents exactly, so loading
+/// from the table is bit-identical to shift-mask-convert — it just
+/// replaces the per-element integer unpacking with one 8-byte load per
+/// packed byte.
+const fn code_value_table<const PER: usize>(nbits: u32) -> [[f32; PER]; 256] {
+    let mask = (1u32 << nbits) - 1;
+    let mut t = [[0.0f32; PER]; 256];
+    let mut b = 0;
+    while b < 256 {
+        let mut word = b as u32;
+        let mut i = 0;
+        while i < PER {
+            t[b][i] = (word & mask) as f32;
+            word >>= nbits;
+            i += 1;
+        }
+        b += 1;
+    }
+    t
+}
+
+static CODE_VALUES_B1: [[f32; 8]; 256] = code_value_table::<8>(1);
+static CODE_VALUES_B2: [[f32; 4]; 256] = code_value_table::<4>(2);
+static CODE_VALUES_B4: [[f32; 2]; 256] = code_value_table::<2>(4);
+static CODE_VALUES_B8: [[f32; 1]; 256] = code_value_table::<1>(8);
 
 /// Quantization error statistics for a group (test-only diagnostic).
 #[cfg(test)]
@@ -274,6 +376,423 @@ impl QuantizedMatrix {
     /// Bytes used by packed codes and constants.
     pub fn memory_bytes(&self) -> usize {
         self.groups.iter().map(QuantizedGroup::memory_bytes).sum()
+    }
+
+    /// Bytes actually held by the simulator process for this matrix:
+    /// packed codes at their true size plus two f32 constants per group.
+    pub fn resident_bytes(&self) -> usize {
+        self.groups.iter().map(QuantizedGroup::resident_bytes).sum()
+    }
+
+    /// The group layout.
+    pub fn layout(&self) -> GroupLayout {
+        self.layout
+    }
+
+    /// Borrow of group `i` (a column group under `PerChannel`, a row
+    /// group under `PerToken`) — the chunk-iteration handle fused
+    /// attention kernels use to reach packed codes and constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds for the layout's group count.
+    pub fn group(&self, i: usize) -> &QuantizedGroup {
+        &self.groups[i]
+    }
+
+    /// Dequantized element `(r, c)` — exactly the f32 that
+    /// [`QuantizedMatrix::dequantize`] writes at `(r, c)`, decoded
+    /// in-register from the packed code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of bounds.
+    #[inline]
+    pub fn dequant_at(&self, r: usize, c: usize) -> f32 {
+        match self.layout {
+            GroupLayout::PerChannel => self.groups[c].dequant(r),
+            GroupLayout::PerToken => self.groups[r].dequant(c),
+        }
+    }
+
+    /// Fused score primitive: the dot product of dequantized row `r`
+    /// with `q`, decoding each packed code in-register as it is
+    /// consumed. Accumulation is the ascending-channel fold from `0.0`
+    /// that the view-based score loop uses over a materialized row, so
+    /// the result is bit-identical to
+    /// `dot(self.dequantize().row(r), q)`.
+    ///
+    /// The decode is hoisted out of the hot loop: under `PerChannel` the
+    /// byte index and shift depend only on `r`, and under `PerToken` the
+    /// packed words are walked once with codes peeled off LSB-first —
+    /// both reproduce exactly [`QuantizedGroup::code`]'s unpacking,
+    /// element by element, without its per-element index arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `q.len() != cols`.
+    pub fn fused_row_dot(&self, r: usize, q: &[f32]) -> f32 {
+        assert_eq!(q.len(), self.cols, "fused_row_dot width mismatch");
+        assert!(r < self.rows, "fused_row_dot row out of bounds");
+        let mut acc = 0.0f32;
+        match self.layout {
+            GroupLayout::PerChannel => {
+                let Some(g0) = self.groups.first() else { return acc };
+                let per = g0.bits.values_per_byte();
+                let shift = (r % per) * g0.bits.bits() as usize;
+                let mask = g0.bits.max_code();
+                let byte = r / per;
+                for (g, &qv) in self.groups.iter().zip(q) {
+                    let code = ((g.packed[byte] >> shift) as u32) & mask;
+                    acc += (code as f32 * g.scale + g.zero) * qv;
+                }
+            }
+            GroupLayout::PerToken => {
+                let g = &self.groups[r];
+                let per = g.bits.values_per_byte();
+                let nbits = g.bits.bits() as u32;
+                let mask = g.bits.max_code();
+                for (q_chunk, &byte) in q.chunks(per).zip(&g.packed) {
+                    let mut word = byte as u32;
+                    for &qv in q_chunk {
+                        acc += ((word & mask) as f32 * g.scale + g.zero) * qv;
+                        word >>= nbits;
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fused weighted-sum primitive: `out[c] += w * dequant(r, c)` for
+    /// every channel, decoding codes in-register with the same hoisted
+    /// unpacking as [`QuantizedMatrix::fused_row_dot`]. Identical term
+    /// values and per-element order as the view-based weighted sum over
+    /// a materialized row, so accumulation into `out` is bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `out.len() != cols`.
+    pub fn fused_row_axpy(&self, r: usize, w: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "fused_row_axpy width mismatch");
+        assert!(r < self.rows, "fused_row_axpy row out of bounds");
+        match self.layout {
+            GroupLayout::PerChannel => {
+                let Some(g0) = self.groups.first() else { return };
+                let per = g0.bits.values_per_byte();
+                let shift = (r % per) * g0.bits.bits() as usize;
+                let mask = g0.bits.max_code();
+                let byte = r / per;
+                for (g, o) in self.groups.iter().zip(out) {
+                    let code = ((g.packed[byte] >> shift) as u32) & mask;
+                    *o += w * (code as f32 * g.scale + g.zero);
+                }
+            }
+            GroupLayout::PerToken => {
+                let g = &self.groups[r];
+                let per = g.bits.values_per_byte();
+                let nbits = g.bits.bits() as u32;
+                let mask = g.bits.max_code();
+                for (o_chunk, &byte) in out.chunks_mut(per).zip(&g.packed) {
+                    let mut word = byte as u32;
+                    for o in o_chunk {
+                        *o += w * ((word & mask) as f32 * g.scale + g.zero);
+                        word >>= nbits;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batch fused score primitive: pushes `dot(dequant(r, ..), q) *
+    /// scale` for every row `r` in ascending order — one call per chunk
+    /// instead of one [`QuantizedMatrix::fused_row_dot`] call per row.
+    ///
+    /// Under `PerChannel` the accumulation runs column-major: column
+    /// `c`'s group is walked once front to back, adding
+    /// `dequant(r, c) * q[c]` into score slot `r`. Every slot still
+    /// receives its terms in ascending-`c` order starting from `0.0` and
+    /// is scaled only after its dot completes — exactly the per-element
+    /// fold of the row-major primitive — so the scores are bit-identical
+    /// while each packed word streams sequentially instead of being
+    /// re-indexed per row. Under `PerToken` rows are walked in turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != cols`.
+    pub fn fused_dots_into(&self, q: &[f32], scale: f32, scores: &mut Vec<f32>) {
+        assert_eq!(q.len(), self.cols, "fused_dots_into width mismatch");
+        match self.layout {
+            GroupLayout::PerChannel => {
+                let base = scores.len();
+                scores.resize(base + self.rows, 0.0);
+                let seg = &mut scores[base..];
+                if let Some(g0) = self.groups.first() {
+                    match g0.bits {
+                        SupportedBits::B1 => {
+                            Self::fused_dots_pc::<8>(&self.groups, &CODE_VALUES_B1, q, seg)
+                        }
+                        SupportedBits::B2 => {
+                            Self::fused_dots_pc::<4>(&self.groups, &CODE_VALUES_B2, q, seg)
+                        }
+                        SupportedBits::B4 => {
+                            Self::fused_dots_pc::<2>(&self.groups, &CODE_VALUES_B4, q, seg)
+                        }
+                        SupportedBits::B8 => {
+                            Self::fused_dots_pc::<1>(&self.groups, &CODE_VALUES_B8, q, seg)
+                        }
+                    }
+                }
+                for s in seg {
+                    *s *= scale;
+                }
+            }
+            GroupLayout::PerToken => {
+                for r in 0..self.rows {
+                    scores.push(self.fused_row_dot(r, q) * scale);
+                }
+            }
+        }
+    }
+
+    /// Batch fused weighted-sum: `out[c] += w[r] * dequant(r, c)` for
+    /// every row, ascending `r`. Each output element accumulates exactly
+    /// the terms, in exactly the order, of calling
+    /// [`QuantizedMatrix::fused_row_axpy`] row by row (under
+    /// `PerChannel` the row loop runs innermost per column, which
+    /// preserves each element's ascending-`r` term order while streaming
+    /// the column's packed words once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != rows` or `out.len() != cols`.
+    pub fn fused_axpy_rows(&self, w: &[f32], out: &mut [f32]) {
+        assert_eq!(w.len(), self.rows, "fused_axpy_rows weight count mismatch");
+        assert_eq!(out.len(), self.cols, "fused_axpy_rows width mismatch");
+        match self.layout {
+            GroupLayout::PerChannel => {
+                for (g, o) in self.groups.iter().zip(out.iter_mut()) {
+                    let per = g.bits.values_per_byte();
+                    let nbits = g.bits.bits() as u32;
+                    let mask = g.bits.max_code();
+                    let mut acc = *o;
+                    for (w_chunk, &byte) in w.chunks(per).zip(&g.packed) {
+                        let mut word = byte as u32;
+                        for &wr in w_chunk {
+                            acc += wr * ((word & mask) as f32 * g.scale + g.zero);
+                            word >>= nbits;
+                        }
+                    }
+                    *o = acc;
+                }
+            }
+            GroupLayout::PerToken => {
+                if let Some(g0) = self.groups.first() {
+                    match g0.bits {
+                        SupportedBits::B1 => {
+                            Self::fused_axpy_pt::<8>(&self.groups, &CODE_VALUES_B1, w, out)
+                        }
+                        SupportedBits::B2 => {
+                            Self::fused_axpy_pt::<4>(&self.groups, &CODE_VALUES_B2, w, out)
+                        }
+                        SupportedBits::B4 => {
+                            Self::fused_axpy_pt::<2>(&self.groups, &CODE_VALUES_B4, w, out)
+                        }
+                        SupportedBits::B8 => {
+                            Self::fused_axpy_pt::<1>(&self.groups, &CODE_VALUES_B8, w, out)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds the dequantized row `r` into `buf`: `buf[c] = dequant(r, c)
+    /// + buf[c]`, with the dequantized value as the left operand —
+    /// exactly the element order of `dequantize().add(correction)`, which
+    /// is what the GEAR fused kernels rebuild row by row. Decoding uses
+    /// the same hoisted unpacking as [`QuantizedMatrix::fused_row_dot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `buf.len() != cols`.
+    pub fn add_dequant_row(&self, r: usize, buf: &mut [f32]) {
+        assert_eq!(buf.len(), self.cols, "add_dequant_row width mismatch");
+        assert!(r < self.rows, "add_dequant_row row out of bounds");
+        match self.layout {
+            GroupLayout::PerChannel => {
+                let Some(g0) = self.groups.first() else { return };
+                let per = g0.bits.values_per_byte();
+                let shift = (r % per) * g0.bits.bits() as usize;
+                let mask = g0.bits.max_code();
+                let byte = r / per;
+                for (g, o) in self.groups.iter().zip(buf) {
+                    let code = ((g.packed[byte] >> shift) as u32) & mask;
+                    *o = (code as f32 * g.scale + g.zero) + *o;
+                }
+            }
+            GroupLayout::PerToken => {
+                let g = &self.groups[r];
+                let per = g.bits.values_per_byte();
+                let (scale, zero) = (g.scale, g.zero);
+                let mut codes = [0i32; CODE_TILE];
+                for (o_tile, byte_tile) in
+                    buf.chunks_mut(CODE_TILE).zip(g.packed.chunks(CODE_TILE / per))
+                {
+                    let padded = byte_tile.len() * per;
+                    unpack_codes(byte_tile, g.bits, &mut codes[..padded]);
+                    for (o, &code) in o_tile.iter_mut().zip(&codes) {
+                        *o = (code as f32 * scale + zero) + *o;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds the whole dequantized matrix into the leading rows of
+    /// `scratch`: `scratch[r][c] = dequant(r, c) + scratch[r][c]`, the
+    /// dequantized value as the left operand — row for row what
+    /// [`QuantizedMatrix::add_dequant_row`] computes, in one call. The
+    /// decode tile is set up once for the whole matrix instead of once
+    /// per row, which matters when rows are short: GEAR reconstructs
+    /// `buffer`-row chunks of `head_dim` values, and re-zeroing the
+    /// per-call code tile dominated the per-row primitive's cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` has fewer rows than `self` or a different
+    /// column count.
+    pub fn add_dequant_rows(&self, scratch: &mut Matrix) {
+        assert!(self.rows <= scratch.rows(), "add_dequant_rows row overflow");
+        assert_eq!(scratch.cols(), self.cols, "add_dequant_rows width mismatch");
+        let Some(g0) = self.groups.first() else { return };
+        let mut codes = [0i32; CODE_TILE];
+        match self.layout {
+            // Monomorphized on the bit width (uniform across groups by
+            // construction — `quantize` packs every group at one width)
+            // so the per-row decode runs without per-group dispatch.
+            GroupLayout::PerToken => match g0.bits {
+                SupportedBits::B1 => {
+                    Self::add_dequant_rows_pt::<8>(&self.groups, &CODE_VALUES_B1, scratch)
+                }
+                SupportedBits::B2 => {
+                    Self::add_dequant_rows_pt::<4>(&self.groups, &CODE_VALUES_B2, scratch)
+                }
+                SupportedBits::B4 => {
+                    Self::add_dequant_rows_pt::<2>(&self.groups, &CODE_VALUES_B4, scratch)
+                }
+                SupportedBits::B8 => {
+                    Self::add_dequant_rows_pt::<1>(&self.groups, &CODE_VALUES_B8, scratch)
+                }
+            },
+            GroupLayout::PerChannel => {
+                for (c, g) in self.groups.iter().enumerate() {
+                    let per = g.bits.values_per_byte();
+                    let (scale, zero) = (g.scale, g.zero);
+                    let mut r0 = 0;
+                    for byte_tile in g.packed.chunks(CODE_TILE / per) {
+                        let padded = byte_tile.len() * per;
+                        unpack_codes(byte_tile, g.bits, &mut codes[..padded]);
+                        let n = padded.min(g.len - r0);
+                        for (i, &code) in codes[..n].iter().enumerate() {
+                            let v = (code as f32 * scale + zero) + scratch.get(r0 + i, c);
+                            scratch.set(r0 + i, c, v);
+                        }
+                        r0 += n;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `PerChannel` arm of [`QuantizedMatrix::fused_dots_into`],
+    /// monomorphized per bit width with the matching code-values table.
+    /// Column-major over `seg` (one score slot per row): each packed
+    /// byte is decoded by one table load, and every slot still receives
+    /// `(code_value * scale + zero) * qv` terms in ascending-column
+    /// order.
+    fn fused_dots_pc<const PER: usize>(
+        groups: &[QuantizedGroup],
+        table: &[[f32; PER]; 256],
+        q: &[f32],
+        seg: &mut [f32],
+    ) {
+        for (g, &qv) in groups.iter().zip(q) {
+            debug_assert_eq!(g.bits.values_per_byte(), PER, "mixed bit widths");
+            let (scale, zero) = (g.scale, g.zero);
+            let mut chunks = seg.chunks_exact_mut(PER);
+            for (s_chunk, &byte) in chunks.by_ref().zip(&g.packed) {
+                let d = &table[byte as usize];
+                for (s, &cf) in s_chunk.iter_mut().zip(d) {
+                    *s += (cf * scale + zero) * qv;
+                }
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let d = &table[g.packed[g.packed.len() - 1] as usize];
+                for (s, &cf) in rem.iter_mut().zip(d) {
+                    *s += (cf * scale + zero) * qv;
+                }
+            }
+        }
+    }
+
+    /// `PerToken` arm of [`QuantizedMatrix::fused_axpy_rows`],
+    /// monomorphized per bit width with the matching code-values table.
+    /// Rows ascend, channels within a row ascend — the exact term order
+    /// of the row-by-row primitive.
+    fn fused_axpy_pt<const PER: usize>(
+        groups: &[QuantizedGroup],
+        table: &[[f32; PER]; 256],
+        w: &[f32],
+        out: &mut [f32],
+    ) {
+        for (g, &wr) in groups.iter().zip(w) {
+            debug_assert_eq!(g.bits.values_per_byte(), PER, "mixed bit widths");
+            let (scale, zero) = (g.scale, g.zero);
+            let mut chunks = out.chunks_exact_mut(PER);
+            for (o_chunk, &byte) in chunks.by_ref().zip(&g.packed) {
+                let d = &table[byte as usize];
+                for (o, &cf) in o_chunk.iter_mut().zip(d) {
+                    *o += wr * (cf * scale + zero);
+                }
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let d = &table[g.packed[g.packed.len() - 1] as usize];
+                for (o, &cf) in rem.iter_mut().zip(d) {
+                    *o += wr * (cf * scale + zero);
+                }
+            }
+        }
+    }
+
+    /// `PerToken` arm of [`QuantizedMatrix::add_dequant_rows`],
+    /// monomorphized per bit width with the matching code-values table.
+    fn add_dequant_rows_pt<const PER: usize>(
+        groups: &[QuantizedGroup],
+        table: &[[f32; PER]; 256],
+        scratch: &mut Matrix,
+    ) {
+        for (r, g) in groups.iter().enumerate() {
+            debug_assert_eq!(g.bits.values_per_byte(), PER, "mixed bit widths");
+            let (scale, zero) = (g.scale, g.zero);
+            let row = scratch.row_mut(r);
+            let mut chunks = row.chunks_exact_mut(PER);
+            for (o_chunk, &byte) in chunks.by_ref().zip(&g.packed) {
+                let d = &table[byte as usize];
+                for (o, &cf) in o_chunk.iter_mut().zip(d) {
+                    *o = (cf * scale + zero) + *o;
+                }
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let d = &table[g.packed[g.packed.len() - 1] as usize];
+                for (o, &cf) in rem.iter_mut().zip(d) {
+                    *o = (cf * scale + zero) + *o;
+                }
+            }
+        }
     }
 }
 

@@ -12,6 +12,12 @@ pub struct CacheStats {
     pub tokens_evicted: usize,
     /// Device-memory bytes in the policy's native storage format.
     pub memory_bytes: usize,
+    /// Bytes the simulator process actually holds for the retained state
+    /// (f32 backing for dense policies, packed codes + f32 constants for
+    /// quantizers). Diverges from `memory_bytes` by the simulation
+    /// overhead; quantizers no longer hold full-precision decode memos
+    /// here, so reported compression reflects what is actually resident.
+    pub resident_bytes: usize,
     /// Bytes an FP16 full-precision cache would need for `tokens_seen`.
     pub fp16_baseline_bytes: usize,
     /// Mean absolute quantization error over all quantized values
@@ -45,6 +51,7 @@ rkvc_tensor::json_struct!(CacheStats {
     tokens_retained,
     tokens_evicted,
     memory_bytes,
+    resident_bytes,
     fp16_baseline_bytes,
     mean_quant_error,
 });

@@ -146,6 +146,7 @@ impl KvCache for TovaCache {
             tokens_retained: self.len(),
             tokens_evicted: self.evicted,
             memory_bytes: self.memory_bytes(),
+            resident_bytes: self.resident_bytes(),
             fp16_baseline_bytes: 2 * self.seen * self.head_dim * 2,
             mean_quant_error: 0.0,
         }

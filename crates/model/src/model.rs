@@ -1,7 +1,7 @@
 //! TinyLM forward pass and generation sessions.
 
 use rkvc_kvcache::{CacheStats, CompressionConfig, KvCache};
-use rkvc_tensor::{silu, softmax_into, Matrix};
+use rkvc_tensor::{silu, Matrix};
 
 use crate::vocab::TokenId;
 use crate::config::ModelConfig;
@@ -127,9 +127,9 @@ fn run_kv_unit(
     out: &mut [f32],
 ) {
     let unit_width = group_size * hd;
-    // One score/weight scratch pair for the whole unit: the per-(token,
-    // head) `Vec` allocations this replaces dominated short-context
-    // decode. `softmax_into` is bit-identical to `softmax_row`.
+    // One score/weight scratch pair for the whole unit, threaded through
+    // `attend`: the per-(token, head) `Vec` allocations this replaces
+    // dominated short-context decode.
     let mut scores: Vec<f32> = Vec::new();
     let mut weights: Vec<f32> = Vec::new();
     for t in 0..n_tokens {
@@ -141,21 +141,15 @@ fn run_kv_unit(
         for g in 0..group_size {
             let h = kvh * group_size + g;
             let q = &q_all[t * q_stride + h * hd..][..hd];
-            let view = cache.view_for_query(q);
-            let n = view.len();
-            scores.clear();
-            for r in 0..n {
-                let dot: f32 = view.keys.row(r).iter().zip(q).map(|(a, b)| a * b).sum();
-                scores.push(dot * scale);
-            }
-            softmax_into(&scores, &mut weights);
-            cache.observe_attention(&weights);
             let o = &mut out[t * unit_width + g * hd..][..hd];
-            for (r, &wgt) in weights.iter().enumerate() {
-                for (ov, v) in o.iter_mut().zip(view.values.row(r)) {
-                    *ov += wgt * v;
-                }
-            }
+            // `attend` runs score dots, softmax, the observe_attention
+            // feedback, and the weighted value sum. The default trait
+            // impl replays exactly the view-based loops that used to
+            // live inline here; KIVI/GEAR override it with fused kernels
+            // that decode packed chunks in-register — bit-identical by
+            // their oracle tests, so generations match the seed's
+            // token-at-a-time loop at any thread count.
+            cache.attend(q, scale, &mut scores, &mut weights, o);
         }
     }
 }
@@ -489,6 +483,7 @@ impl Session<'_> {
             agg.tokens_retained += s.tokens_retained;
             agg.tokens_evicted += s.tokens_evicted;
             agg.memory_bytes += s.memory_bytes;
+            agg.resident_bytes += s.resident_bytes;
             agg.fp16_baseline_bytes += s.fp16_baseline_bytes;
             agg.mean_quant_error += s.mean_quant_error;
             n += 1;

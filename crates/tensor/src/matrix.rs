@@ -60,6 +60,43 @@ const MATMUL_ROW_BLOCK: usize = 8;
 /// output rows streams over it.
 const K_PANEL: usize = 64;
 
+/// Register-tile height of the microkernel: output rows whose partial
+/// sums stay in the accumulator block.
+const MR: usize = 4;
+
+/// Register-tile width of the microkernel: output columns per
+/// accumulator block. `MR x NR = 32` f32 accumulators occupy eight
+/// 4-wide vector registers on the baseline x86-64/SSE2 target (half the
+/// register file), leaving room for the streamed `b` tile and the
+/// broadcast `a` values; wider tiles spill, narrower ones leave the
+/// vector units idle.
+const NR: usize = 8;
+
+// --- grain_for `item_ops` audit -----------------------------------------
+//
+// [`crate::par::grain_for`] sizes parallel chunks from an *ops* estimate
+// so the inline/parallel decision is a pure function of shape — never of
+// wall-clock, which would break run-to-run determinism. These constants
+// are therefore part of the dispatch contract and each one is audited
+// against the kernel it describes, instead of every kernel inheriting
+// the plain-matmul value as before.
+
+/// Per multiply-add estimate for the register-tiled microkernels
+/// ([`Matrix::matmul`], [`Matrix::matmul_transposed`]): one multiply plus
+/// one add, with operand loads and the accumulator spill amortized across
+/// the `MR x NR` tile. The row-streaming kernel behind
+/// [`Matrix::matmul_blocked`] retires MACs at essentially the same rate
+/// (its j-inner loop vectorizes and streams), so it shares the constant.
+const MICRO_OPS_PER_MAC: usize = 2;
+
+/// Per multiply-add estimate for the serial-dot kernel retained in
+/// [`Matrix::matmul_transposed_blocked`]: a single scalar accumulator
+/// chains every add, so the loop is latency-bound and retires roughly a
+/// third of the streaming kernels' rate. This path previously inherited
+/// `MICRO_OPS_PER_MAC`-style matmul constants, under-estimating per-row
+/// cost and keeping chunks inline past the point where fan-out pays.
+const SCALAR_DOT_OPS_PER_MAC: usize = 6;
+
 /// Rows per parallel chunk for a matmul-shaped kernel: sized by
 /// [`crate::par::grain_for`] from the per-row flop estimate, snapped up to
 /// [`MATMUL_ROW_BLOCK`] so each chunk amortizes its k-panel sweep. Returns
@@ -96,6 +133,191 @@ fn matmul_rows_into(a: &[f32], a_cols: usize, b: &[f32], cols: usize, i0: usize,
                     *o += av * bv;
                 }
             }
+        }
+    }
+}
+
+/// Scalar tail for the microkernel: accumulates columns `j0..` of one
+/// output row over the k-panel `k0..k_end`, ascending `k` with the naive
+/// zero-skip. This is the same per-element term order as the register
+/// tile, so full tiles and tails compose into one bit-exact kernel.
+fn matmul_row_tail(
+    a: &[f32],
+    a_cols: usize,
+    b: &[f32],
+    cols: usize,
+    ai: usize,
+    k0: usize,
+    k_end: usize,
+    j0: usize,
+    out_row: &mut [f32],
+) {
+    let a_row = &a[ai * a_cols..(ai + 1) * a_cols];
+    for (k, &av) in a_row.iter().enumerate().take(k_end).skip(k0) {
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[k * cols + j0..(k + 1) * cols];
+        for (o, &bv) in out_row[j0..].iter_mut().zip(b_row) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Register-tiled inner kernel for [`Matrix::matmul`]: within each
+/// k-panel the output is walked in `MR x NR` tiles whose 16 partial sums
+/// live in a register accumulator block, amortizing loads and stores
+/// across the tile instead of re-touching the output row once per `k`
+/// like [`matmul_rows_into`]. Tiling only changes *which element* is
+/// advanced next — every output element still adds its terms in
+/// ascending-`k` order with the `av == 0.0` skip of
+/// [`Matrix::matmul_naive`] applied per `(row, k)` — and spilling an
+/// accumulator between k-panels stores the exact f32, so the result is
+/// bit-identical to the naive oracle for any tile or panel size.
+fn matmul_rows_into_micro(
+    a: &[f32],
+    a_cols: usize,
+    b: &[f32],
+    cols: usize,
+    i0: usize,
+    out_chunk: &mut [f32],
+) {
+    let rows_here = out_chunk.len() / cols;
+    for k0 in (0..a_cols).step_by(K_PANEL) {
+        let k_end = (k0 + K_PANEL).min(a_cols);
+        let b_panel = &b[k0 * cols..k_end * cols];
+        let mut i = 0;
+        while i + MR <= rows_here {
+            // Panel sub-rows of the MR `a` rows, bound once per stripe so
+            // the k loop below is pure pointer bumps with no index math
+            // or bounds checks on the hot operands.
+            let ar = |r: usize| &a[(i0 + i + r) * a_cols + k0..(i0 + i + r) * a_cols + k_end];
+            let (a0, a1, a2, a3) = (ar(0), ar(1), ar(2), ar(3));
+            let mut j = 0;
+            while j + NR <= cols {
+                let mut acc0 = [0.0f32; NR];
+                let mut acc1 = [0.0f32; NR];
+                let mut acc2 = [0.0f32; NR];
+                let mut acc3 = [0.0f32; NR];
+                acc0.copy_from_slice(&out_chunk[i * cols + j..][..NR]);
+                acc1.copy_from_slice(&out_chunk[(i + 1) * cols + j..][..NR]);
+                acc2.copy_from_slice(&out_chunk[(i + 2) * cols + j..][..NR]);
+                acc3.copy_from_slice(&out_chunk[(i + 3) * cols + j..][..NR]);
+                for (((&av0, &av1), (&av2, &av3)), b_row) in a0
+                    .iter()
+                    .zip(a1)
+                    .zip(a2.iter().zip(a3))
+                    .zip(b_panel.chunks_exact(cols))
+                {
+                    let b_tile = &b_row[j..j + NR];
+                    if av0 != 0.0 {
+                        for (o, &bv) in acc0.iter_mut().zip(b_tile) {
+                            *o += av0 * bv;
+                        }
+                    }
+                    if av1 != 0.0 {
+                        for (o, &bv) in acc1.iter_mut().zip(b_tile) {
+                            *o += av1 * bv;
+                        }
+                    }
+                    if av2 != 0.0 {
+                        for (o, &bv) in acc2.iter_mut().zip(b_tile) {
+                            *o += av2 * bv;
+                        }
+                    }
+                    if av3 != 0.0 {
+                        for (o, &bv) in acc3.iter_mut().zip(b_tile) {
+                            *o += av3 * bv;
+                        }
+                    }
+                }
+                out_chunk[i * cols + j..][..NR].copy_from_slice(&acc0);
+                out_chunk[(i + 1) * cols + j..][..NR].copy_from_slice(&acc1);
+                out_chunk[(i + 2) * cols + j..][..NR].copy_from_slice(&acc2);
+                out_chunk[(i + 3) * cols + j..][..NR].copy_from_slice(&acc3);
+                j += NR;
+            }
+            if j < cols {
+                // Column remainder of the stripe: scalar, same order.
+                for r in 0..MR {
+                    let out_row = &mut out_chunk[(i + r) * cols..(i + r + 1) * cols];
+                    matmul_row_tail(a, a_cols, b, cols, i0 + i + r, k0, k_end, j, out_row);
+                }
+            }
+            i += MR;
+        }
+        // Row remainder below the last full stripe: scalar rows.
+        for r in i..rows_here {
+            let out_row = &mut out_chunk[r * cols..(r + 1) * cols];
+            matmul_row_tail(a, a_cols, b, cols, i0 + r, k0, k_end, 0, out_row);
+        }
+    }
+}
+
+/// Register-tiled inner kernel for [`Matrix::matmul_transposed`]: `MR`
+/// rows of `a` against `NR` rows of `b` accumulate into a 16-register
+/// tile, breaking the single-accumulator dependency chain of the serial
+/// dot in [`Matrix::matmul_transposed_naive`] while keeping each output
+/// element's fold order untouched (ascending `k` from `0.0`), so results
+/// are bit-identical to the oracle.
+fn matmul_transposed_rows_into_micro(
+    a: &[f32],
+    a_cols: usize,
+    other: &Matrix,
+    i0: usize,
+    out_chunk: &mut [f32],
+) {
+    let b = other.as_slice();
+    let b_rows = other.rows;
+    let rows_here = out_chunk.len() / b_rows;
+    let mut i = 0;
+    while i + MR <= rows_here {
+        let mut j = 0;
+        while j + NR <= b_rows {
+            let mut acc = [[0.0f32; NR]; MR];
+            for k in 0..a_cols {
+                let mut bv = [0.0f32; NR];
+                for (c, v) in bv.iter_mut().enumerate() {
+                    *v = b[(j + c) * a_cols + k];
+                }
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = a[(i0 + i + r) * a_cols + k];
+                    for (o, &bvc) in acc_row.iter_mut().zip(&bv) {
+                        *o += av * bvc;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out_chunk[(i + r) * b_rows + j..][..NR].copy_from_slice(acc_row);
+            }
+            j += NR;
+        }
+        // Column remainder: serial dots, identical fold order.
+        for r in 0..MR {
+            let a_row = &a[(i0 + i + r) * a_cols..(i0 + i + r + 1) * a_cols];
+            for (c, o) in out_chunk[(i + r) * b_rows..(i + r + 1) * b_rows]
+                .iter_mut()
+                .enumerate()
+                .skip(j)
+            {
+                let mut dot = 0.0f32;
+                for (x, y) in a_row.iter().zip(other.row(c)) {
+                    dot += x * y;
+                }
+                *o = dot;
+            }
+        }
+        i += MR;
+    }
+    // Row remainder: serial dots.
+    for r in i..rows_here {
+        let a_row = &a[(i0 + r) * a_cols..(i0 + r + 1) * a_cols];
+        for (c, o) in out_chunk[r * b_rows..(r + 1) * b_rows].iter_mut().enumerate() {
+            let mut dot = 0.0f32;
+            for (x, y) in a_row.iter().zip(other.row(c)) {
+                dot += x * y;
+            }
+            *o = dot;
         }
     }
 }
@@ -231,15 +453,17 @@ impl Matrix {
         self.data
     }
 
-    /// Matrix product `self * other`, via a cache-blocked kernel.
+    /// Matrix product `self * other`, via the register-tiled microkernel.
     ///
     /// The kernel tiles over output-row blocks and k-panels so the
-    /// streamed panel of `other` stays cache-resident across a block of
-    /// output rows, and fans row blocks across [`crate::par`] when the
-    /// product is large enough to amortize the pool. Each output element
-    /// still accumulates its terms in ascending-`k` order with the same
-    /// zero-skip as [`Matrix::matmul_naive`], so the result is
-    /// bit-identical to the naive oracle at every thread count.
+    /// streamed panel of `other` stays cache-resident, walks each panel
+    /// in `MR x NR` register-accumulator tiles, and fans row blocks
+    /// across [`crate::par`] when the product is large enough to amortize
+    /// the pool. Each output element still accumulates its terms in
+    /// ascending-`k` order with the same zero-skip as
+    /// [`Matrix::matmul_naive`], so the result is bit-identical to the
+    /// naive oracle (and to [`Matrix::matmul_blocked`]) at every thread
+    /// count.
     ///
     /// # Panics
     ///
@@ -257,9 +481,38 @@ impl Matrix {
         let cols = other.cols;
         // Row blocks only split *which elements a worker owns*; every
         // element's accumulation order is fixed, so the split (and hence
-        // the parallel grain) cannot change bits. Dispatch gating keeps
-        // small products inline (2 flops per output element per k step).
-        let grain = matmul_rows_per_chunk(self.rows, 2 * self.cols * cols) * cols;
+        // the parallel grain) cannot change bits.
+        let grain = matmul_rows_per_chunk(self.rows, MICRO_OPS_PER_MAC * self.cols * cols) * cols;
+        crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
+            let i0 = chunk_idx * (grain / cols);
+            matmul_rows_into_micro(&self.data, self.cols, &other.data, cols, i0, out_chunk);
+        });
+        out
+    }
+
+    /// Matrix product via the pre-microkernel row-streaming blocked
+    /// kernel: k-panelled and pool-dispatched like [`Matrix::matmul`],
+    /// but re-touching the full output row once per `k` instead of
+    /// holding an `MR x NR` accumulator tile in registers. Retained as
+    /// the mid-tier baseline the `microkernel_matmul_*` bench groups
+    /// measure against; bit-identical to [`Matrix::matmul`] and
+    /// [`Matrix::matmul_naive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_blocked(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        if self.rows == 0 || self.cols == 0 || other.cols == 0 {
+            return out;
+        }
+        let cols = other.cols;
+        let grain = matmul_rows_per_chunk(self.rows, MICRO_OPS_PER_MAC * self.cols * cols) * cols;
         crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
             let i0 = chunk_idx * (grain / cols);
             matmul_rows_into(&self.data, self.cols, &other.data, cols, i0, out_chunk);
@@ -298,12 +551,16 @@ impl Matrix {
         out
     }
 
-    /// Matrix product with the transpose of `other`: `self * other^T`.
+    /// Matrix product with the transpose of `other`: `self * other^T`,
+    /// via the register-tiled microkernel.
     ///
     /// This avoids materializing the transpose in attention score
-    /// computation (`Q * K^T`). Rows fan across [`crate::par`] for large
-    /// products; each dot product keeps the naive sequential fold, so the
-    /// result is bit-identical to [`Matrix::matmul_transposed_naive`].
+    /// computation (`Q * K^T`). `MR x NR` output tiles accumulate 16
+    /// independent dots at once — breaking the serial single-accumulator
+    /// dependency chain of the naive dot — and rows fan across
+    /// [`crate::par`] for large products. Each output element keeps the
+    /// naive sequential fold order, so the result is bit-identical to
+    /// [`Matrix::matmul_transposed_naive`].
     ///
     /// # Panics
     ///
@@ -319,7 +576,40 @@ impl Matrix {
             return out;
         }
         let b_rows = other.rows;
-        let grain = matmul_rows_per_chunk(self.rows, 2 * self.cols * b_rows) * b_rows;
+        let grain = matmul_rows_per_chunk(self.rows, MICRO_OPS_PER_MAC * self.cols * b_rows) * b_rows;
+        crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
+            let i0 = chunk_idx * (grain / b_rows);
+            matmul_transposed_rows_into_micro(&self.data, self.cols, other, i0, out_chunk);
+        });
+        out
+    }
+
+    /// Transpose-product via the pre-microkernel kernel: one serial dot
+    /// per output element, pool-dispatched by row blocks. Retained as the
+    /// baseline for the `microkernel_matmul_*` bench groups;
+    /// bit-identical to [`Matrix::matmul_transposed`] and the naive
+    /// oracle. Its dispatch grain uses the audited
+    /// [`SCALAR_DOT_OPS_PER_MAC`] estimate — the serial dot is
+    /// latency-bound, so its true per-item cost is ~3x the streaming
+    /// kernels', which the previously inherited matmul constant
+    /// under-stated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transposed_blocked(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        if self.rows == 0 || other.rows == 0 {
+            return out;
+        }
+        let b_rows = other.rows;
+        let grain =
+            matmul_rows_per_chunk(self.rows, SCALAR_DOT_OPS_PER_MAC * self.cols * b_rows) * b_rows;
         crate::par::par_chunks_mut(&mut out.data, grain, |chunk_idx, out_chunk| {
             let i0 = chunk_idx * (grain / b_rows);
             for (i, out_row) in out_chunk.chunks_mut(b_rows).enumerate() {

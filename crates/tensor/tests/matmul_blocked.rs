@@ -1,5 +1,6 @@
-//! Blocked matmul kernels vs the retained naive oracles: exact (bitwise)
-//! equality over adversarial shapes and thread counts.
+//! Matmul kernels (register-tiled microkernel and the retained blocked
+//! baselines) vs the naive oracles: exact (bitwise) equality over
+//! adversarial shapes and thread counts.
 
 use rkvc_tensor::{par, seeded_rng, Matrix};
 
@@ -26,25 +27,29 @@ fn assert_bit_identical(a: &Matrix, b: &Matrix, what: &str) {
 }
 
 rkvc_tensor::det_cases! {
-    fn blocked_matmul_matches_naive_oracle(rng, cases = 96) {
+    fn micro_matmul_matches_naive_oracle(rng, cases = 96) {
         let rows = rng.gen_range(0usize..33);
         let k = rng.gen_range(0usize..70);
         let cols = rng.gen_range(0usize..33);
         let a = random_matrix(rng, rows, k);
         let b = random_matrix(rng, k, cols);
-        assert_bit_identical(&a.matmul(&b), &a.matmul_naive(&b), "matmul");
+        let oracle = a.matmul_naive(&b);
+        assert_bit_identical(&a.matmul(&b), &oracle, "matmul micro");
+        assert_bit_identical(&a.matmul_blocked(&b), &oracle, "matmul blocked");
     }
 
-    fn blocked_matmul_transposed_matches_naive_oracle(rng, cases = 96) {
+    fn micro_matmul_transposed_matches_naive_oracle(rng, cases = 96) {
         let rows = rng.gen_range(0usize..33);
         let k = rng.gen_range(0usize..70);
         let b_rows = rng.gen_range(0usize..33);
         let a = random_matrix(rng, rows, k);
         let b = random_matrix(rng, b_rows, k);
+        let oracle = a.matmul_transposed_naive(&b);
+        assert_bit_identical(&a.matmul_transposed(&b), &oracle, "matmul_transposed micro");
         assert_bit_identical(
-            &a.matmul_transposed(&b),
-            &a.matmul_transposed_naive(&b),
-            "matmul_transposed",
+            &a.matmul_transposed_blocked(&b),
+            &oracle,
+            "matmul_transposed blocked",
         );
     }
 }
@@ -71,11 +76,17 @@ fn edge_shapes_match_oracle_exactly() {
         let a = random_matrix(&mut rng, rows, k);
         let b = random_matrix(&mut rng, k, cols);
         assert_bit_identical(&a.matmul(&b), &a.matmul_naive(&b), "edge matmul");
+        assert_bit_identical(&a.matmul_blocked(&b), &a.matmul_naive(&b), "edge matmul blocked");
         let bt = random_matrix(&mut rng, cols, k);
         assert_bit_identical(
             &a.matmul_transposed(&bt),
             &a.matmul_transposed_naive(&bt),
             "edge matmul_transposed",
+        );
+        assert_bit_identical(
+            &a.matmul_transposed_blocked(&bt),
+            &a.matmul_transposed_naive(&bt),
+            "edge matmul_transposed blocked",
         );
     }
 }
@@ -92,10 +103,16 @@ fn large_matmul_is_thread_count_invariant() {
     for threads in [1usize, 2, 3, 4] {
         par::set_threads(Some(threads));
         assert_bit_identical(&a.matmul(&b), &oracle, "matmul sweep");
+        assert_bit_identical(&a.matmul_blocked(&b), &oracle, "matmul blocked sweep");
         assert_bit_identical(
             &a.matmul_transposed(&b.transposed()),
             &oracle_t,
             "matmul_transposed sweep",
+        );
+        assert_bit_identical(
+            &a.matmul_transposed_blocked(&b.transposed()),
+            &oracle_t,
+            "matmul_transposed blocked sweep",
         );
     }
     par::set_threads(None);

@@ -102,8 +102,10 @@ done
 # Odd pool width: 3 never divides the power-of-two-shaped fan-outs
 # evenly, so uneven trailing chunks and worker/caller chunk races that
 # widths 1/2/4 mask would surface here. ext_prefix joins fig1 because
-# the sharing/tiering engine path is the newest dispatch surface.
-for exp in fig1 ext_prefix; do
+# the sharing/tiering engine path is the newest dispatch surface, and
+# table6 because its decode loop rides the fused dequant-attention
+# kernels and the register-tiled microkernel.
+for exp in fig1 table6 ext_prefix; do
     RKVC_THREADS=3 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
         --exp "$exp" --scale quick --out "$tmp3"
     diff "$tmp1/$exp.json" "$tmp3/$exp.json"
