@@ -173,6 +173,8 @@ fn serving_engine_files_are_in_e001_scope() {
         "crates/serving/src/metrics.rs",
         "crates/serving/src/blocks.rs",
         "crates/serving/src/tier.rs",
+        "crates/serving/src/slo.rs",
+        "crates/serving/src/request.rs",
     ] {
         let vs = scan_source(path, FIXTURE);
         assert!(
@@ -184,6 +186,26 @@ fn serving_engine_files_are_in_e001_scope() {
             "{path}: the planted HashMap import must trip D002"
         );
     }
+}
+
+#[test]
+fn session_workload_keeps_d002_but_not_e001() {
+    // The session sampler lives in `crates/workload/src`, outside the
+    // panic-free boundary: `.expect()` on distribution constructors is
+    // idiomatic there, but the HashMap ban still applies in full.
+    let vs = scan_source("crates/workload/src/session.rs", FIXTURE);
+    assert!(
+        vs.iter().all(|v| v.lint != "E001"),
+        "workload sources may unwrap/expect"
+    );
+    assert!(
+        vs.iter().any(|v| v.line == 6 && v.lint == "D002" && !v.suppressed),
+        "the planted HashMap import must trip D002 in session.rs"
+    );
+    assert!(
+        vs.iter().any(|v| v.line == 11 && v.lint == "D002" && !v.suppressed),
+        "the planted HashMap annotation must trip D002 in session.rs"
+    );
 }
 
 #[test]

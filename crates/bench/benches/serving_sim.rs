@@ -9,12 +9,16 @@
 //! E2E percentile summaries and the preemptive-vs-FCFS deltas — plus a
 //! `prefix_vs_flat` section comparing the prefix-shared, tiered block
 //! manager against the flat pool on the shared-system-prompt workload
-//! (effective capacity, dedup ratio, preemption rate, p99 TTFT).
+//! (effective capacity, dedup ratio, preemption rate, p99 TTFT), and an
+//! `slo_goodput` section sweeping the multi-turn session trace over
+//! {FCFS, SPF, preemptive} × {SLO-blind, SLO-aware} (per-cell goodput,
+//! attainment, per-class p99 TTFT, cross-turn dedup).
 
 use rkvc_bench::{workspace_root, Harness};
 use rkvc_core::experiments::ext_prefix::{prefix_workload, serve_prefix_workload, variants};
 use rkvc_core::experiments::ext_scheduler::serve_workload;
-use rkvc_core::experiments::table8::{cluster_workload, ClusterWorkload};
+use rkvc_core::experiments::ext_slo::{serve_sessions, session_trace, sweep, SloOutcome};
+use rkvc_core::experiments::workloads::{cluster_workload, ClusterWorkload};
 use rkvc_core::experiments::RunOptions;
 use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
@@ -128,6 +132,26 @@ fn bench_prefix_pool(
     out
 }
 
+/// Times each (scheduler, SLO policy) cell over the multi-turn session
+/// trace and returns its outcome (deterministic, so one representative
+/// serve per cell).
+fn bench_slo_goodput(
+    h: &mut Harness,
+) -> Vec<(rkvc_serving::SchedulerConfig, rkvc_serving::SloPolicy, SloOutcome)> {
+    let trace = session_trace(&RunOptions::quick());
+    let mut g = h.group("slo_sessions_quick");
+    g.sample_size(5);
+    let mut out = Vec::new();
+    for (sched, policy) in sweep() {
+        g.bench_function(&format!("{}_{}", sched.label(), policy.label()), |b| {
+            b.iter(|| black_box(serve_sessions(&trace, sched, policy).slo.completed))
+        });
+        out.push((sched, policy, serve_sessions(&trace, sched, policy)));
+    }
+    g.finish();
+    out
+}
+
 fn main() {
     let mut h = Harness::new("serving_sim");
     bench_server(&mut h);
@@ -136,6 +160,7 @@ fn main() {
     let w = cluster_workload(&RunOptions::quick());
     let metrics = bench_schedulers(&mut h, &w);
     let pools = bench_prefix_pool(&mut h);
+    let slo_cells = bench_slo_goodput(&mut h);
     let by_label = |c: SchedulerConfig| -> &ServingMetrics {
         metrics
             .iter()
@@ -199,6 +224,57 @@ fn main() {
                                 ("refilled_blocks", o.refilled_blocks.to_json()),
                                 ("p99_ttft_s", o.metrics.ttft.p99().to_json()),
                                 ("mean_ttft_s", o.metrics.ttft.mean().to_json()),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "slo_goodput",
+            JsonValue::Object(
+                slo_cells
+                    .iter()
+                    .map(|(sched, policy, o)| {
+                        (
+                            format!("{}/{}", sched.label(), policy.label()),
+                            JsonValue::object(vec![
+                                ("completed", o.slo.completed.to_json()),
+                                ("attainment", o.slo.attainment().to_json()),
+                                ("goodput_tps", o.slo.goodput_tps.to_json()),
+                                ("throughput_tps", o.slo.throughput_tps.to_json()),
+                                ("preemptions", o.metrics.preemptions.to_json()),
+                                ("peak_batch", o.peak_batch.to_json()),
+                                ("dedup_ratio", o.dedup_ratio.to_json()),
+                                (
+                                    "per_class",
+                                    JsonValue::object(
+                                        o.slo
+                                            .per_class
+                                            .iter()
+                                            .map(|c| {
+                                                (
+                                                    c.class.label(),
+                                                    JsonValue::object(vec![
+                                                        ("completed", c.completed.to_json()),
+                                                        (
+                                                            "attainment",
+                                                            c.attainment().to_json(),
+                                                        ),
+                                                        (
+                                                            "p99_ttft_s",
+                                                            c.ttft.p99().to_json(),
+                                                        ),
+                                                        (
+                                                            "mean_tbt_s",
+                                                            c.tbt.mean().to_json(),
+                                                        ),
+                                                    ]),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
                             ]),
                         )
                     })

@@ -12,7 +12,7 @@
 
 use rkvc_serving::{Cluster, RoutingPolicy, SchedulerConfig, ServingConfig, ServingMetrics};
 
-use super::table8::{cluster_workload, ClusterWorkload};
+use super::workloads::{cluster_workload, ClusterWorkload};
 use super::{ExperimentResult, RunOptions};
 use crate::report::Table;
 

@@ -13,6 +13,7 @@ pub mod ext_granularity;
 pub mod ext_prefix;
 pub mod ext_quest;
 pub mod ext_scheduler;
+pub mod ext_slo;
 pub mod ext_task_router;
 pub mod fig1;
 pub mod fig2;
@@ -32,6 +33,7 @@ pub mod table5;
 pub mod table6;
 pub mod table7;
 pub mod table8;
+pub mod workloads;
 
 
 use crate::report::Table;
@@ -119,7 +121,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig1", "fig2", "fig3", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7",
         "table6", "table7", "table8", "fig8", "fig9", "fig10", "fig11_14", "appendix_c",
         "appendix_d", "ext_quest", "ext_task_router", "ext_granularity", "ext_scheduler",
-        "ext_prefix", "table1_2",
+        "ext_prefix", "ext_slo", "table1_2",
     ]
 }
 
@@ -152,6 +154,7 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<ExperimentResult> {
         "ext_granularity" => ext_granularity::run(opts),
         "ext_scheduler" => ext_scheduler::run(opts),
         "ext_prefix" => ext_prefix::run(opts),
+        "ext_slo" => ext_slo::run(opts),
         "table1_2" => table1_2::run(opts),
         _ => return None,
     })

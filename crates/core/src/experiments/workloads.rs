@@ -1,0 +1,234 @@
+//! Shared serving workloads reused across experiments and benches.
+//!
+//! The Table 8 cluster workload (H2O column, combined-routing predictors)
+//! started life inside `table8.rs`; scheduler ablations
+//! ([`super::ext_scheduler`]) and the serving benches replay the same
+//! stream, so the builder lives here where every consumer can import it
+//! without reaching into another experiment's module.
+
+use rkvc_gpu::DeploymentSpec;
+use rkvc_kvcache::CompressionConfig;
+use rkvc_serving::{ServerSim, ServingConfig, SimRequest};
+use rkvc_tensor::seeded_rng;
+use rkvc_workload::{ConversationRequest, sample_conversations, ShareGptConfig};
+
+use super::common::{a6000_lmdeploy, length_multipliers, tiny_llama};
+use super::RunOptions;
+use crate::router::ToolRouter;
+use crate::{LengthDataset, LengthPredictor, ProfileGrid, ThroughputPredictor};
+
+/// Builds a cluster-workload server, panicking only on an invalid config
+/// (the configs built here are valid by construction).
+pub(crate) fn server(
+    id: usize,
+    dep: &DeploymentSpec,
+    algo: CompressionConfig,
+    cfg: ServingConfig,
+) -> ServerSim {
+    ServerSim::with_config(id, dep.clone(), algo, cfg).expect("table8 serving config is valid")
+}
+
+/// One column's algorithms: paper label, paper-scale config (cost model),
+/// TinyLM-scaled config (length measurement).
+pub(crate) fn columns() -> Vec<(String, CompressionConfig, CompressionConfig)> {
+    let scaled = rkvc_workload::scaled_paper_suite();
+    vec![
+        (
+            "KIVI".to_owned(),
+            CompressionConfig::kivi(4),
+            scaled[1].config,
+        ),
+        (
+            "GEAR".to_owned(),
+            CompressionConfig::gear(4),
+            scaled[2].config,
+        ),
+        (
+            "H2O".to_owned(),
+            CompressionConfig::h2o(64, 448),
+            scaled[3].config,
+        ),
+        (
+            "Stream".to_owned(),
+            CompressionConfig::streaming(64, 448),
+            scaled[4].config,
+        ),
+    ]
+}
+
+/// Distance from the last demonstration terminator to the prompt end — the
+/// structural property that decides whether an eviction window still covers
+/// the supporting span.
+fn tail_len(c: &ConversationRequest) -> usize {
+    c.prompt
+        .iter()
+        .rposition(|&t| t == rkvc_model::vocab::EOS_SYM)
+        .map(|p| c.prompt.len() - 1 - p)
+        .unwrap_or(c.prompt.len())
+}
+
+/// Builds the request stream with per-server response lengths: index 0 =
+/// FP16 length, 1..4 = compressed length.
+///
+/// Length shifts are synthesized *mechanistically*, mirroring TinyLM's
+/// measured behaviour: a request lengthens under compression when its
+/// supporting span has fallen out of the policy's window
+/// (`tail_len > recent_budget`), by a multiplier drawn from the measured
+/// wander distribution; otherwise the length is (nearly) unchanged. This
+/// coupling to prompt structure is what makes lengths *learnable* — the
+/// premise of the paper's length predictor.
+pub(crate) fn build_requests(
+    conversations: &[ConversationRequest],
+    multipliers: &[f64],
+    recent_budget: Option<usize>,
+    seed: u64,
+) -> Vec<SimRequest> {
+    let mut rng = seeded_rng(seed);
+    // Split the measured multipliers into the benign and wander components.
+    let wander: Vec<f64> = multipliers.iter().copied().filter(|&m| m > 1.25).collect();
+    let benign: Vec<f64> = multipliers.iter().copied().filter(|&m| m <= 1.25).collect();
+    let draw = |pool: &[f64], rng: &mut rkvc_tensor::SeededRng| -> f64 {
+        if pool.is_empty() {
+            1.0
+        } else {
+            pool[rng.gen_range(0..pool.len())]
+        }
+    };
+    conversations
+        .iter()
+        .map(|c| {
+            let fp16_len = c.reference_response_len.clamp(1, 1024);
+            let m = match recent_budget {
+                // Eviction policy: break iff the span is out of the window.
+                Some(budget) if tail_len(c) > budget => draw(&wander, &mut rng),
+                Some(_) => draw(&benign, &mut rng),
+                // Quantization: rare feature-independent flips.
+                None => draw(multipliers, &mut rng),
+            };
+            let comp_len = ((fp16_len as f64 * m).round() as usize).clamp(1, 1024);
+            let mut r = SimRequest::new(
+                c.id as u64,
+                c.arrival_s,
+                c.prompt_len.min(3500),
+                fp16_len,
+            );
+            r.response_len_by_server = vec![fp16_len, comp_len, comp_len, comp_len];
+            r
+        })
+        .collect()
+}
+
+/// One Table 8 column (H2O) packaged for scheduler studies: the deployment,
+/// the compression config for servers 1..4, the request stream with
+/// per-server response lengths, and a fitted length+throughput router.
+///
+/// Built with exactly the seeds `table8::run` uses for its H2O column, so
+/// scheduler experiments and benches exercise the same stream Table 8
+/// reports on.
+pub struct ClusterWorkload {
+    /// Per-GPU deployment spec (A6000 + LMDeploy + LLaMA-7B).
+    pub dep: DeploymentSpec,
+    /// Compression algorithm on servers 1..4 (server 0 runs FP16).
+    pub paper_cfg: CompressionConfig,
+    /// Arrival-sorted request stream.
+    pub requests: Vec<SimRequest>,
+    /// Predictor router fitted on this stream's lengths and throughputs.
+    pub router: ToolRouter,
+}
+
+impl ClusterWorkload {
+    /// The four Table 8 predictor-row servers (FP16 on server 0, the
+    /// compression algorithm on 1..4) under `cfg`.
+    pub fn servers(&self, cfg: ServingConfig) -> Vec<ServerSim> {
+        std::iter::once(server(0, &self.dep, CompressionConfig::Fp16, cfg))
+            .chain((1..4).map(|i| server(i, &self.dep, self.paper_cfg, cfg)))
+            .collect()
+    }
+}
+
+/// Builds the Table 8 H2O-column workload at the given options' scale.
+pub fn cluster_workload(opts: &RunOptions) -> ClusterWorkload {
+    const COL: usize = 2; // H2O column in `columns()`.
+    let n_requests = opts.pick(40, 1000);
+    let n_tiny = opts.pick(12, 120);
+    let dep = a6000_lmdeploy(rkvc_gpu::LlmSpec::llama2_7b());
+    let model = tiny_llama();
+    let mut conversations =
+        sample_conversations(&ShareGptConfig::paper_scale(n_requests, opts.seed ^ 0x8a8), 64);
+    let arrival_scale = match opts.scale {
+        super::Scale::Quick => 0.25,
+        super::Scale::Paper => 0.4,
+    };
+    for c in &mut conversations {
+        c.arrival_s *= arrival_scale;
+    }
+
+    let (_, paper_cfg, scaled_cfg) = columns().swap_remove(COL);
+    let recent_budget = match paper_cfg {
+        CompressionConfig::H2O(p) => Some(p.budget()),
+        CompressionConfig::Streaming(p) => Some(p.recent),
+        _ => None,
+    };
+    let multipliers = length_multipliers(&model, n_tiny, &scaled_cfg, opts.seed ^ 0x88);
+    let requests =
+        build_requests(&conversations, &multipliers, recent_budget, opts.seed ^ COL as u64);
+
+    let predictor_len = {
+        let mut data = LengthDataset::new();
+        for (c, r) in conversations.iter().zip(&requests) {
+            data.push(&c.prompt, r.response_len_on(1).max(1));
+        }
+        LengthPredictor::fit(&data)
+    };
+    let predictor_fp16 = {
+        let mut data = LengthDataset::new();
+        for c in &conversations {
+            data.push(&c.prompt, c.reference_response_len.max(1));
+        }
+        LengthPredictor::fit(&data)
+    };
+    let grid = ProfileGrid::standard();
+    let thr_predictors = vec![
+        ThroughputPredictor::fit(&dep, &CompressionConfig::Fp16, grid.clone(), 0.05, opts.seed),
+        ThroughputPredictor::fit(&dep, &paper_cfg, grid.clone(), 0.05, opts.seed + 1),
+        ThroughputPredictor::fit(&dep, &paper_cfg, grid.clone(), 0.05, opts.seed + 2),
+        ThroughputPredictor::fit(&dep, &paper_cfg, grid, 0.05, opts.seed + 3),
+    ];
+    let mut router = ToolRouter::new(thr_predictors, Default::default());
+    for c in &conversations {
+        let fp16_pred = predictor_fp16.predict(&c.prompt);
+        let comp_pred = predictor_len.predict(&c.prompt);
+        router.set_predicted_len(c.id as u64, 0, fp16_pred);
+        for s in 1..4 {
+            router.set_predicted_len(c.id as u64, s, comp_pred);
+        }
+    }
+
+    ClusterWorkload {
+        dep,
+        paper_cfg,
+        requests,
+        router,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_workload_is_deterministic_and_sorted() {
+        let a = cluster_workload(&RunOptions::quick());
+        let b = cluster_workload(&RunOptions::quick());
+        assert_eq!(a.requests.len(), RunOptions::quick().pick(40, 1000));
+        assert!(a
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        let key = |r: &SimRequest| (r.id, r.response_len_by_server.clone());
+        assert_eq!(
+            a.requests.iter().map(key).collect::<Vec<_>>(),
+            b.requests.iter().map(key).collect::<Vec<_>>()
+        );
+    }
+}

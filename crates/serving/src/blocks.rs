@@ -218,6 +218,49 @@ pub fn prefix_hash_chain(group: u64, block_tokens: usize, blocks: usize) -> Vec<
         .collect()
 }
 
+/// Content-hash chain for a session's carried KV: the first
+/// `prefix_len / block_tokens` blocks keep their [`prefix_hash_chain`]
+/// hashes (the shared system prompt still deduplicates *across*
+/// sessions), and blocks past the prefix continue the chain under a
+/// session-scoped seed (conversation history is private to one session,
+/// and in this simulator block `i`'s content is a pure function of
+/// `(session, i)` — so the mix is a content hash).
+///
+/// The chain has the prefix property: for one session the chain over `n`
+/// blocks extends the chain over `m < n` blocks, so turn `k + 1`'s
+/// registration walks straight onto the blocks turn `k` published.
+pub fn session_hash_chain(
+    group: u64,
+    prefix_len: usize,
+    session: u64,
+    block_tokens: usize,
+    blocks: usize,
+) -> Vec<u64> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    /// Domain tag separating session chains from group prefix chains.
+    const SESSION_TAG: u64 = 0x5e55_1011_c4a1_ed00;
+    let prefix_blocks = (prefix_len / block_tokens).min(blocks);
+    let mut chain = prefix_hash_chain(group, block_tokens, prefix_blocks);
+    let mut h = FNV_OFFSET ^ session;
+    h = h.wrapping_mul(FNV_PRIME);
+    h ^= SESSION_TAG;
+    h = h.wrapping_mul(FNV_PRIME);
+    h ^= block_tokens as u64;
+    h = h.wrapping_mul(FNV_PRIME);
+    // Commit to the shared prefix: histories diverge if prompts did.
+    for &p in &chain {
+        h ^= p;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for i in prefix_blocks..blocks {
+        h ^= i as u64 + 1;
+        h = h.wrapping_mul(FNV_PRIME);
+        chain.push(h);
+    }
+    chain
+}
+
 #[derive(Debug, Clone)]
 struct Block {
     refs: u32,
@@ -677,6 +720,55 @@ impl BlockManager {
         Ok(())
     }
 
+    /// Publishes a registered sequence's leading *full* L1 blocks under
+    /// `hashes` (one content hash per block, from block 0), so a later
+    /// [`register_seq_shared`](Self::register_seq_shared) with the same
+    /// chain re-references them instead of re-allocating — the mechanism
+    /// that lets a completed conversation turn's KV stay resident for the
+    /// follow-up turn. Blocks already published under the same hash (a
+    /// shared system prefix) are left as they are; publication stops at
+    /// the first partial, spilled, or hash-conflicting block (later
+    /// blocks would be unreachable anyway — the dedup walk stops at the
+    /// first miss). The sequence stays registered and owns one reference
+    /// to every block until [`free_seq`](Self::free_seq).
+    ///
+    /// Returns the number of blocks now published under `hashes`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::UnknownSeq`] if `seq` is not registered.
+    pub fn publish_seq(&mut self, seq: u64, hashes: &[u64]) -> Result<usize, BlockError> {
+        let chain: Vec<u32> = match self.seqs.get(&seq) {
+            Some(e) => e.chain.clone(),
+            None => return Err(BlockError::UnknownSeq { seq }),
+        };
+        let mut published = 0usize;
+        for (&id, &h) in chain.iter().zip(hashes) {
+            let b = &self.blocks[id as usize];
+            if b.tier != BlockTier::L1 || b.filled != self.block_size {
+                break;
+            }
+            match b.hash {
+                Some(existing) if existing == h => {
+                    published += 1;
+                }
+                Some(_) => break,
+                None => {
+                    if self.dedup.contains_key(&h) {
+                        // Another block already owns this hash (identical
+                        // content published elsewhere); chains that need
+                        // it will share that copy instead.
+                        break;
+                    }
+                    self.blocks[id as usize].hash = Some(h);
+                    self.dedup.insert(h, id);
+                    published += 1;
+                }
+            }
+        }
+        Ok(published)
+    }
+
     /// Demotes a sequence's *private* (sole-reference) L1 blocks to the
     /// spill tier, all or nothing. Shared blocks stay in L1 — other
     /// residents still read them. A sole-owner published block is
@@ -1037,5 +1129,56 @@ mod tests {
         // A longer chain extends the shorter one (prefix property).
         let long = prefix_hash_chain(1, 16, 6);
         assert_eq!(&long[..4], &a[..]);
+    }
+
+    #[test]
+    fn session_hash_chain_extends_the_group_prefix() {
+        // 2 prefix blocks (32 tokens at bs 16) + 2 session-private blocks.
+        let chain = session_hash_chain(7, 32, 100, 16, 4);
+        assert_eq!(&chain[..2], &prefix_hash_chain(7, 16, 2)[..]);
+        // Session-private blocks are session-scoped...
+        let other = session_hash_chain(7, 32, 101, 16, 4);
+        assert_eq!(&other[..2], &chain[..2]);
+        assert!(chain[2..].iter().zip(&other[2..]).all(|(a, b)| a != b));
+        // ...and the chain has the prefix property across turns.
+        let longer = session_hash_chain(7, 32, 100, 16, 6);
+        assert_eq!(&longer[..4], &chain[..]);
+    }
+
+    #[test]
+    fn publish_then_shared_register_reuses_carried_blocks() {
+        let mut m = BlockManager::new(16, 4);
+        // Turn 0: 10 tokens (2 full blocks + partial tail), no sharing.
+        m.register_seq(1, 10).unwrap();
+        let hashes = session_hash_chain(0, 0, 42, 4, 2);
+        assert_eq!(m.publish_seq(1, &hashes), Ok(2));
+        // Turn 1 carries those 10 tokens: the walk hits both full blocks.
+        let next = session_hash_chain(0, 0, 42, 4, 3);
+        let r = m.register_seq_shared(2, 14, &next[..2]).unwrap();
+        assert_eq!(r.shared_blocks, 2);
+        assert_eq!(r.shared_tokens, 8);
+        // Retiring the parked turn keeps the shared blocks alive.
+        m.free_seq(1).unwrap();
+        assert!(m.seq_blocks(2).unwrap()[..2].iter().all(|b| b.published));
+        // Unknown sequence is a typed error, publishing nothing.
+        assert_eq!(
+            m.publish_seq(9, &hashes),
+            Err(BlockError::UnknownSeq { seq: 9 })
+        );
+    }
+
+    #[test]
+    fn publish_stops_at_partial_and_conflicting_blocks() {
+        let mut m = BlockManager::new(16, 4);
+        m.register_seq(1, 6).unwrap(); // 1 full + 1 partial block.
+        let hashes = session_hash_chain(0, 0, 5, 4, 2);
+        // Only the full block publishes; the partial tail is private.
+        assert_eq!(m.publish_seq(1, &hashes), Ok(1));
+        // Re-publishing under the same chain is idempotent.
+        assert_eq!(m.publish_seq(1, &hashes), Ok(1));
+        // A different sequence claiming the same hash stops at the
+        // conflict instead of stealing the dedup slot.
+        m.register_seq(2, 4).unwrap();
+        assert_eq!(m.publish_seq(2, &hashes), Ok(0));
     }
 }

@@ -42,7 +42,7 @@ use rkvc_kvcache::CompressionConfig;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use crate::blocks::prefix_hash_chain;
+use crate::blocks::{prefix_hash_chain, session_hash_chain};
 use crate::tier::{DemotePolicy, RefillPolicy};
 use crate::{
     BlockError, BlockManager, CompletedRequest, ServerSim, ServingConfig, SimClock, SimRequest,
@@ -168,6 +168,18 @@ impl RunningSeq {
     }
 }
 
+/// A completed (non-final) conversation turn whose KV stays resident: its
+/// sequence remains registered in the block pool so the follow-up turn's
+/// shared registration re-references the published blocks instead of
+/// re-prefilling the history.
+#[derive(Debug, Clone, Copy)]
+struct ParkedSession {
+    /// The conversation this cache belongs to.
+    session: u64,
+    /// The completed request still owning the blocks.
+    owner: u64,
+}
+
 /// All per-server simulation state plus the one copy of the iteration
 /// logic. [`ServerSim`](crate::ServerSim) is a thin public wrapper.
 #[derive(Debug, Clone)]
@@ -184,6 +196,10 @@ pub(crate) struct ServerCore {
     /// Peak concurrent running batch — the server's effective capacity at
     /// this pool size.
     pub(crate) peak_batch: usize,
+    /// Resident session caches in completion (= LRU) order. Reclaimable:
+    /// pool pressure evicts from the front before any running sequence
+    /// pays a preemption.
+    parked: VecDeque<ParkedSession>,
     admit_counter: u64,
     queue_counter: u64,
 }
@@ -229,8 +245,67 @@ impl ServerCore {
             completed: Vec::new(),
             blocks,
             peak_batch: 0,
+            parked: VecDeque::new(),
             admit_counter: 0,
             queue_counter: 0,
+        }
+    }
+
+    /// Frees the least-recently-parked session cache (preferring sessions
+    /// other than `keep` — evicting a conversation's own cache right
+    /// before its follow-up registers would waste the reuse). Returns
+    /// whether anything was freed.
+    fn evict_parked(&mut self, keep: Option<u64>) -> bool {
+        let pos = self
+            .parked
+            .iter()
+            .position(|p| keep != Some(p.session))
+            .or(if self.parked.is_empty() { None } else { Some(0) });
+        match pos.and_then(|p| self.parked.remove(p)) {
+            Some(p) => {
+                // Parked owners are registered by construction.
+                let _ = self.blocks.free_seq(p.owner);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases the parked cache of `session`, if any — called once the
+    /// follow-up turn holds its own references to the shared blocks.
+    fn unpark_session(&mut self, session: u64) {
+        if let Some(pos) = self.parked.iter().position(|p| p.session == session) {
+            if let Some(p) = self.parked.remove(pos) {
+                let _ = self.blocks.free_seq(p.owner);
+            }
+        }
+    }
+
+    /// Parks a completed non-final session turn: publishes its full blocks
+    /// under the session hash chain and keeps the sequence registered so
+    /// the next turn re-references them. Returns `false` (the caller frees
+    /// the sequence instead) when nothing could be published.
+    fn park_session(&mut self, r: &RunningSeq) -> bool {
+        let Some(s) = r.req.session else {
+            return false;
+        };
+        let blocks = self.retained(r.kv_len) / self.cfg.block_tokens;
+        let hashes = session_hash_chain(
+            r.req.prefix_group,
+            r.req.prefix_len,
+            s.session,
+            self.cfg.block_tokens,
+            blocks,
+        );
+        match self.blocks.publish_seq(r.req.id, &hashes) {
+            Ok(n) if n > 0 => {
+                self.parked.push_back(ParkedSession {
+                    session: s.session,
+                    owner: r.req.id,
+                });
+                true
+            }
+            _ => false,
         }
     }
 
@@ -350,13 +425,13 @@ impl ServerCore {
     /// request has not arrived, or the head of the queue can never fit in
     /// the block pool.
     pub(crate) fn iteration(&mut self) -> bool {
-        let sched = self.cfg.scheduler.policy();
+        let sched = self.cfg.scheduler.policy(self.cfg.slo_policy);
 
         // Admit while there is room. A request is admissible once it has
         // arrived (the clock jumps to the pick's arrival when idle).
         let mut admitted = false;
         while self.running.len() < self.cfg.max_batch {
-            let Some(pick) = sched.admit_pick(&self.queue, self.clock) else {
+            let Some(pick) = sched.admit_pick(&self.queue, self.clock, &self.cfg.slo) else {
                 break;
             };
             let Some(waiting) = self.queue.get(pick) else {
@@ -376,6 +451,7 @@ impl ServerCore {
             let spilled = waiting.spilled;
             let prefix_group = waiting.req.prefix_group;
             let prefix_len = waiting.req.prefix_len;
+            let session = waiting.req.session;
             let retained = self.retained(context);
             // Restore or allocate the pick's KV blocks. Each arm leaves the
             // pool untouched on failure, so breaking to wait for
@@ -386,17 +462,27 @@ impl ServerCore {
             if spilled {
                 let refill = self.cfg.tier.map_or(RefillPolicy::Transfer, |t| t.refill);
                 match refill {
-                    RefillPolicy::Transfer => match self.blocks.refill_seq(picked_id) {
-                        Ok(mv) => refilled_tokens = mv.tokens,
-                        Err(_) => break, // No L1 room; wait for completions.
-                    },
+                    RefillPolicy::Transfer => {
+                        let mut outcome = self.blocks.refill_seq(picked_id);
+                        while outcome.is_err() && self.evict_parked(None) {
+                            outcome = self.blocks.refill_seq(picked_id);
+                        }
+                        match outcome {
+                            Ok(mv) => refilled_tokens = mv.tokens,
+                            Err(_) => break, // No L1 room; wait for completions.
+                        }
+                    }
                     RefillPolicy::Recompute => {
                         // Discard the spilled copy and re-register for a
                         // full recompute.
                         if self.blocks.free_seq(picked_id).is_err() {
                             break;
                         }
-                        if self.blocks.register_seq(picked_id, retained).is_err() {
+                        let mut outcome = self.blocks.register_seq(picked_id, retained);
+                        while outcome.is_err() && self.evict_parked(None) {
+                            outcome = self.blocks.register_seq(picked_id, retained);
+                        }
+                        if outcome.is_err() {
                             // Its blocks are gone: future admissions go
                             // through the plain recompute path.
                             if let Some(wm) = self.queue.get_mut(pick) {
@@ -407,6 +493,36 @@ impl ServerCore {
                         recompute_spilled = true;
                     }
                 }
+            } else if self.cfg.prefix_sharing
+                && session.map_or(false, |s| s.carried_tokens > 0)
+            {
+                // A follow-up conversation turn: walk the session hash
+                // chain (shared system prefix, then this session's private
+                // history) onto whatever KV the previous turn parked. When
+                // the cache was evicted in between, the walk misses and the
+                // whole history is re-prefilled — correctness never depends
+                // on residency.
+                let sid = session.map_or(0, |s| s.session);
+                let carried = session.map_or(0, |s| s.carried_tokens);
+                let shareable = carried.min(retained) / self.cfg.block_tokens;
+                let hashes = session_hash_chain(
+                    prefix_group,
+                    prefix_len,
+                    sid,
+                    self.cfg.block_tokens,
+                    shareable,
+                );
+                let mut outcome = self.blocks.register_seq_shared(picked_id, retained, &hashes);
+                while outcome.is_err() && self.evict_parked(Some(sid)) {
+                    outcome = self.blocks.register_seq_shared(picked_id, retained, &hashes);
+                }
+                match outcome {
+                    Ok(r) => shared_tokens = r.shared_tokens,
+                    Err(_) => break, // No KV room; wait for completions.
+                }
+                // This turn now holds its own references to the carried
+                // blocks; the previous turn's parked owner can go.
+                self.unpark_session(sid);
             } else if self.cfg.prefix_sharing && prefix_len > 0 {
                 // Prefix blocks are content-determined, so a preempted
                 // sequence re-shares them on re-admission just like a
@@ -414,12 +530,22 @@ impl ServerCore {
                 // cap are shareable.
                 let shareable = prefix_len.min(retained) / self.cfg.block_tokens;
                 let hashes = prefix_hash_chain(prefix_group, self.cfg.block_tokens, shareable);
-                match self.blocks.register_seq_shared(picked_id, retained, &hashes) {
+                let mut outcome = self.blocks.register_seq_shared(picked_id, retained, &hashes);
+                while outcome.is_err() && self.evict_parked(None) {
+                    outcome = self.blocks.register_seq_shared(picked_id, retained, &hashes);
+                }
+                match outcome {
                     Ok(r) => shared_tokens = r.shared_tokens,
                     Err(_) => break, // No KV room; wait for completions.
                 }
-            } else if self.blocks.register_seq(picked_id, retained).is_err() {
-                break; // No KV room; wait for completions.
+            } else {
+                let mut outcome = self.blocks.register_seq(picked_id, retained);
+                while outcome.is_err() && self.evict_parked(None) {
+                    outcome = self.blocks.register_seq(picked_id, retained);
+                }
+                if outcome.is_err() {
+                    break; // No KV room; wait for completions.
+                }
             }
             let Some(w) = self.queue.remove(pick) else {
                 // Unreachable (`pick` was just read); undo the registration
@@ -516,6 +642,12 @@ impl ServerCore {
                     // Finishing this iteration anyway; don't evict for it.
                     break;
                 }
+                // Parked session caches are reclaimable — drop one before
+                // any running sequence pays a preemption (or runs capped).
+                if self.evict_parked(None) {
+                    append = self.blocks.append_token(seq);
+                    continue;
+                }
                 let Some(victim) = sched.preempt_victim(&self.running, i) else {
                     break;
                 };
@@ -542,9 +674,16 @@ impl ServerCore {
         }
         for &i in finished.iter().rev() {
             let r = self.running.swap_remove(i);
+            // A non-final conversation turn parks its KV (publish + stay
+            // registered) for the follow-up turn; everything else frees.
             // Running sequences are registered by construction.
-            let _ = self.blocks.free_seq(r.req.id);
-            self.completed.push(CompletedRequest {
+            let parked = self.cfg.prefix_sharing
+                && matches!(r.req.session, Some(s) if !s.last_turn)
+                && self.park_session(&r);
+            if !parked {
+                let _ = self.blocks.free_seq(r.req.id);
+            }
+            let mut done = CompletedRequest {
                 id: r.req.id,
                 server_id: self.id,
                 arrival_s: r.req.arrival_s,
@@ -553,7 +692,12 @@ impl ServerCore {
                 generated: r.generated,
                 queue_delay_s: r.queue_delay_s,
                 preemptions: r.preemptions,
-            });
+                slo: r.req.slo,
+                slo_ok: false,
+                session: r.req.session,
+            };
+            done.slo_ok = self.cfg.slo.target(done.slo).met(done.ttft_s, done.tbot_s());
+            self.completed.push(done);
         }
         true
     }
@@ -633,13 +777,65 @@ impl Engine {
     where
         F: FnMut(&[ServerSim], &SimRequest) -> (usize, f64),
     {
+        self.drive(requests, &mut dispatch, &mut |_| None);
+        let mut done: Vec<CompletedRequest> = self
+            .servers
+            .into_iter()
+            .flat_map(|s| s.into_completed())
+            .collect();
+        done.sort_by_key(|c| c.id);
+        done
+    }
+
+    /// [`run_stream`](Self::run_stream) plus causally generated follow-up
+    /// arrivals: after every completion, `follow_up` may return the next
+    /// turn of that conversation, which enters the cluster as a fresh
+    /// arrival at its own (later) time — turn `k` is scheduled only once
+    /// turn `k − 1` has finished, so think-time gaps are measured from
+    /// actual completion instants, never precomputed. Unlike `run_stream`
+    /// the engine is borrowed, leaving server state (block pools, dedup
+    /// counters, peaks) inspectable after the run.
+    ///
+    /// The initial `requests` must be sorted by `arrival_s`; follow-ups
+    /// may land anywhere at or after the completion that spawned them.
+    pub fn run_sessions<F, G>(
+        &mut self,
+        requests: Vec<SimRequest>,
+        mut dispatch: F,
+        mut follow_up: G,
+    ) -> Vec<CompletedRequest>
+    where
+        F: FnMut(&[ServerSim], &SimRequest) -> (usize, f64),
+        G: FnMut(&CompletedRequest) -> Option<SimRequest>,
+    {
+        self.drive(requests, &mut dispatch, &mut follow_up);
+        let mut done: Vec<CompletedRequest> = self
+            .servers
+            .iter()
+            .flat_map(|s| s.completed().iter().cloned())
+            .collect();
+        done.sort_by_key(|c| c.id);
+        done
+    }
+
+    /// The event loop shared by [`run_stream`](Self::run_stream) and
+    /// [`run_sessions`](Self::run_sessions). Completions land in each
+    /// server's `completed` buffer; the caller collects them.
+    fn drive(
+        &mut self,
+        requests: Vec<SimRequest>,
+        dispatch: &mut dyn FnMut(&[ServerSim], &SimRequest) -> (usize, f64),
+        follow_up: &mut dyn FnMut(&CompletedRequest) -> Option<SimRequest>,
+    ) {
         let n = self.servers.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut scheduled = vec![false; n];
         let mut push_seq: u64 = 0;
+        // Completions already offered to `follow_up`, per server.
+        let mut seen: Vec<usize> = self.servers.iter().map(|s| s.completed().len()).collect();
         let mut rest = requests.into_iter();
 
         if let Some(req) = rest.next() {
@@ -671,7 +867,22 @@ impl Engine {
                 }
                 EventKind::Iteration(idx) => {
                     scheduled[idx] = false;
-                    if self.servers[idx].iteration() {
+                    let progressed = self.servers[idx].iteration();
+                    // New completions may spawn their sessions' next turns.
+                    while seen[idx] < self.servers[idx].completed().len() {
+                        let next = follow_up(&self.servers[idx].completed()[seen[idx]]);
+                        seen[idx] += 1;
+                        if let Some(req) = next {
+                            heap.push(Reverse(Event {
+                                time: SimClock::from_secs(req.arrival_s).ordinal(),
+                                rank: RANK_ARRIVAL,
+                                seq: push_seq,
+                                kind: EventKind::Arrival(req),
+                            }));
+                            push_seq += 1;
+                        }
+                    }
+                    if progressed {
                         schedule(&self.servers, idx, &mut heap, &mut scheduled, &mut push_seq);
                     }
                     // On no-progress the server is parked: rescheduling
@@ -679,14 +890,6 @@ impl Engine {
                 }
             }
         }
-
-        let mut done: Vec<CompletedRequest> = self
-            .servers
-            .into_iter()
-            .flat_map(|s| s.into_completed())
-            .collect();
-        done.sort_by_key(|c| c.id);
-        done
     }
 }
 
@@ -804,6 +1007,121 @@ mod tests {
         assert!(total > 0, "expected preemptions under block pressure");
         // Preempted requests still finish with their full response.
         assert!(done.iter().all(|c| c.generated == 64));
+    }
+
+    fn session_turn(
+        id: u64,
+        arrival_s: f64,
+        prompt_len: usize,
+        session: u64,
+        turn: u32,
+        carried: usize,
+        last_turn: bool,
+    ) -> SimRequest {
+        SimRequest::new(id, arrival_s, prompt_len, 32).with_session(crate::SessionRef {
+            session,
+            turn,
+            carried_tokens: carried,
+            last_turn,
+        })
+    }
+
+    fn sharing_server(pool_tokens: usize) -> ServerSim {
+        let cfg = ServingConfig {
+            max_batch: 8,
+            pool_tokens: Some(pool_tokens),
+            prefix_sharing: true,
+            ..ServingConfig::default()
+        };
+        ServerSim::with_config(0, dep(), CompressionConfig::Fp16, cfg).expect("valid config")
+    }
+
+    /// Drives a two-turn conversation through `run_sessions`: turn 1 is
+    /// emitted by the follow-up hook after turn 0 completes, with the full
+    /// turn-0 context carried as its prompt prefix.
+    fn run_two_turn_session(engine: &mut Engine) -> Vec<CompletedRequest> {
+        let turn0 = session_turn(0, 0.0, 256, 7, 0, 0, false);
+        engine.run_sessions(
+            vec![turn0],
+            |_, req| (0, req.response_len as f64),
+            |c| {
+                if c.id != 0 {
+                    return None;
+                }
+                let carried = 256 + c.generated;
+                Some(session_turn(
+                    1,
+                    c.arrival_s + c.e2e_s + 1.0,
+                    carried + 64,
+                    7,
+                    1,
+                    carried,
+                    true,
+                ))
+            },
+        )
+    }
+
+    #[test]
+    fn session_follow_up_is_causal_and_reuses_parked_kv() {
+        let mut engine = Engine::new(vec![sharing_server(16 * 1024)]);
+        let done = run_two_turn_session(&mut engine);
+        assert_eq!(done.len(), 2);
+        // Causality: turn 1 arrives only after turn 0 completed (+ think).
+        assert!(done[1].arrival_s >= done[0].arrival_s + done[0].e2e_s);
+        // Turn 1's carried context hit the parked blocks instead of
+        // re-prefilling.
+        let stats = engine.servers()[0].block_stats();
+        assert!(stats.shared_hits > 0, "expected parked-KV reuse");
+        // The parked owner was released after the handover: with turn 1
+        // itself freed at completion, no blocks remain referenced.
+        assert_eq!(engine.servers()[0].memory_utilization(), 0.0);
+        // SLO fields are populated (FCFS, unloaded server: targets met).
+        assert!(done.iter().all(|c| c.slo_ok));
+    }
+
+    #[test]
+    fn session_reuse_beats_cold_reprefill_on_ttft() {
+        let mut warm = Engine::new(vec![sharing_server(16 * 1024)]);
+        let warm_done = run_two_turn_session(&mut warm);
+        // Same conversation on a sharing-disabled server: turn 1 pays a
+        // full-history prefill.
+        let cold_cfg = ServingConfig {
+            max_batch: 8,
+            pool_tokens: Some(16 * 1024),
+            prefix_sharing: false,
+            ..ServingConfig::default()
+        };
+        let cold_server =
+            ServerSim::with_config(0, dep(), CompressionConfig::Fp16, cold_cfg).expect("valid");
+        let mut cold = Engine::new(vec![cold_server]);
+        let cold_done = run_two_turn_session(&mut cold);
+        assert_eq!(warm_done.len(), 2);
+        assert_eq!(cold_done.len(), 2);
+        assert!(
+            warm_done[1].ttft_s < cold_done[1].ttft_s,
+            "warm {} vs cold {}",
+            warm_done[1].ttft_s,
+            cold_done[1].ttft_s
+        );
+    }
+
+    #[test]
+    fn parked_kv_is_evicted_under_pool_pressure_not_deadlocked() {
+        // Pool fits one parked conversation + one active sequence but not
+        // much more: a burst of single-shot arrivals after the park must
+        // reclaim the cache rather than stall.
+        let mut engine = Engine::new(vec![sharing_server(1024)]);
+        let turn0 = session_turn(0, 0.0, 256, 7, 0, 0, false);
+        let mut singles: Vec<SimRequest> = (1..=3)
+            .map(|i| SimRequest::new(i, 10.0 + i as f64 * 0.1, 400, 16))
+            .collect();
+        let mut reqs = vec![turn0];
+        reqs.append(&mut singles);
+        let done = engine.run_sessions(reqs, |_, req| (0, req.response_len as f64), |_| None);
+        // All four complete: the parked session-7 cache was evicted to
+        // make room (its follow-up never comes — no leak, no deadlock).
+        assert_eq!(done.len(), 4);
     }
 
     #[test]

@@ -28,6 +28,17 @@
 //! * [`LatencySummary`] / [`ServingMetrics`] — mean/percentile/CDF
 //!   reductions for Figure 5 and Table 8, plus TTFT/TBT/queue-delay
 //!   summaries for scheduler ablations.
+//! * **Sessions & SLOs** — every request carries an [`SloClass`]
+//!   (Interactive / Standard / Batch with per-class TTFT/TBT targets,
+//!   [`SloTargets`]) and may belong to a multi-turn conversation
+//!   ([`SessionRef`]). [`Engine::run_sessions`] schedules follow-up turns
+//!   causally (turn `k` arrives only after turn `k − 1` completes), and a
+//!   completed non-final turn *parks* its KV — published under a
+//!   session-scoped hash chain ([`session_hash_chain`]) and re-referenced
+//!   by the next turn instead of re-prefilled. [`SloPolicy::Aware`] swaps
+//!   the SPF/preemptive schedulers for deadline-slack admission and
+//!   Batch-first victim selection; [`SloMetrics`] reports per-class
+//!   attainment and the resulting *goodput* (within-SLO tokens/s).
 //!
 //! # Examples
 //!
@@ -81,19 +92,22 @@ mod metrics;
 mod request;
 mod scheduler;
 mod server;
+mod slo;
 mod tier;
 
 pub use blocks::{
-    prefix_hash_chain, BlockError, BlockManager, BlockPoolStats, BlockTier, BlockView,
-    SharedRegistration, TierMove,
+    prefix_hash_chain, session_hash_chain, BlockError, BlockManager, BlockPoolStats, BlockTier,
+    BlockView, SharedRegistration, TierMove,
 };
 pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterError, OraclePredictor, RoutePredictor, RoutingPolicy};
 pub use engine::{Engine, RunningSeq, Waiting};
-pub use metrics::{LatencySummary, ServingMetrics};
-pub use request::{CompletedRequest, SimRequest};
+pub use metrics::{ClassMetrics, LatencySummary, ServingMetrics, SloMetrics};
+pub use request::{CompletedRequest, SessionRef, SimRequest};
 pub use scheduler::{
-    FcfsScheduler, PreemptiveScheduler, Scheduler, SchedulerConfig, SpfScheduler,
+    FcfsScheduler, PreemptiveScheduler, Scheduler, SchedulerConfig, SloPreemptiveScheduler,
+    SloSpfScheduler, SpfScheduler,
 };
 pub use server::{ConfigError, ServerSim, ServingConfig};
+pub use slo::{SloClass, SloPolicy, SloTarget, SloTargets};
 pub use tier::{DemotePolicy, RefillPolicy, TierConfig};

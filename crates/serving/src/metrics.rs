@@ -1,7 +1,9 @@
 //! Latency reductions: percentiles and CDFs, plus per-request serving
-//! metric summaries (TTFT / TBT / queue delay / E2E) for experiment JSON.
+//! metric summaries (TTFT / TBT / queue delay / E2E) for experiment JSON —
+//! and, for mixed-class traffic, per-[`SloClass`] breakdowns with
+//! attainment and goodput ([`SloMetrics`]).
 
-use crate::CompletedRequest;
+use crate::{CompletedRequest, SloClass};
 
 
 /// Summary statistics over a set of latencies (seconds).
@@ -99,7 +101,35 @@ impl LatencySummary {
     }
 }
 
-rkvc_tensor::json_struct!(LatencySummary { sorted });
+// Hand-written (rather than `json_struct!`) so every serialized summary
+// leads with its sample `count` — results JSON stays greppable without
+// measuring the `sorted` array. `count` is derived, so parsing ignores it.
+impl rkvc_tensor::json::ToJson for LatencySummary {
+    fn to_json(&self) -> rkvc_tensor::json::JsonValue {
+        rkvc_tensor::json::JsonValue::Object(vec![
+            (
+                "count".to_owned(),
+                rkvc_tensor::json::ToJson::to_json(&self.sorted.len()),
+            ),
+            (
+                "sorted".to_owned(),
+                rkvc_tensor::json::ToJson::to_json(&self.sorted),
+            ),
+        ])
+    }
+}
+
+impl rkvc_tensor::json::FromJson for LatencySummary {
+    fn from_json(
+        v: &rkvc_tensor::json::JsonValue,
+    ) -> Result<Self, rkvc_tensor::json::JsonError> {
+        let fields = v.as_object().ok_or_else(|| {
+            rkvc_tensor::json::JsonError::new("expected object for LatencySummary")
+        })?;
+        let sorted: Vec<f64> = rkvc_tensor::json::field(fields, "sorted")?;
+        Ok(LatencySummary::new(sorted))
+    }
+}
 
 /// Per-request serving metric summaries over a set of completions — the
 /// paper's serving-quality surface (§2.4): time-to-first-token, time
@@ -152,6 +182,156 @@ rkvc_tensor::json_struct!(ServingMetrics {
     queue_delay,
     e2e,
     preemptions,
+});
+
+/// One [`SloClass`]'s slice of a mixed-class run: completions, per-request
+/// SLO attainment, token counts, and the class's own latency summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    /// The class summarized.
+    pub class: SloClass,
+    /// Completions in this class.
+    pub completed: usize,
+    /// Completions whose TTFT *and* mean TBT met the class targets.
+    pub slo_met: usize,
+    /// Tokens generated by this class.
+    pub generated_tokens: usize,
+    /// Tokens generated by completions that met their SLO.
+    pub attained_tokens: usize,
+    /// Time-to-first-token (s).
+    pub ttft: LatencySummary,
+    /// Time between output tokens (s/token after the first).
+    pub tbt: LatencySummary,
+    /// End-to-end latency (s).
+    pub e2e: LatencySummary,
+}
+
+impl ClassMetrics {
+    /// Fraction of this class's completions that met their SLO (1.0 when
+    /// the class is empty — no request missed).
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.completed as f64
+        }
+    }
+}
+
+rkvc_tensor::json_struct!(ClassMetrics {
+    class,
+    completed,
+    slo_met,
+    generated_tokens,
+    attained_tokens,
+    ttft,
+    tbt,
+    e2e,
+});
+
+/// SLO-centric summary of a mixed-class run: per-class breakdowns plus the
+/// run-level throughput/goodput pair. *Goodput* counts only tokens from
+/// completions that met their class targets, per second of makespan — the
+/// joint quality/performance score SLO-aware scheduling optimizes. By
+/// construction `0 <= goodput <= throughput`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloMetrics {
+    /// Per-class breakdowns in [`SloClass::all`] (reporting) order.
+    pub per_class: Vec<ClassMetrics>,
+    /// Total completions.
+    pub completed: usize,
+    /// Completions that met their class targets.
+    pub slo_met: usize,
+    /// Total tokens generated.
+    pub generated_tokens: usize,
+    /// Tokens from SLO-meeting completions.
+    pub attained_tokens: usize,
+    /// First arrival to last completion (s); 0 when empty.
+    pub makespan_s: f64,
+    /// Generated tokens per makespan second.
+    pub throughput_tps: f64,
+    /// Attained (within-SLO) tokens per makespan second.
+    pub goodput_tps: f64,
+}
+
+impl SloMetrics {
+    /// Summarizes a completion stream (input order does not matter).
+    pub fn from_completed(done: &[CompletedRequest]) -> Self {
+        let per_class: Vec<ClassMetrics> = SloClass::all()
+            .into_iter()
+            .map(|class| {
+                let of_class: Vec<&CompletedRequest> =
+                    done.iter().filter(|c| c.slo == class).collect();
+                ClassMetrics {
+                    class,
+                    completed: of_class.len(),
+                    slo_met: of_class.iter().filter(|c| c.slo_ok).count(),
+                    generated_tokens: of_class.iter().map(|c| c.generated).sum(),
+                    attained_tokens: of_class
+                        .iter()
+                        .filter(|c| c.slo_ok)
+                        .map(|c| c.generated)
+                        .sum(),
+                    ttft: LatencySummary::new(of_class.iter().map(|c| c.ttft_s).collect()),
+                    tbt: LatencySummary::new(of_class.iter().map(|c| c.tbot_s()).collect()),
+                    e2e: LatencySummary::new(of_class.iter().map(|c| c.e2e_s).collect()),
+                }
+            })
+            .collect();
+        let completed = done.len();
+        let slo_met = per_class.iter().map(|c| c.slo_met).sum();
+        let generated_tokens = per_class.iter().map(|c| c.generated_tokens).sum();
+        let attained_tokens = per_class.iter().map(|c| c.attained_tokens).sum();
+        let first_arrival = done
+            .iter()
+            .map(|c| c.arrival_s)
+            .min_by(|a, b| a.total_cmp(b));
+        let last_done = done
+            .iter()
+            .map(|c| c.arrival_s + c.e2e_s)
+            .max_by(|a, b| a.total_cmp(b));
+        let makespan_s = match (first_arrival, last_done) {
+            (Some(a), Some(b)) => (b - a).max(0.0),
+            _ => 0.0,
+        };
+        let rate = |tokens: usize| {
+            if makespan_s > 0.0 {
+                tokens as f64 / makespan_s
+            } else {
+                0.0
+            }
+        };
+        SloMetrics {
+            throughput_tps: rate(generated_tokens),
+            goodput_tps: rate(attained_tokens),
+            per_class,
+            completed,
+            slo_met,
+            generated_tokens,
+            attained_tokens,
+            makespan_s,
+        }
+    }
+
+    /// Fraction of completions that met their SLO (1.0 when empty).
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.completed as f64
+        }
+    }
+}
+
+rkvc_tensor::json_struct!(SloMetrics {
+    per_class,
+    completed,
+    slo_met,
+    generated_tokens,
+    attained_tokens,
+    makespan_s,
+    throughput_tps,
+    goodput_tps,
 });
 
 #[cfg(test)]
@@ -229,6 +409,9 @@ mod tests {
             generated: gen,
             queue_delay_s: q,
             preemptions: pre,
+            slo: SloClass::Standard,
+            slo_ok: true,
+            session: None,
         };
         let done = vec![
             mk(0, 1.0, 11.0, 0.5, 101, 0),
@@ -246,5 +429,76 @@ mod tests {
         assert_eq!(m.e2e.max(), 11.0);
         let empty = ServingMetrics::from_completed(&[]);
         assert_eq!(empty.row(&empty.ttft), [0.0; 4]);
+    }
+
+    #[test]
+    fn latency_summary_json_leads_with_count() {
+        let s = LatencySummary::new(vec![3.0, 1.0, 2.0]);
+        let text = rkvc_tensor::json::to_string(&s);
+        assert_eq!(text, r#"{"count":3,"sorted":[1.0,2.0,3.0]}"#);
+        let back: LatencySummary = rkvc_tensor::json::from_str(&text).expect("round trip");
+        assert_eq!(back, s);
+        // `count` is derived on write, not trusted on read.
+        let forged: LatencySummary =
+            rkvc_tensor::json::from_str(r#"{"count":99,"sorted":[1.0]}"#).expect("parse");
+        assert_eq!(forged.len(), 1);
+    }
+
+    #[test]
+    fn slo_metrics_split_by_class_and_bound_goodput() {
+        let mk = |id: u64,
+                  class: SloClass,
+                  ok: bool,
+                  arrival: f64,
+                  e2e: f64,
+                  gen: usize| CompletedRequest {
+            id,
+            server_id: 0,
+            arrival_s: arrival,
+            ttft_s: 0.5,
+            e2e_s: e2e,
+            generated: gen,
+            queue_delay_s: 0.0,
+            preemptions: 0,
+            slo: class,
+            slo_ok: ok,
+            session: None,
+        };
+        let done = vec![
+            mk(0, SloClass::Interactive, true, 0.0, 4.0, 100),
+            mk(1, SloClass::Interactive, false, 1.0, 6.0, 50),
+            mk(2, SloClass::Batch, true, 2.0, 8.0, 200),
+        ];
+        let m = SloMetrics::from_completed(&done);
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.slo_met, 2);
+        assert_eq!(m.generated_tokens, 350);
+        assert_eq!(m.attained_tokens, 300);
+        // Makespan: last completion at 2 + 8 = 10, first arrival at 0.
+        assert!((m.makespan_s - 10.0).abs() < 1e-12);
+        assert!((m.throughput_tps - 35.0).abs() < 1e-12);
+        assert!((m.goodput_tps - 30.0).abs() < 1e-12);
+        assert!(m.goodput_tps <= m.throughput_tps);
+        assert!((m.attainment() - 2.0 / 3.0).abs() < 1e-12);
+        // Per-class rows come back in reporting order with correct splits.
+        assert_eq!(m.per_class.len(), 3);
+        assert_eq!(m.per_class[0].class, SloClass::Interactive);
+        assert_eq!(m.per_class[0].completed, 2);
+        assert_eq!(m.per_class[0].slo_met, 1);
+        assert_eq!(m.per_class[0].attained_tokens, 100);
+        assert_eq!(m.per_class[1].class, SloClass::Standard);
+        assert_eq!(m.per_class[1].completed, 0);
+        assert_eq!(m.per_class[1].attainment(), 1.0);
+        assert_eq!(m.per_class[2].class, SloClass::Batch);
+        assert_eq!(m.per_class[2].completed, 1);
+        // Per-class completions sum to the total.
+        let sum: usize = m.per_class.iter().map(|c| c.completed).sum();
+        assert_eq!(sum, m.completed);
+        // Empty stream: all zeros, no division blowups.
+        let empty = SloMetrics::from_completed(&[]);
+        assert_eq!(empty.makespan_s, 0.0);
+        assert_eq!(empty.throughput_tps, 0.0);
+        assert_eq!(empty.goodput_tps, 0.0);
+        assert_eq!(empty.attainment(), 1.0);
     }
 }

@@ -1,5 +1,34 @@
 //! Requests flowing through the serving simulator.
 
+use crate::SloClass;
+
+/// Position of a request inside a multi-turn conversation.
+///
+/// Turn `k` of a session is emitted only after turn `k − 1` completes (the
+/// engine schedules follow-up arrivals causally), and its prompt opens
+/// with the previous turn's full context — `carried_tokens` of KV the
+/// engine re-registers via shared blocks instead of re-prefilling when the
+/// session's cache is still resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRef {
+    /// Session (conversation) id.
+    pub session: u64,
+    /// Zero-based turn index within the session.
+    pub turn: u32,
+    /// Leading prompt tokens carried over from the previous turn
+    /// (system prefix + accumulated history; 0 on the first turn).
+    pub carried_tokens: usize,
+    /// Whether this is the session's final turn — after it completes the
+    /// engine frees the session's KV instead of parking it for reuse.
+    pub last_turn: bool,
+}
+
+rkvc_tensor::json_struct!(SessionRef {
+    session,
+    turn,
+    carried_tokens,
+    last_turn,
+});
 
 /// A request submitted to a server or cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +54,11 @@ pub struct SimRequest {
     /// Leading tokens of the prompt shared verbatim with the group
     /// (0 = no sharing).
     pub prefix_len: usize,
+    /// Latency class (defaults to [`SloClass::Standard`]).
+    pub slo: SloClass,
+    /// Multi-turn conversation membership (`None` for single-shot
+    /// requests — the seed-compatible default).
+    pub session: Option<SessionRef>,
 }
 
 impl SimRequest {
@@ -39,6 +73,8 @@ impl SimRequest {
             response_len_by_server: Vec::new(),
             prefix_group: 0,
             prefix_len: 0,
+            slo: SloClass::Standard,
+            session: None,
         }
     }
 
@@ -47,6 +83,21 @@ impl SimRequest {
     pub fn with_shared_prefix(mut self, group: u64, prefix_len: usize) -> Self {
         self.prefix_group = group;
         self.prefix_len = prefix_len.min(self.prompt_len);
+        self
+    }
+
+    /// Sets the request's latency class.
+    pub fn with_slo(mut self, class: SloClass) -> Self {
+        self.slo = class;
+        self
+    }
+
+    /// Places the request inside a multi-turn session (`carried_tokens`
+    /// clamped to the prompt length — carried context is a prompt prefix
+    /// by construction).
+    pub fn with_session(mut self, mut session: SessionRef) -> Self {
+        session.carried_tokens = session.carried_tokens.min(self.prompt_len);
+        self.session = Some(session);
         self
     }
 
@@ -79,6 +130,13 @@ pub struct CompletedRequest {
     pub queue_delay_s: f64,
     /// Times the scheduler preempted (evicted-and-recomputed) the request.
     pub preemptions: usize,
+    /// Latency class the request was served under.
+    pub slo: SloClass,
+    /// Whether the completion met its class targets (TTFT and mean TBT
+    /// both within budget) — per-request SLO attainment.
+    pub slo_ok: bool,
+    /// Session membership carried over from the request.
+    pub session: Option<SessionRef>,
 }
 
 impl CompletedRequest {
@@ -102,6 +160,8 @@ rkvc_tensor::json_struct!(SimRequest {
     response_len_by_server,
     prefix_group,
     prefix_len,
+    slo,
+    session,
 });
 rkvc_tensor::json_struct!(CompletedRequest {
     id,
@@ -112,6 +172,9 @@ rkvc_tensor::json_struct!(CompletedRequest {
     generated,
     queue_delay_s,
     preemptions,
+    slo,
+    slo_ok,
+    session,
 });
 
 #[cfg(test)]
@@ -129,6 +192,9 @@ mod tests {
             generated: 101,
             queue_delay_s: 0.5,
             preemptions: 0,
+            slo: SloClass::Standard,
+            slo_ok: true,
+            session: None,
         };
         assert!((c.tbot_s() - 0.1).abs() < 1e-12);
         let single = CompletedRequest { generated: 1, ..c };
@@ -151,5 +217,26 @@ mod tests {
         assert_eq!(r.prefix_len, 100);
         let plain = SimRequest::new(2, 0.0, 100, 50);
         assert_eq!(plain.prefix_len, 0);
+    }
+
+    #[test]
+    fn slo_and_session_builders_annotate() {
+        let plain = SimRequest::new(1, 0.0, 100, 50);
+        assert_eq!(plain.slo, SloClass::Standard);
+        assert_eq!(plain.session, None);
+        let r = SimRequest::new(2, 0.0, 100, 50)
+            .with_slo(SloClass::Interactive)
+            .with_session(SessionRef {
+                session: 9,
+                turn: 1,
+                carried_tokens: 400, // clamped: carried KV is a prompt prefix
+                last_turn: false,
+            });
+        assert_eq!(r.slo, SloClass::Interactive);
+        let s = r.session.expect("session set");
+        assert_eq!(s.session, 9);
+        assert_eq!(s.turn, 1);
+        assert_eq!(s.carried_tokens, 100);
+        assert!(!s.last_turn);
     }
 }

@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use crate::{RunningSeq, SimClock, Waiting};
+use crate::{RunningSeq, SimClock, SloPolicy, SloTargets, Waiting};
 
 /// An admission + preemption policy. Implementations must be determinstic
 /// pure functions of their arguments — the engine calls them at
@@ -23,8 +23,14 @@ pub trait Scheduler: std::fmt::Debug + Sync {
     /// Index into `queue` of the next request to try admitting, or `None`
     /// to stop admitting this iteration. The engine applies the arrival
     /// gate itself: a pick that has not yet arrived admits only on an idle
-    /// server (which jumps its clock to the arrival).
-    fn admit_pick(&self, queue: &VecDeque<Waiting>, clock: SimClock) -> Option<usize>;
+    /// server (which jumps its clock to the arrival). `slo` carries the
+    /// server's per-class targets; SLO-blind policies ignore it.
+    fn admit_pick(
+        &self,
+        queue: &VecDeque<Waiting>,
+        clock: SimClock,
+        slo: &SloTargets,
+    ) -> Option<usize>;
 
     /// Victim among `running` to evict when the pool runs dry while
     /// `grower` tries to append a token, or `None` to let `grower` run on
@@ -45,7 +51,12 @@ impl Scheduler for FcfsScheduler {
         "fcfs"
     }
 
-    fn admit_pick(&self, queue: &VecDeque<Waiting>, _clock: SimClock) -> Option<usize> {
+    fn admit_pick(
+        &self,
+        queue: &VecDeque<Waiting>,
+        _clock: SimClock,
+        _slo: &SloTargets,
+    ) -> Option<usize> {
         if queue.is_empty() {
             None
         } else {
@@ -76,7 +87,12 @@ impl Scheduler for SpfScheduler {
         "spf"
     }
 
-    fn admit_pick(&self, queue: &VecDeque<Waiting>, clock: SimClock) -> Option<usize> {
+    fn admit_pick(
+        &self,
+        queue: &VecDeque<Waiting>,
+        clock: SimClock,
+        _slo: &SloTargets,
+    ) -> Option<usize> {
         let arrived = queue
             .iter()
             .enumerate()
@@ -89,16 +105,86 @@ impl Scheduler for SpfScheduler {
         if let Some((idx, _)) = arrived {
             return Some(idx);
         }
-        // Nothing arrived: wake for the earliest future arrival.
-        queue
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.arrival_s()
-                    .total_cmp(&b.arrival_s())
-                    .then(a.queue_seq().cmp(&b.queue_seq()))
-            })
-            .map(|(idx, _)| idx)
+        earliest_future_arrival(queue)
+    }
+
+    fn preempt_victim(&self, _running: &[RunningSeq], _grower: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// Index of the earliest future arrival — the idle wake-up fallback every
+/// non-FCFS policy shares so idle servers wake exactly like FCFS.
+fn earliest_future_arrival(queue: &VecDeque<Waiting>) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.arrival_s()
+                .total_cmp(&b.arrival_s())
+                .then(a.queue_seq().cmp(&b.queue_seq()))
+        })
+        .map(|(idx, _)| idx)
+}
+
+/// Shared SLO-aware admission ordering: earliest-deadline-first with
+/// *deadline restart*. Arrived requests are ordered by their effective
+/// TTFT deadline — an Interactive arrival with a 2 s first-token budget
+/// outranks a Batch job with hours of slack, regardless of arrival order
+/// — breaking ties by predicted length and then enqueue order. A request
+/// whose deadline has already passed cannot contribute goodput no matter
+/// when it runs, so its priority is *restarted*: it competes as if it had
+/// just arrived (effective deadline = now + class target). Naive EDF
+/// collapses under overload because it serves the most-overdue (hopeless)
+/// work first and starves the still-winnable; pushing blown work to the
+/// back instead lets it rot behind slack-rich Batch admissions and blows
+/// up the interactive tail. The restart rule sits between the two: blown
+/// work degrades to class-priority order with shortest-first within the
+/// class — never ahead of a feasible tighter deadline, never behind a
+/// looser one.
+fn slo_admit_pick(queue: &VecDeque<Waiting>, clock: SimClock, slo: &SloTargets) -> Option<usize> {
+    let eff_deadline = |w: &Waiting| {
+        let deadline = slo.ttft_deadline(w.request().slo, w.arrival_s());
+        if SimClock::from_secs(deadline) < clock {
+            slo.ttft_deadline(w.request().slo, clock.secs())
+        } else {
+            deadline
+        }
+    };
+    let arrived = queue
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| SimClock::from_secs(w.arrival_s()) <= clock)
+        .min_by(|(_, a), (_, b)| {
+            eff_deadline(a)
+                .total_cmp(&eff_deadline(b))
+                .then(a.predicted_len().total_cmp(&b.predicted_len()))
+                .then(a.queue_seq().cmp(&b.queue_seq()))
+        });
+    if let Some((idx, _)) = arrived {
+        return Some(idx);
+    }
+    earliest_future_arrival(queue)
+}
+
+/// Deadline-slack ("SLO-aware") shortest-predicted-first: admission is
+/// the shared deadline-restart earliest-deadline-first ordering
+/// ([`slo_admit_pick`]). Never preempts (the SLO-blind SPF contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloSpfScheduler;
+
+impl Scheduler for SloSpfScheduler {
+    fn label(&self) -> &'static str {
+        "spf+slo"
+    }
+
+    fn admit_pick(
+        &self,
+        queue: &VecDeque<Waiting>,
+        clock: SimClock,
+        slo: &SloTargets,
+    ) -> Option<usize> {
+        slo_admit_pick(queue, clock, slo)
     }
 
     fn preempt_victim(&self, _running: &[RunningSeq], _grower: usize) -> Option<usize> {
@@ -120,7 +206,12 @@ impl Scheduler for PreemptiveScheduler {
         "preemptive"
     }
 
-    fn admit_pick(&self, queue: &VecDeque<Waiting>, _clock: SimClock) -> Option<usize> {
+    fn admit_pick(
+        &self,
+        queue: &VecDeque<Waiting>,
+        _clock: SimClock,
+        _slo: &SloTargets,
+    ) -> Option<usize> {
         if queue.is_empty() {
             None
         } else {
@@ -151,6 +242,52 @@ impl Scheduler for PreemptiveScheduler {
     }
 }
 
+/// SLO-aware preemptive scheduling: deadline-restart
+/// earliest-TTFT-deadline admission ([`slo_admit_pick`] — an Interactive
+/// arrival jumps the queue) and class-preferring victim selection — when the pool runs dry, evict the youngest *Batch*
+/// sequence before touching Standard, and Standard before Interactive.
+/// The recompute penalty lands on the traffic with the loosest deadline,
+/// which is exactly the class that can absorb it without losing its SLO.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloPreemptiveScheduler;
+
+impl Scheduler for SloPreemptiveScheduler {
+    fn label(&self) -> &'static str {
+        "preemptive+slo"
+    }
+
+    fn admit_pick(
+        &self,
+        queue: &VecDeque<Waiting>,
+        clock: SimClock,
+        slo: &SloTargets,
+    ) -> Option<usize> {
+        slo_admit_pick(queue, clock, slo)
+    }
+
+    fn preempt_victim(&self, running: &[RunningSeq], _grower: usize) -> Option<usize> {
+        let mut unfinished = 0usize;
+        // Maximal (class rank, admit_seq): most-sacrificable class first,
+        // youngest within the class — deterministic because admit_seq is
+        // unique.
+        let mut victim: Option<(usize, (u8, u64))> = None;
+        for (idx, r) in running.iter().enumerate() {
+            if r.is_finished() {
+                continue;
+            }
+            unfinished += 1;
+            let key = (r.request().slo.victim_rank(), r.admit_seq());
+            if victim.map_or(true, |(_, best)| key > best) {
+                victim = Some((idx, key));
+            }
+        }
+        if unfinished < 2 {
+            return None;
+        }
+        victim.map(|(idx, _)| idx)
+    }
+}
+
 /// Which scheduler a server runs — the serving-config knob threaded
 /// through experiments, benches, and examples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -176,18 +313,23 @@ impl SchedulerConfig {
         ]
     }
 
-    /// The policy object.
-    pub fn policy(self) -> &'static dyn Scheduler {
-        match self {
-            SchedulerConfig::Fcfs => &FcfsScheduler,
-            SchedulerConfig::ShortestPredictedFirst => &SpfScheduler,
-            SchedulerConfig::Preemptive => &PreemptiveScheduler,
+    /// The policy object for the given SLO mode. FCFS is definitionally
+    /// arrival-ordered, so it has no aware variant; the SLO-blind SPF and
+    /// preemptive orderings are the bitwise oracles the aware variants
+    /// are diffed against.
+    pub fn policy(self, slo: SloPolicy) -> &'static dyn Scheduler {
+        match (self, slo) {
+            (SchedulerConfig::Fcfs, _) => &FcfsScheduler,
+            (SchedulerConfig::ShortestPredictedFirst, SloPolicy::Blind) => &SpfScheduler,
+            (SchedulerConfig::ShortestPredictedFirst, SloPolicy::Aware) => &SloSpfScheduler,
+            (SchedulerConfig::Preemptive, SloPolicy::Blind) => &PreemptiveScheduler,
+            (SchedulerConfig::Preemptive, SloPolicy::Aware) => &SloPreemptiveScheduler,
         }
     }
 
-    /// Table/bench label.
+    /// Table/bench label (the scheduler family, independent of SLO mode).
     pub fn label(self) -> &'static str {
-        self.policy().label()
+        self.policy(SloPolicy::Blind).label()
     }
 
     /// Parses a CLI-style name (`fcfs`, `spf`, `preemptive`).
@@ -224,6 +366,10 @@ mod tests {
         }
     }
 
+    fn targets() -> SloTargets {
+        SloTargets::default()
+    }
+
     #[test]
     fn fcfs_always_picks_the_head() {
         let q: VecDeque<Waiting> = vec![
@@ -231,8 +377,15 @@ mod tests {
             waiting(1, 0.1, 1.0, 1),
         ]
         .into();
-        assert_eq!(FcfsScheduler.admit_pick(&q, SimClock::from_secs(1.0)), Some(0));
-        assert_eq!(FcfsScheduler.admit_pick(&VecDeque::new(), SimClock::ZERO), None);
+        let t = targets();
+        assert_eq!(
+            FcfsScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            Some(0)
+        );
+        assert_eq!(
+            FcfsScheduler.admit_pick(&VecDeque::new(), SimClock::ZERO, &t),
+            None
+        );
     }
 
     #[test]
@@ -243,9 +396,16 @@ mod tests {
             waiting(2, 5.0, 1.0, 2), // shortest but not yet arrived
         ]
         .into();
-        assert_eq!(SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0)), Some(1));
+        let t = targets();
+        assert_eq!(
+            SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            Some(1)
+        );
         // Before anything arrives: earliest arrival wins, not shortest.
-        assert_eq!(SpfScheduler.admit_pick(&q, SimClock::from_secs(-1.0)), Some(0));
+        assert_eq!(
+            SpfScheduler.admit_pick(&q, SimClock::from_secs(-1.0), &t),
+            Some(0)
+        );
     }
 
     #[test]
@@ -256,7 +416,83 @@ mod tests {
         ]
         .into();
         // Equal predictions: lower queue_seq wins regardless of position.
-        assert_eq!(SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0)), Some(1));
+        assert_eq!(
+            SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &targets()),
+            Some(1)
+        );
+    }
+
+    fn waiting_class(
+        id: u64,
+        arrival_s: f64,
+        predicted_len: f64,
+        queue_seq: u64,
+        class: crate::SloClass,
+    ) -> Waiting {
+        let mut w = waiting(id, arrival_s, predicted_len, queue_seq);
+        w.req = w.req.with_slo(class);
+        w
+    }
+
+    #[test]
+    fn slo_spf_admits_by_ttft_deadline_not_length() {
+        use crate::SloClass;
+        // A long Interactive request vs. a short Batch job, both arrived.
+        let q: VecDeque<Waiting> = vec![
+            waiting_class(0, 0.0, 500.0, 0, SloClass::Interactive),
+            waiting_class(1, 0.0, 1.0, 1, SloClass::Batch),
+        ]
+        .into();
+        let t = targets();
+        // Blind SPF chases the short job; aware SPF honours the deadline.
+        assert_eq!(
+            SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            Some(1)
+        );
+        assert_eq!(
+            SloSpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            Some(0)
+        );
+        // Idle fallback matches SPF: earliest future arrival.
+        let future: VecDeque<Waiting> = vec![
+            waiting_class(0, 5.0, 1.0, 0, SloClass::Interactive),
+            waiting_class(1, 3.0, 9.0, 1, SloClass::Batch),
+        ]
+        .into();
+        assert_eq!(
+            SloSpfScheduler.admit_pick(&future, SimClock::ZERO, &t),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn slo_preemptive_evicts_batch_before_interactive() {
+        use crate::SloClass;
+        let running_seq = |id: u64, admit_seq: u64, class: SloClass| RunningSeq {
+            req: crate::SimRequest::new(id, 0.0, 128, 32).with_slo(class),
+            target_len: 32,
+            generated: 1,
+            kv_len: 129,
+            ttft_s: 0.1,
+            queue_delay_s: 0.0,
+            predicted_len: 32.0,
+            preemptions: 0,
+            admit_seq,
+            queue_seq: id,
+        };
+        let running = vec![
+            running_seq(0, 0, SloClass::Interactive),
+            running_seq(1, 1, SloClass::Batch),
+            running_seq(2, 2, SloClass::Interactive), // youngest overall
+        ];
+        // Blind: youngest (admit_seq 2). Aware: the Batch sequence.
+        assert_eq!(PreemptiveScheduler.preempt_victim(&running, 0), Some(2));
+        assert_eq!(SloPreemptiveScheduler.preempt_victim(&running, 0), Some(1));
+        // Single unfinished sequence: nobody preempts.
+        assert_eq!(
+            SloPreemptiveScheduler.preempt_victim(&running[..1], 0),
+            None
+        );
     }
 
     #[test]
@@ -266,5 +502,21 @@ mod tests {
         }
         assert_eq!(SchedulerConfig::parse("nope"), None);
         assert_eq!(SchedulerConfig::default(), SchedulerConfig::Fcfs);
+        // Aware variants are distinct policies for SPF/preemptive, and the
+        // same FCFS object either way.
+        assert_eq!(
+            SchedulerConfig::Fcfs.policy(SloPolicy::Aware).label(),
+            "fcfs"
+        );
+        assert_eq!(
+            SchedulerConfig::ShortestPredictedFirst
+                .policy(SloPolicy::Aware)
+                .label(),
+            "spf+slo"
+        );
+        assert_eq!(
+            SchedulerConfig::Preemptive.policy(SloPolicy::Aware).label(),
+            "preemptive+slo"
+        );
     }
 }

@@ -7,7 +7,7 @@ use rkvc_kvcache::CompressionConfig;
 use crate::engine::{ServerCore, RANK_DECODE, RANK_IDLE_START};
 use crate::{
     BlockManager, BlockPoolStats, CompletedRequest, SchedulerConfig, SimClock, SimRequest,
-    TierConfig,
+    SloPolicy, SloTargets, TierConfig,
 };
 
 /// Construction-time serving parameters, validated by
@@ -32,6 +32,12 @@ pub struct ServingConfig {
     /// Optional host spill tier. `None` (the default) preempts by
     /// evict-and-recompute, exactly as the seed did.
     pub tier: Option<TierConfig>,
+    /// Per-class TTFT/TBT targets used for per-request SLO attainment
+    /// and (under [`SloPolicy::Aware`]) deadline-slack scheduling.
+    pub slo: SloTargets,
+    /// Whether schedulers consult SLO classes. [`SloPolicy::Blind`] (the
+    /// default) keeps every existing ordering bit-for-bit.
+    pub slo_policy: SloPolicy,
 }
 
 impl Default for ServingConfig {
@@ -43,6 +49,8 @@ impl Default for ServingConfig {
             scheduler: SchedulerConfig::Fcfs,
             prefix_sharing: false,
             tier: None,
+            slo: SloTargets::default(),
+            slo_policy: SloPolicy::Blind,
         }
     }
 }
@@ -83,6 +91,9 @@ impl ServingConfig {
                 return Err(ConfigError::BadLinkLatency);
             }
         }
+        if !self.slo.valid() {
+            return Err(ConfigError::BadSloTarget);
+        }
         Ok(())
     }
 }
@@ -103,6 +114,8 @@ pub enum ConfigError {
     BadLinkBandwidth,
     /// The tier's transfer latency must be non-negative and finite.
     BadLinkLatency,
+    /// Every per-class SLO target must be positive and finite.
+    BadSloTarget,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -117,6 +130,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadLinkLatency => {
                 write!(f, "tier.transfer_latency_s must be non-negative and finite")
+            }
+            ConfigError::BadSloTarget => {
+                write!(f, "slo targets must be positive and finite for every class")
             }
         }
     }
@@ -490,6 +506,12 @@ mod tests {
             ..ServingConfig::default()
         };
         assert!(good_tier.validate().is_ok());
+        let mut bad_slo = ServingConfig::default();
+        bad_slo.slo.interactive.ttft_s = 0.0;
+        assert_eq!(bad_slo.validate(), Err(ConfigError::BadSloTarget));
+        let mut nan_slo = ServingConfig::default();
+        nan_slo.slo.batch.tbt_s = f64::NAN;
+        assert_eq!(nan_slo.validate(), Err(ConfigError::BadSloTarget));
     }
 
     #[test]

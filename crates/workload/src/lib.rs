@@ -14,6 +14,12 @@
 //! * [`prefix`] — shared-system-prompt traffic: a few fixed prefix groups,
 //!   log-normal private suffixes, Poisson arrivals. The workload where a
 //!   prefix-sharing KV pool separates from a flat one.
+//! * [`session`] — multi-turn conversations with per-session SLO classes:
+//!   Poisson session starts, geometric turn counts, think-time gaps, each
+//!   turn's prompt re-opening with the full accumulated history. Turn
+//!   `k + 1` is materialized causally from turn `k`'s completion via
+//!   [`SessionTrace::follow_up`] — the input to the serving engine's
+//!   session-aware `run_sessions` loop.
 //! * [`semantic`] — token-overlap F1 scoring (the stand-in for the paper's
 //!   ChatGPT-reference semantic score in Table 4).
 //! * [`length`] — the paper's response-length difference statistic
@@ -25,11 +31,15 @@ pub mod length;
 pub mod longbench;
 pub mod prefix;
 pub mod semantic;
+pub mod session;
 pub mod sharegpt;
 pub mod suite;
 
 pub use length::{length_difference, LengthStats};
 pub use prefix::{sample_shared_prefix, PrefixRequest, SharedPrefixConfig};
+pub use session::{
+    sample_sessions, SessionSpec, SessionTrace, SessionTurn, SessionWorkloadConfig,
+};
 pub use longbench::{generate_sample, generate_suite, LongBenchConfig, Scorer, TaskSample, TaskType};
 pub use semantic::{semantic_score, token_f1};
 pub use sharegpt::{sample_conversations, ConversationRequest, ShareGptConfig};

@@ -3,7 +3,9 @@
 //! engine's pluggable schedulers.
 //!
 //! ```text
-//! cargo run --release --example serving_router -- [--scheduler fcfs|spf|preemptive] [--pool <tokens>]
+//! cargo run --release --example serving_router -- \
+//!     [--scheduler fcfs|spf|preemptive] [--pool <tokens>] \
+//!     [--slo blind|aware] [--turns <mean>]
 //! ```
 //!
 //! Scheduler selection is a [`ServingConfig`] field:
@@ -19,14 +21,24 @@
 //! `--pool` pins each server's KV pool (in tokens) below the HBM-derived
 //! default; schedulers only separate under block pressure, so try e.g.
 //! `--scheduler preemptive --pool 8192`.
+//!
+//! `--slo aware` swaps the SPF/preemptive orderings for deadline-slack
+//! admission with Batch-first victim selection ([`SloPolicy`]); `--turns N`
+//! switches to the multi-turn session demo — one FP16 server serving
+//! mixed-SLO conversations averaging N turns, follow-up turns arriving
+//! causally after their predecessor completes and re-referencing the
+//! parked history KV — and reports per-class attainment and goodput. Try
+//! `--turns 4 --scheduler preemptive --slo aware`.
 
 use rethink_kv_compression::gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rethink_kv_compression::kvcache::CompressionConfig;
 use rethink_kv_compression::serving::{
-    Cluster, OraclePredictor, RoutingPolicy, SchedulerConfig, ServerSim, ServingConfig,
-    ServingMetrics, SimRequest,
+    Cluster, Engine, OraclePredictor, RoutingPolicy, SchedulerConfig, ServerSim, ServingConfig,
+    ServingMetrics, SimRequest, SloMetrics, SloPolicy,
 };
-use rethink_kv_compression::workload::{sample_conversations, ShareGptConfig};
+use rethink_kv_compression::workload::{
+    sample_conversations, sample_sessions, SessionTrace, SessionWorkloadConfig, ShareGptConfig,
+};
 
 fn dep() -> DeploymentSpec {
     DeploymentSpec {
@@ -38,14 +50,74 @@ fn dep() -> DeploymentSpec {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: serving_router [--scheduler fcfs|spf|preemptive] [--pool <tokens>]");
+    eprintln!(
+        "usage: serving_router [--scheduler fcfs|spf|preemptive] [--pool <tokens>] \
+         [--slo blind|aware] [--turns <mean>]"
+    );
     std::process::exit(2);
+}
+
+/// The multi-turn session demo: one pinned-pool FP16 server, a mixed-SLO
+/// chat trace averaging `turns` turns per conversation, per-class SLO
+/// attainment and goodput under the selected scheduler and policy.
+fn run_sessions_demo(cfg: ServingConfig, turns: usize) {
+    let mut wcfg = SessionWorkloadConfig::chat(96, 11);
+    wcfg.arrival_rps = 6.0;
+    wcfg.mean_turns = turns as f64;
+    wcfg.max_turns = (2 * turns).max(4);
+    let trace = SessionTrace::new(sample_sessions(&wcfg), wcfg.max_turns);
+
+    let server = ServerSim::with_config(0, dep(), CompressionConfig::Fp16, cfg)
+        .expect("demo config is valid");
+    let mut engine = Engine::new(vec![server]);
+    let done = engine.run_sessions(
+        trace.initial_requests(),
+        |_, r| (0, r.response_len as f64),
+        |c| trace.follow_up(c),
+    );
+    let dedup = engine.servers()[0].block_stats().dedup_ratio();
+    let m = SloMetrics::from_completed(&done);
+
+    println!(
+        "sessions: {} conversations, {} turns served, scheduler = {}, policy = {}{}\n",
+        trace.specs().len(),
+        m.completed,
+        cfg.scheduler.label(),
+        cfg.slo_policy.label(),
+        cfg.pool_tokens
+            .map_or(String::new(), |t| format!(", pool pinned to {t} tok")),
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "class", "completed", "attain", "p99 ttft", "mean tbt"
+    );
+    for c in &m.per_class {
+        println!(
+            "{:<12} {:>10} {:>10.3} {:>9.2}s {:>9.4}s",
+            c.class.label(),
+            c.completed,
+            c.attainment(),
+            c.ttft.p99(),
+            c.tbt.mean(),
+        );
+    }
+    println!(
+        "\ngoodput {:.1} tok/s of {:.1} tok/s throughput ({:.1}% attained); \
+         cross-turn KV dedup {:.2}x — parked histories re-referenced instead \
+         of re-prefilled.",
+        m.goodput_tps,
+        m.throughput_tps,
+        100.0 * m.attainment(),
+        dedup
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scheduler = SchedulerConfig::Fcfs;
+    let mut slo_policy = SloPolicy::Blind;
     let mut pool_tokens = None;
+    let mut turns = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -55,23 +127,50 @@ fn main() {
                     None => usage(),
                 }
             }
+            "--slo" => {
+                slo_policy = match it.next().and_then(|s| SloPolicy::parse(s)) {
+                    Some(p) => p,
+                    None => usage(),
+                }
+            }
             "--pool" => {
                 pool_tokens = match it.next().and_then(|s| s.parse().ok()) {
                     Some(t) => Some(t),
                     None => usage(),
                 }
             }
+            "--turns" => {
+                turns = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(t) if t > 0 => t,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
-    // The scheduler is just another serving-config field; everything else
-    // about the cluster (routing, cost model, arrivals) is untouched.
+    // The scheduler and SLO policy are just serving-config fields;
+    // everything else about the cluster (routing, cost model, arrivals)
+    // is untouched.
     let cfg = ServingConfig {
         max_batch: 16,
         pool_tokens,
         scheduler,
+        slo_policy,
         ..ServingConfig::default()
     };
+
+    if turns > 0 {
+        // Session mode: narrower batch, sharing on, pool pinned unless
+        // overridden — the regime where parked-KV reuse matters.
+        let session_cfg = ServingConfig {
+            max_batch: 12,
+            pool_tokens: pool_tokens.or(Some(16384)),
+            prefix_sharing: true,
+            ..cfg
+        };
+        run_sessions_demo(session_cfg, turns);
+        return;
+    }
 
     let mut conversations = sample_conversations(&ShareGptConfig::paper_scale(300, 11), 64);
     // Compress the arrival window to the paper's ~0.9-utilization regime —
@@ -94,10 +193,11 @@ fn main() {
 
     let algo = CompressionConfig::streaming(64, 448);
     println!(
-        "cluster: GPU0 = FP16, GPU1-3 = {}, {} requests @ ~25 rps, scheduler = {}{}\n",
+        "cluster: GPU0 = FP16, GPU1-3 = {}, {} requests @ ~25 rps, scheduler = {} ({}){}\n",
         algo.label(),
         requests.len(),
         scheduler.label(),
+        slo_policy.label(),
         pool_tokens.map_or(String::new(), |t| format!(", pool pinned to {t} tok")),
     );
     println!(

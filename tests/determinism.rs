@@ -48,17 +48,25 @@ fn table8_router_decisions_are_bit_reproducible() {
 /// of the inputs, never of the worker-pool width. One byte of drift here
 /// means some kernel's float association depends on scheduling.
 #[test]
-fn fig1_and_table6_are_thread_count_invariant() {
+fn fig1_table6_and_ext_slo_are_thread_count_invariant() {
+    // One test owns the global thread-pool knob: splitting these across
+    // test fns would race `set_threads` under the parallel test runner.
+    // `ext_slo` joins fig1/table6 because the session engine's follow-up
+    // injection and SLO-aware admission are the newest event-loop paths —
+    // a multi-turn SLO-aware run must be a pure function of the seed.
     let opts = RunOptions::quick();
     rkvc_tensor::par::set_threads(Some(1));
     let fig1_base = to_string_pretty(&run_by_id("fig1", &opts).expect("fig1 exists"));
     let table6_base = to_string_pretty(&run_by_id("table6", &opts).expect("table6 exists"));
+    let ext_slo_base = to_string_pretty(&run_by_id("ext_slo", &opts).expect("ext_slo exists"));
     for t in [2usize, 4] {
         rkvc_tensor::par::set_threads(Some(t));
         let fig1 = to_string_pretty(&run_by_id("fig1", &opts).expect("fig1 exists"));
         assert_eq!(fig1_base, fig1, "fig1 JSON drifted at RKVC_THREADS={t}");
         let table6 = to_string_pretty(&run_by_id("table6", &opts).expect("table6 exists"));
         assert_eq!(table6_base, table6, "table6 JSON drifted at RKVC_THREADS={t}");
+        let ext_slo = to_string_pretty(&run_by_id("ext_slo", &opts).expect("ext_slo exists"));
+        assert_eq!(ext_slo_base, ext_slo, "ext_slo JSON drifted at RKVC_THREADS={t}");
     }
     rkvc_tensor::par::set_threads(None);
 }

@@ -8,9 +8,16 @@ use rethink_kv_compression::kvcache::{
     dequantize_group, quantize_group, CompressionConfig, GearParams, KiviParams, SnapKvParams,
     SupportedBits,
 };
-use rethink_kv_compression::serving::{BlockManager, LatencySummary};
+use rethink_kv_compression::serving::{
+    BlockManager, ClassMetrics, CompletedRequest, Engine, LatencySummary, Scheduler,
+    SchedulerConfig, ServerSim, ServingConfig, SloClass, SloMetrics, SloPolicy,
+    SloPreemptiveScheduler, SloSpfScheduler, SloTarget, SloTargets,
+};
 use rethink_kv_compression::tensor::{det::SeededRng, round_to_f16, Matrix};
-use rethink_kv_compression::workload::{length_difference, token_f1, LengthStats};
+use rethink_kv_compression::workload::{
+    length_difference, sample_sessions, token_f1, LengthStats, SessionSpec, SessionTrace,
+    SessionTurn, SessionWorkloadConfig,
+};
 
 fn random_bits(rng: &mut SeededRng) -> SupportedBits {
     match rng.gen_range(0u32..4) {
@@ -50,7 +57,127 @@ fn random_vec_f32(rng: &mut SeededRng, len: std::ops::Range<usize>, lo: f32, hi:
     (0..n).map(|_| rng.gen_range(lo..hi)).collect()
 }
 
+/// A synthetic completion stream with random classes, latencies, and
+/// per-request attainment flags.
+fn random_completed(rng: &mut SeededRng) -> Vec<CompletedRequest> {
+    let n = rng.gen_range(0usize..40);
+    (0..n)
+        .map(|i| {
+            let ttft_s = rng.gen_range(0.01f64..3.0);
+            CompletedRequest {
+                id: i as u64,
+                server_id: 0,
+                arrival_s: rng.gen_range(0.0f64..30.0),
+                ttft_s,
+                e2e_s: ttft_s + rng.gen_range(0.0f64..20.0),
+                generated: rng.gen_range(1usize..300),
+                queue_delay_s: rng.gen_range(0.0f64..2.0),
+                preemptions: 0,
+                slo: match rng.gen_range(0u32..3) {
+                    0 => SloClass::Interactive,
+                    1 => SloClass::Standard,
+                    _ => SloClass::Batch,
+                },
+                slo_ok: rng.gen_bool(0.6),
+                session: None,
+            }
+        })
+        .collect()
+}
+
 rkvc_tensor::det_cases! {
+    fn slo_class_counts_sum_to_totals(rng) {
+        let done = random_completed(rng);
+        let m = SloMetrics::from_completed(&done);
+        assert_eq!(m.completed, done.len());
+        let sum = |f: fn(&ClassMetrics) -> usize| -> usize { m.per_class.iter().map(f).sum() };
+        assert_eq!(
+            sum(|c| c.completed),
+            m.completed,
+            "per-class completions must partition the stream"
+        );
+        assert_eq!(sum(|c| c.slo_met), m.slo_met);
+        assert_eq!(sum(|c| c.generated_tokens), m.generated_tokens);
+        assert_eq!(sum(|c| c.attained_tokens), m.attained_tokens);
+    }
+
+    fn goodput_is_bounded_by_throughput(rng) {
+        let done = random_completed(rng);
+        let m = SloMetrics::from_completed(&done);
+        assert!(m.goodput_tps >= 0.0, "goodput {}", m.goodput_tps);
+        assert!(
+            m.goodput_tps <= m.throughput_tps + 1e-12,
+            "goodput {} must not exceed throughput {}",
+            m.goodput_tps,
+            m.throughput_tps
+        );
+        assert!(m.attained_tokens <= m.generated_tokens);
+    }
+
+    fn session_turns_never_start_before_predecessor_completes(rng, cases = 8) {
+        use rethink_kv_compression::gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
+        let mut cfg = SessionWorkloadConfig::chat(
+            rng.gen_range(2usize..6),
+            rng.gen_range(0u64..1 << 20),
+        );
+        cfg.arrival_rps = rng.gen_range(1.0f64..8.0);
+        let trace = SessionTrace::new(sample_sessions(&cfg), cfg.max_turns);
+        // The specs are the trace's ground truth: planned turns partition
+        // the total, and turn 0 of a conversation has no think gap.
+        let specs: &[SessionSpec] = trace.specs();
+        let planned: usize = specs.iter().map(|s| s.turns.len()).sum();
+        assert_eq!(planned, trace.total_turns());
+        let first: &SessionTurn = &specs[0].turns[0];
+        assert_eq!(first.think_gap_s, 0.0, "turn 0 has no think gap");
+        let dep = DeploymentSpec {
+            gpu: GpuSpec::a6000(),
+            llm: LlmSpec::llama2_7b(),
+            engine: EngineKind::LmDeploy,
+            tensor_parallel: 1,
+        };
+        let serve_cfg = ServingConfig {
+            max_batch: 8,
+            pool_tokens: Some(16384),
+            scheduler: SchedulerConfig::Preemptive,
+            slo_policy: if rng.gen_bool(0.5) { SloPolicy::Aware } else { SloPolicy::Blind },
+            prefix_sharing: true,
+            ..ServingConfig::default()
+        };
+        let server = ServerSim::with_config(
+            0,
+            dep,
+            CompressionConfig::Fp16,
+            serve_cfg,
+        )
+        .expect("valid session property config");
+        let mut engine = Engine::new(vec![server]);
+        let done = engine.run_sessions(
+            trace.initial_requests(),
+            |_, r| (0, r.response_len as f64),
+            |c| trace.follow_up(c),
+        );
+        assert_eq!(done.len(), trace.total_turns(), "every turn must complete");
+        let mut last_done: std::collections::BTreeMap<u64, (u32, f64)> = Default::default();
+        for c in &done {
+            let s = c.session.expect("session workload requests carry a session ref");
+            if let Some(&(prev_turn, prev_done_s)) = last_done.get(&s.session) {
+                assert_eq!(s.turn, prev_turn + 1, "turns complete in order per session");
+                assert!(
+                    c.arrival_s >= prev_done_s,
+                    "turn {} of session {} arrived at {} before turn {} completed at {}",
+                    s.turn,
+                    s.session,
+                    c.arrival_s,
+                    prev_turn,
+                    prev_done_s
+                );
+            } else {
+                assert_eq!(s.turn, 0, "first completion of a session is turn 0");
+            }
+            last_done.insert(s.session, (s.turn, c.arrival_s + c.e2e_s));
+        }
+    }
+
     fn quantizer_round_trip_error_bounded(rng) {
         let values = random_vec_f32(rng, 1..128, -100.0, 100.0);
         let bits = random_bits(rng);
@@ -249,6 +376,38 @@ rkvc_tensor::det_cases! {
             assert_eq!(a.tokens, b.tokens);
             assert_eq!(a.stopped_by_eos, b.stopped_by_eos);
         }
+    }
+
+    fn slo_targets_classify_latencies_consistently(rng) {
+        // The policy() mapping hands out exactly the named aware
+        // scheduler objects, and a target classifies a latency pair the
+        // same way whether reached through `SloTargets::target` or the
+        // per-class field.
+        assert_eq!(
+            SchedulerConfig::ShortestPredictedFirst
+                .policy(SloPolicy::Aware)
+                .label(),
+            Scheduler::label(&SloSpfScheduler)
+        );
+        assert_eq!(
+            SchedulerConfig::Preemptive.policy(SloPolicy::Aware).label(),
+            Scheduler::label(&SloPreemptiveScheduler)
+        );
+        let targets = SloTargets::default();
+        let class = match rng.gen_range(0u32..3) {
+            0 => SloClass::Interactive,
+            1 => SloClass::Standard,
+            _ => SloClass::Batch,
+        };
+        let t: SloTarget = targets.target(class);
+        let ttft = rng.gen_range(0.0f64..300.0);
+        let tbot = rng.gen_range(0.0f64..2.0);
+        assert_eq!(t.met(ttft, tbot), ttft <= t.ttft_s && tbot <= t.tbt_s);
+        assert_eq!(
+            targets.ttft_deadline(class, ttft),
+            ttft + t.ttft_s,
+            "deadline is arrival plus the class TTFT budget"
+        );
     }
 
     fn matrix_select_rows_matches_manual(rng) {

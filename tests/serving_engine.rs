@@ -8,7 +8,7 @@
 //! schedulers (SPF, preemptive) have no seed oracle, so they are held to
 //! double-run bit-reproducibility instead.
 
-use rkvc_core::experiments::table8::cluster_workload;
+use rkvc_core::experiments::workloads::cluster_workload;
 use rkvc_core::experiments::RunOptions;
 use rkvc_serving::{
     CompletedRequest, Cluster, RoutePredictor, RoutingPolicy, SchedulerConfig, ServerSim,
