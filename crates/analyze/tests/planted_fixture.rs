@@ -175,6 +175,9 @@ fn serving_engine_files_are_in_e001_scope() {
         "crates/serving/src/tier.rs",
         "crates/serving/src/slo.rs",
         "crates/serving/src/request.rs",
+        "crates/serving/src/fleet.rs",
+        "crates/serving/src/shard.rs",
+        "crates/serving/src/scaling.rs",
     ] {
         let vs = scan_source(path, FIXTURE);
         assert!(

@@ -12,9 +12,16 @@
 //! (effective capacity, dedup ratio, preemption rate, p99 TTFT), and an
 //! `slo_goodput` section sweeping the multi-turn session trace over
 //! {FCFS, SPF, preemptive} × {SLO-blind, SLO-aware} (per-cell goodput,
-//! attainment, per-class p99 TTFT, cross-turn dedup).
+//! attainment, per-class p99 TTFT, cross-turn dedup), and a `fleet_scale`
+//! section timing the ext_fleet 16-replica quick cell at thread widths 1
+//! vs 4 (with the hardware's available parallelism recorded so the
+//! speedup reads honestly) plus the O(events)-not-O(events × servers)
+//! regression numbers for the engine's incremental completion drain.
 
 use rkvc_bench::{workspace_root, Harness};
+use rkvc_core::experiments::ext_fleet::{
+    fleet_workload, load_patterns, serve_fleet, serve_single_reference, REPLICAS,
+};
 use rkvc_core::experiments::ext_prefix::{prefix_workload, serve_prefix_workload, variants};
 use rkvc_core::experiments::ext_scheduler::serve_workload;
 use rkvc_core::experiments::ext_slo::{serve_sessions, session_trace, sweep, SloOutcome};
@@ -24,10 +31,12 @@ use rkvc_gpu::{DeploymentSpec, EngineKind, GpuSpec, LlmSpec};
 use rkvc_kvcache::CompressionConfig;
 use rkvc_serving::{
     Cluster, OraclePredictor, RoutingPolicy, SchedulerConfig, ServerSim, ServingMetrics,
-    SimRequest,
+    ShardPolicy, SimRequest,
 };
 use rkvc_tensor::json::{JsonValue, ToJson};
+use rkvc_tensor::par;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn dep() -> DeploymentSpec {
     DeploymentSpec {
@@ -152,6 +161,121 @@ fn bench_slo_goodput(
     out
 }
 
+/// Regression guard for the engine's incremental completion drain: the
+/// event loop must cost O(events), not O(events x servers). Per-request
+/// load is held constant (64 requests per server, arrivals scaled so each
+/// server sees the same rate), so with the watermark drain the ns/request
+/// cost stays roughly flat as the cluster widens; with the old per-event
+/// `completed().len()` rescan it grew near-linearly in server count.
+fn bench_event_scaling(h: &mut Harness) -> JsonValue {
+    let mut g = h.group("cluster_event_scaling");
+    g.sample_size(5);
+    let run_cluster = |servers: usize| -> f64 {
+        let n = 64 * servers;
+        let reqs: Vec<SimRequest> = (0..n)
+            .map(|i| {
+                SimRequest::new(
+                    i as u64,
+                    i as f64 * 0.1 / servers as f64,
+                    512 + (i % 7) * 128,
+                    64 + (i % 5) * 32,
+                )
+            })
+            .collect();
+        let sims: Vec<ServerSim> = (0..servers)
+            .map(|i| ServerSim::new(i, dep(), CompressionConfig::streaming(64, 448), 16))
+            .collect();
+        let t0 = Instant::now();
+        let done = Cluster::new(sims, RoutingPolicy::LoadBalance)
+            .expect("at least one server")
+            .run(reqs, &OraclePredictor)
+            .expect("sorted arrivals");
+        let dt = t0.elapsed();
+        assert_eq!(done.len(), n, "cluster must serve the whole stream");
+        dt.as_nanos() as f64 / n as f64
+    };
+    for servers in [1usize, 16] {
+        g.bench_function(&format!("{servers}_servers_64_req_each"), |b| {
+            b.iter(|| black_box(run_cluster(servers)))
+        });
+    }
+    g.finish();
+    let ns_1 = run_cluster(1);
+    let ns_16 = run_cluster(16);
+    JsonValue::object(vec![
+        ("requests_per_server", 64.to_json()),
+        ("ns_per_request_1_server", ns_1.to_json()),
+        ("ns_per_request_16_servers", ns_16.to_json()),
+        ("ratio_16_vs_1", (ns_16 / ns_1).to_json()),
+    ])
+}
+
+/// Fleet-layer scaling: the ext_fleet quick cell (uniform load, 16
+/// replicas, consistent hashing) timed at `RKVC_THREADS` 1 vs 4 — outputs
+/// are byte-identical (the hermetic gate diffs them), only wall time may
+/// move — plus simulated-request throughput at 1 vs 16 replicas. The
+/// hardware's available parallelism is recorded alongside the speedup so
+/// the number reads honestly: on a single-core container the epoch
+/// barrier has nothing to fan out over and the expected speedup is ~1x.
+fn bench_fleet(h: &mut Harness) -> JsonValue {
+    let (_, uniform) = load_patterns()[0];
+    let reqs = fleet_workload(&RunOptions::quick(), uniform);
+    let n = reqs.len();
+
+    let mut g = h.group("fleet_scale");
+    g.sample_size(3);
+    g.bench_function("16_replicas_hash", |b| {
+        b.iter(|| {
+            black_box(
+                serve_fleet(reqs.clone(), REPLICAS, ShardPolicy::ConsistentHash, None)
+                    .completed
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("1_replica_reference", |b| {
+        b.iter(|| black_box(serve_single_reference(reqs.clone()).completed.len()))
+    });
+    g.finish();
+
+    let time_fleet = |threads: usize| -> f64 {
+        par::set_threads(Some(threads));
+        let t0 = Instant::now();
+        let out = serve_fleet(reqs.clone(), REPLICAS, ShardPolicy::ConsistentHash, None);
+        let dt = t0.elapsed().as_secs_f64();
+        black_box(out.completed.len());
+        dt
+    };
+    let wall_1 = time_fleet(1);
+    let wall_4 = time_fleet(4);
+    par::set_threads(None);
+
+    let t0 = Instant::now();
+    let single = serve_single_reference(reqs.clone());
+    let single_wall = t0.elapsed().as_secs_f64();
+    black_box(single.completed.len());
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    JsonValue::object(vec![
+        ("requests", n.to_json()),
+        ("replicas", REPLICAS.to_json()),
+        ("available_parallelism", hardware_threads.to_json()),
+        ("wall_s_threads_1", wall_1.to_json()),
+        ("wall_s_threads_4", wall_4.to_json()),
+        ("parallel_speedup_4_vs_1", (wall_1 / wall_4).to_json()),
+        (
+            "requests_per_s_16_replicas",
+            (n as f64 / wall_1).to_json(),
+        ),
+        (
+            "requests_per_s_1_replica",
+            (n as f64 / single_wall).to_json(),
+        ),
+    ])
+}
+
 fn main() {
     let mut h = Harness::new("serving_sim");
     bench_server(&mut h);
@@ -161,6 +285,8 @@ fn main() {
     let metrics = bench_schedulers(&mut h, &w);
     let pools = bench_prefix_pool(&mut h);
     let slo_cells = bench_slo_goodput(&mut h);
+    let event_scaling = bench_event_scaling(&mut h);
+    let fleet = bench_fleet(&mut h);
     let by_label = |c: SchedulerConfig| -> &ServingMetrics {
         metrics
             .iter()
@@ -280,6 +406,16 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "fleet_scale",
+            match fleet {
+                JsonValue::Object(mut fields) => {
+                    fields.push(("event_scaling".to_string(), event_scaling));
+                    JsonValue::Object(fields)
+                }
+                other => other,
+            },
         ),
         ("records", h.records().to_json()),
     ]);

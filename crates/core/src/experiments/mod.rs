@@ -10,6 +10,7 @@ pub mod appendix_c;
 pub mod appendix_d;
 pub mod common;
 pub mod ext_granularity;
+pub mod ext_fleet;
 pub mod ext_prefix;
 pub mod ext_quest;
 pub mod ext_scheduler;
@@ -121,7 +122,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig1", "fig2", "fig3", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7",
         "table6", "table7", "table8", "fig8", "fig9", "fig10", "fig11_14", "appendix_c",
         "appendix_d", "ext_quest", "ext_task_router", "ext_granularity", "ext_scheduler",
-        "ext_prefix", "ext_slo", "table1_2",
+        "ext_prefix", "ext_slo", "ext_fleet", "table1_2",
     ]
 }
 
@@ -155,6 +156,7 @@ pub fn run_by_id(id: &str, opts: &RunOptions) -> Option<ExperimentResult> {
         "ext_scheduler" => ext_scheduler::run(opts),
         "ext_prefix" => ext_prefix::run(opts),
         "ext_slo" => ext_slo::run(opts),
+        "ext_fleet" => ext_fleet::run(opts),
         "table1_2" => table1_2::run(opts),
         _ => return None,
     })

@@ -202,6 +202,21 @@ pub(crate) struct ServerCore {
     parked: VecDeque<ParkedSession>,
     admit_counter: u64,
     queue_counter: u64,
+    /// Progressing iterations executed so far — a pure observability
+    /// counter (fleet stall detection); never feeds back into simulation.
+    pub(crate) iterations: u64,
+    /// Whether `queue` is sorted ascending by arrival time (`total_cmp`
+    /// order). True for event-driven and fleet dispatch, where arrivals
+    /// enqueue in global time order — the fast paths key off it. Goes
+    /// false on an out-of-order enqueue/preempt and resets when the queue
+    /// drains.
+    queue_sorted: bool,
+    /// Completions already offered to the driver's follow-up hook — the
+    /// incremental-drain watermark replacing per-event `seen` rescans.
+    completed_offered: usize,
+    /// Finished-index scratch reused across decode iterations (the
+    /// per-iteration `Vec` allocation is measurable at fleet scale).
+    finished_scratch: Vec<usize>,
 }
 
 impl ServerCore {
@@ -248,6 +263,10 @@ impl ServerCore {
             parked: VecDeque::new(),
             admit_counter: 0,
             queue_counter: 0,
+            iterations: 0,
+            queue_sorted: true,
+            completed_offered: 0,
+            finished_scratch: Vec::new(),
         }
     }
 
@@ -329,11 +348,39 @@ impl ServerCore {
     }
 
     /// Earliest arrival among queued requests (the idle wake-up time).
+    /// O(1) on an arrival-sorted queue — this runs once per scheduled
+    /// event, so the fallback scan made event cost O(queue depth).
     pub(crate) fn earliest_queued_arrival(&self) -> Option<f64> {
+        if self.queue_sorted {
+            return self.queue.front().map(|w| w.req.arrival_s);
+        }
         self.queue
             .iter()
             .map(|w| w.req.arrival_s)
             .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Completions not yet offered to the driver's follow-up hook:
+    /// advances the watermark and returns the fresh index range.
+    pub(crate) fn take_new_completions(&mut self) -> std::ops::Range<usize> {
+        let range = self.completed_offered..self.completed.len();
+        self.completed_offered = self.completed.len();
+        range
+    }
+
+    /// Marks every completion to date as already offered — each drive pass
+    /// hands follow-up hooks only completions it produced itself.
+    pub(crate) fn reset_completion_watermark(&mut self) {
+        self.completed_offered = self.completed.len();
+    }
+
+    /// Releases every parked session cache (a draining replica spills its
+    /// parked KV — follow-up turns will re-prefill elsewhere).
+    pub(crate) fn release_parked(&mut self) {
+        while let Some(p) = self.parked.pop_front() {
+            // Parked owners are registered by construction.
+            let _ = self.blocks.free_seq(p.owner);
+        }
     }
 
     /// Tokens the policy actually retains for a sequence at logical KV
@@ -353,6 +400,14 @@ impl ServerCore {
     pub(crate) fn enqueue(&mut self, req: SimRequest, predicted_len: f64) {
         let queue_seq = self.queue_counter;
         self.queue_counter += 1;
+        match self.queue.back() {
+            None => self.queue_sorted = true,
+            Some(back) => {
+                if back.req.arrival_s.total_cmp(&req.arrival_s) == std::cmp::Ordering::Greater {
+                    self.queue_sorted = false;
+                }
+            }
+        }
         self.queue.push_back(Waiting {
             req,
             predicted_len,
@@ -406,6 +461,14 @@ impl ServerCore {
                 *f -= 1;
             }
         }
+        match self.queue.front() {
+            None => self.queue_sorted = true,
+            Some(front) => {
+                if r.req.arrival_s.total_cmp(&front.req.arrival_s) == std::cmp::Ordering::Greater {
+                    self.queue_sorted = false;
+                }
+            }
+        }
         self.queue.push_front(Waiting {
             req: r.req,
             predicted_len: r.predicted_len,
@@ -431,7 +494,8 @@ impl ServerCore {
         // arrived (the clock jumps to the pick's arrival when idle).
         let mut admitted = false;
         while self.running.len() < self.cfg.max_batch {
-            let Some(pick) = sched.admit_pick(&self.queue, self.clock, &self.cfg.slo) else {
+            let view = crate::QueueView::new(&self.queue, self.queue_sorted);
+            let Some(pick) = sched.admit_pick(&view, self.clock, &self.cfg.slo) else {
                 break;
             };
             let Some(waiting) = self.queue.get(pick) else {
@@ -616,6 +680,9 @@ impl ServerCore {
             self.peak_batch = self.running.len();
         }
         if self.running.is_empty() {
+            if admitted {
+                self.iterations += 1;
+            }
             return admitted;
         }
 
@@ -625,7 +692,8 @@ impl ServerCore {
         let step = self.dep.decode_step(&self.algo, batch, kv).total();
         self.clock.advance(step);
 
-        let mut finished = Vec::new();
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        finished.clear();
         let mut i = 0;
         'grow: while i < self.running.len() {
             self.running[i].generated += 1;
@@ -699,6 +767,9 @@ impl ServerCore {
             done.slo_ok = self.cfg.slo.target(done.slo).met(done.ttft_s, done.tbot_s());
             self.completed.push(done);
         }
+        finished.clear();
+        self.finished_scratch = finished;
+        self.iterations += 1;
         true
     }
 }
@@ -751,12 +822,21 @@ impl Ord for Event {
 #[derive(Debug)]
 pub struct Engine {
     servers: Vec<ServerSim>,
+    /// Event heap, owned by the engine so repeated drive passes (e.g.
+    /// epoch-batched session runs) reuse its allocation instead of
+    /// rebuilding it per pass.
+    heap: BinaryHeap<Reverse<Event>>,
+    scheduled: Vec<bool>,
 }
 
 impl Engine {
     /// Builds an engine over the given servers.
     pub fn new(servers: Vec<ServerSim>) -> Self {
-        Engine { servers }
+        Engine {
+            servers,
+            heap: BinaryHeap::new(),
+            scheduled: Vec::new(),
+        }
     }
 
     /// The servers, in id order as supplied.
@@ -831,15 +911,19 @@ impl Engine {
         if n == 0 {
             return;
         }
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut scheduled = vec![false; n];
+        self.heap.clear();
+        self.scheduled.clear();
+        self.scheduled.resize(n, false);
         let mut push_seq: u64 = 0;
-        // Completions already offered to `follow_up`, per server.
-        let mut seen: Vec<usize> = self.servers.iter().map(|s| s.completed().len()).collect();
+        // Each pass offers `follow_up` only its own completions: align the
+        // per-server watermark with whatever completed before this drive.
+        for s in &mut self.servers {
+            s.reset_completion_watermark();
+        }
         let mut rest = requests.into_iter();
 
         if let Some(req) = rest.next() {
-            heap.push(Reverse(Event {
+            self.heap.push(Reverse(Event {
                 time: SimClock::from_secs(req.arrival_s).ordinal(),
                 rank: RANK_ARRIVAL,
                 seq: push_seq,
@@ -848,15 +932,21 @@ impl Engine {
             push_seq += 1;
         }
 
-        while let Some(Reverse(ev)) = heap.pop() {
+        while let Some(Reverse(ev)) = self.heap.pop() {
             match ev.kind {
                 EventKind::Arrival(req) => {
                     let (dst, predicted) = dispatch(&self.servers, &req);
                     let dst = dst.min(n - 1);
                     self.servers[dst].enqueue_predicted(req, predicted);
-                    schedule(&self.servers, dst, &mut heap, &mut scheduled, &mut push_seq);
+                    schedule(
+                        &self.servers,
+                        dst,
+                        &mut self.heap,
+                        &mut self.scheduled,
+                        &mut push_seq,
+                    );
                     if let Some(next) = rest.next() {
-                        heap.push(Reverse(Event {
+                        self.heap.push(Reverse(Event {
                             time: SimClock::from_secs(next.arrival_s).ordinal(),
                             rank: RANK_ARRIVAL,
                             seq: push_seq,
@@ -866,14 +956,15 @@ impl Engine {
                     }
                 }
                 EventKind::Iteration(idx) => {
-                    scheduled[idx] = false;
+                    self.scheduled[idx] = false;
                     let progressed = self.servers[idx].iteration();
-                    // New completions may spawn their sessions' next turns.
-                    while seen[idx] < self.servers[idx].completed().len() {
-                        let next = follow_up(&self.servers[idx].completed()[seen[idx]]);
-                        seen[idx] += 1;
+                    // New completions may spawn their sessions' next turns:
+                    // an incremental drain from the server's watermark, so
+                    // per-event cost scales with fresh completions only.
+                    for i in self.servers[idx].take_new_completions() {
+                        let next = follow_up(&self.servers[idx].completed()[i]);
                         if let Some(req) = next {
-                            heap.push(Reverse(Event {
+                            self.heap.push(Reverse(Event {
                                 time: SimClock::from_secs(req.arrival_s).ordinal(),
                                 rank: RANK_ARRIVAL,
                                 seq: push_seq,
@@ -883,7 +974,13 @@ impl Engine {
                         }
                     }
                     if progressed {
-                        schedule(&self.servers, idx, &mut heap, &mut scheduled, &mut push_seq);
+                        schedule(
+                            &self.servers,
+                            idx,
+                            &mut self.heap,
+                            &mut self.scheduled,
+                            &mut push_seq,
+                        );
                     }
                     // On no-progress the server is parked: rescheduling
                     // would spin on a request that can never fit.

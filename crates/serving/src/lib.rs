@@ -39,6 +39,14 @@
 //!   the SPF/preemptive schedulers for deadline-slack admission and
 //!   Batch-first victim selection; [`SloMetrics`] reports per-class
 //!   attainment and the resulting *goodput* (within-SLO tokens/s).
+//! * [`Fleet`] — sharded, epoch-parallel replica simulation for 10⁴–10⁶
+//!   request runs: a [`Sharder`] (round-robin or jump consistent hashing
+//!   over session/prefix-group keys) dispatches each request to one
+//!   replica, replicas advance independently between telemetry epochs
+//!   (fanned across [`rkvc_tensor::par`], byte-identical at any
+//!   `RKVC_THREADS`), and an optional [`Autoscaler`] adds or drains
+//!   replicas on queue-depth / p99-TTFT signals sampled at epoch
+//!   boundaries.
 //!
 //! # Examples
 //!
@@ -88,10 +96,13 @@ mod blocks;
 mod clock;
 mod cluster;
 mod engine;
+mod fleet;
 mod metrics;
 mod request;
+mod scaling;
 mod scheduler;
 mod server;
+mod shard;
 mod slo;
 mod tier;
 
@@ -102,11 +113,16 @@ pub use blocks::{
 pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterError, OraclePredictor, RoutePredictor, RoutingPolicy};
 pub use engine::{Engine, RunningSeq, Waiting};
+pub use fleet::{Fleet, FleetConfig, FleetError, FleetOutcome};
 pub use metrics::{ClassMetrics, LatencySummary, ServingMetrics, SloMetrics};
 pub use request::{CompletedRequest, SessionRef, SimRequest};
+pub use scaling::{AutoscaleConfig, Autoscaler, FleetTelemetry, ScaleAction};
 pub use scheduler::{
-    FcfsScheduler, PreemptiveScheduler, Scheduler, SchedulerConfig, SloPreemptiveScheduler,
-    SloSpfScheduler, SpfScheduler,
+    FcfsScheduler, PreemptiveScheduler, QueueView, Scheduler, SchedulerConfig,
+    SloPreemptiveScheduler, SloSpfScheduler, SpfScheduler,
+};
+pub use shard::{
+    jump_hash, shard_key, JumpHashSharder, RoundRobinSharder, ShardPolicy, Sharder,
 };
 pub use server::{ConfigError, ServerSim, ServingConfig};
 pub use slo::{SloClass, SloPolicy, SloTarget, SloTargets};

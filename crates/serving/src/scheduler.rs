@@ -13,6 +13,112 @@ use std::collections::VecDeque;
 
 use crate::{RunningSeq, SimClock, SloPolicy, SloTargets, Waiting};
 
+/// A scheduler's read-only view of a server queue, annotated with whether
+/// the queue is known to be sorted ascending by arrival time (`total_cmp`
+/// order). Event-driven and fleet dispatch deliver arrivals in global time
+/// order, so the flag is almost always set — and then the arrival-gated
+/// scans below touch only the *arrived prefix* instead of the whole queue
+/// (which at fleet scale is dominated by not-yet-arrived requests). The
+/// unsorted fallback reproduces the full scans bit-for-bit, so policies
+/// behave identically either way.
+#[derive(Debug, Clone, Copy)]
+// rkvc-allow(C001): parameter type of the pub Scheduler trait; pluggable schedulers implement against it
+pub struct QueueView<'a> {
+    queue: &'a VecDeque<Waiting>,
+    sorted: bool,
+}
+
+impl<'a> QueueView<'a> {
+    /// Wraps a queue; `sorted` asserts ascending-arrival order.
+    pub fn new(queue: &'a VecDeque<Waiting>, sorted: bool) -> Self {
+        QueueView { queue, sorted }
+    }
+
+    /// Queue length.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The waiting entry at `idx`.
+    pub fn get(&self, idx: usize) -> Option<&'a Waiting> {
+        self.queue.get(idx)
+    }
+
+    /// All waiting entries with their queue indices.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a Waiting)> + '_ {
+        self.queue.iter().enumerate()
+    }
+
+    /// End of the arrived prefix on a sorted queue (binary search over the
+    /// deque — arrived entries form a prefix by the sort invariant).
+    fn arrived_prefix(&self, clock: SimClock) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.queue.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if SimClock::from_secs(self.queue[mid].arrival_s()) <= clock {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Entries that have arrived by `clock`, with their queue indices —
+    /// the admission candidates. Sublinear in queue depth on a sorted
+    /// queue (only the arrived prefix is walked).
+    pub fn arrived(&self, clock: SimClock) -> impl Iterator<Item = (usize, &'a Waiting)> + '_ {
+        let end = if self.sorted {
+            self.arrived_prefix(clock)
+        } else {
+            self.queue.len()
+        };
+        // On the sorted path the filter is a no-op safety net; unsorted it
+        // does the actual gating, exactly as the pre-view full scan did.
+        self.queue
+            .iter()
+            .enumerate()
+            .take(end)
+            .filter(move |(_, w)| SimClock::from_secs(w.arrival_s()) <= clock)
+    }
+
+    /// Index of the earliest future arrival (ties by enqueue order) — the
+    /// idle wake-up fallback every non-FCFS policy shares so idle servers
+    /// wake exactly like FCFS. O(ties-at-minimum) on a sorted queue.
+    pub fn earliest_future(&self) -> Option<usize> {
+        if self.sorted {
+            let first = self.queue.front()?;
+            let mut best_idx = 0usize;
+            let mut best_seq = first.queue_seq();
+            for (i, w) in self.queue.iter().enumerate().skip(1) {
+                if w.arrival_s().total_cmp(&first.arrival_s()) != std::cmp::Ordering::Equal {
+                    break;
+                }
+                if w.queue_seq() < best_seq {
+                    best_idx = i;
+                    best_seq = w.queue_seq();
+                }
+            }
+            return Some(best_idx);
+        }
+        self.queue
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.arrival_s()
+                    .total_cmp(&b.arrival_s())
+                    .then(a.queue_seq().cmp(&b.queue_seq()))
+            })
+            .map(|(idx, _)| idx)
+    }
+}
+
 /// An admission + preemption policy. Implementations must be determinstic
 /// pure functions of their arguments — the engine calls them at
 /// reproducible instants and expects reproducible answers.
@@ -25,12 +131,8 @@ pub trait Scheduler: std::fmt::Debug + Sync {
     /// gate itself: a pick that has not yet arrived admits only on an idle
     /// server (which jumps its clock to the arrival). `slo` carries the
     /// server's per-class targets; SLO-blind policies ignore it.
-    fn admit_pick(
-        &self,
-        queue: &VecDeque<Waiting>,
-        clock: SimClock,
-        slo: &SloTargets,
-    ) -> Option<usize>;
+    fn admit_pick(&self, queue: &QueueView<'_>, clock: SimClock, slo: &SloTargets)
+        -> Option<usize>;
 
     /// Victim among `running` to evict when the pool runs dry while
     /// `grower` tries to append a token, or `None` to let `grower` run on
@@ -53,7 +155,7 @@ impl Scheduler for FcfsScheduler {
 
     fn admit_pick(
         &self,
-        queue: &VecDeque<Waiting>,
+        queue: &QueueView<'_>,
         _clock: SimClock,
         _slo: &SloTargets,
     ) -> Option<usize> {
@@ -89,42 +191,24 @@ impl Scheduler for SpfScheduler {
 
     fn admit_pick(
         &self,
-        queue: &VecDeque<Waiting>,
+        queue: &QueueView<'_>,
         clock: SimClock,
         _slo: &SloTargets,
     ) -> Option<usize> {
-        let arrived = queue
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| SimClock::from_secs(w.arrival_s()) <= clock)
-            .min_by(|(_, a), (_, b)| {
-                a.predicted_len()
-                    .total_cmp(&b.predicted_len())
-                    .then(a.queue_seq().cmp(&b.queue_seq()))
-            });
+        let arrived = queue.arrived(clock).min_by(|(_, a), (_, b)| {
+            a.predicted_len()
+                .total_cmp(&b.predicted_len())
+                .then(a.queue_seq().cmp(&b.queue_seq()))
+        });
         if let Some((idx, _)) = arrived {
             return Some(idx);
         }
-        earliest_future_arrival(queue)
+        queue.earliest_future()
     }
 
     fn preempt_victim(&self, _running: &[RunningSeq], _grower: usize) -> Option<usize> {
         None
     }
-}
-
-/// Index of the earliest future arrival — the idle wake-up fallback every
-/// non-FCFS policy shares so idle servers wake exactly like FCFS.
-fn earliest_future_arrival(queue: &VecDeque<Waiting>) -> Option<usize> {
-    queue
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.arrival_s()
-                .total_cmp(&b.arrival_s())
-                .then(a.queue_seq().cmp(&b.queue_seq()))
-        })
-        .map(|(idx, _)| idx)
 }
 
 /// Shared SLO-aware admission ordering: earliest-deadline-first with
@@ -142,7 +226,7 @@ fn earliest_future_arrival(queue: &VecDeque<Waiting>) -> Option<usize> {
 /// work degrades to class-priority order with shortest-first within the
 /// class — never ahead of a feasible tighter deadline, never behind a
 /// looser one.
-fn slo_admit_pick(queue: &VecDeque<Waiting>, clock: SimClock, slo: &SloTargets) -> Option<usize> {
+fn slo_admit_pick(queue: &QueueView<'_>, clock: SimClock, slo: &SloTargets) -> Option<usize> {
     let eff_deadline = |w: &Waiting| {
         let deadline = slo.ttft_deadline(w.request().slo, w.arrival_s());
         if SimClock::from_secs(deadline) < clock {
@@ -151,20 +235,16 @@ fn slo_admit_pick(queue: &VecDeque<Waiting>, clock: SimClock, slo: &SloTargets) 
             deadline
         }
     };
-    let arrived = queue
-        .iter()
-        .enumerate()
-        .filter(|(_, w)| SimClock::from_secs(w.arrival_s()) <= clock)
-        .min_by(|(_, a), (_, b)| {
-            eff_deadline(a)
-                .total_cmp(&eff_deadline(b))
-                .then(a.predicted_len().total_cmp(&b.predicted_len()))
-                .then(a.queue_seq().cmp(&b.queue_seq()))
-        });
+    let arrived = queue.arrived(clock).min_by(|(_, a), (_, b)| {
+        eff_deadline(a)
+            .total_cmp(&eff_deadline(b))
+            .then(a.predicted_len().total_cmp(&b.predicted_len()))
+            .then(a.queue_seq().cmp(&b.queue_seq()))
+    });
     if let Some((idx, _)) = arrived {
         return Some(idx);
     }
-    earliest_future_arrival(queue)
+    queue.earliest_future()
 }
 
 /// Deadline-slack ("SLO-aware") shortest-predicted-first: admission is
@@ -180,7 +260,7 @@ impl Scheduler for SloSpfScheduler {
 
     fn admit_pick(
         &self,
-        queue: &VecDeque<Waiting>,
+        queue: &QueueView<'_>,
         clock: SimClock,
         slo: &SloTargets,
     ) -> Option<usize> {
@@ -208,7 +288,7 @@ impl Scheduler for PreemptiveScheduler {
 
     fn admit_pick(
         &self,
-        queue: &VecDeque<Waiting>,
+        queue: &QueueView<'_>,
         _clock: SimClock,
         _slo: &SloTargets,
     ) -> Option<usize> {
@@ -258,7 +338,7 @@ impl Scheduler for SloPreemptiveScheduler {
 
     fn admit_pick(
         &self,
-        queue: &VecDeque<Waiting>,
+        queue: &QueueView<'_>,
         clock: SimClock,
         slo: &SloTargets,
     ) -> Option<usize> {
@@ -370,6 +450,12 @@ mod tests {
         SloTargets::default()
     }
 
+    /// Unsorted-path view: exercises the full-scan fallback (the sorted
+    /// fast path is checked for equivalence separately).
+    fn view(q: &VecDeque<Waiting>) -> QueueView<'_> {
+        QueueView::new(q, false)
+    }
+
     #[test]
     fn fcfs_always_picks_the_head() {
         let q: VecDeque<Waiting> = vec![
@@ -379,11 +465,12 @@ mod tests {
         .into();
         let t = targets();
         assert_eq!(
-            FcfsScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            FcfsScheduler.admit_pick(&view(&q), SimClock::from_secs(1.0), &t),
             Some(0)
         );
+        let empty = VecDeque::new();
         assert_eq!(
-            FcfsScheduler.admit_pick(&VecDeque::new(), SimClock::ZERO, &t),
+            FcfsScheduler.admit_pick(&view(&empty), SimClock::ZERO, &t),
             None
         );
     }
@@ -398,12 +485,12 @@ mod tests {
         .into();
         let t = targets();
         assert_eq!(
-            SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            SpfScheduler.admit_pick(&view(&q), SimClock::from_secs(1.0), &t),
             Some(1)
         );
         // Before anything arrives: earliest arrival wins, not shortest.
         assert_eq!(
-            SpfScheduler.admit_pick(&q, SimClock::from_secs(-1.0), &t),
+            SpfScheduler.admit_pick(&view(&q), SimClock::from_secs(-1.0), &t),
             Some(0)
         );
     }
@@ -417,9 +504,62 @@ mod tests {
         .into();
         // Equal predictions: lower queue_seq wins regardless of position.
         assert_eq!(
-            SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &targets()),
+            SpfScheduler.admit_pick(&view(&q), SimClock::from_secs(1.0), &targets()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn sorted_view_matches_unsorted_scan_on_sorted_queues() {
+        // The sorted fast path must be pick-identical to the full scan on
+        // any arrival-ordered queue, at clocks that split the queue into
+        // every possible arrived-prefix length (including ties at the
+        // boundary and duplicate arrival times).
+        let q: VecDeque<Waiting> = vec![
+            waiting(0, 0.0, 50.0, 0),
+            waiting(1, 0.5, 10.0, 1),
+            waiting(2, 0.5, 10.0, 2), // duplicate arrival + prediction tie
+            waiting(3, 2.0, 1.0, 3),
+            waiting(4, 9.0, 5.0, 4),
+        ]
+        .into();
+        let t = targets();
+        for clock_s in [-1.0, 0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 9.0, 20.0] {
+            let clock = SimClock::from_secs(clock_s);
+            let sorted = QueueView::new(&q, true);
+            let unsorted = QueueView::new(&q, false);
+            for sched in [
+                &SpfScheduler as &dyn Scheduler,
+                &SloSpfScheduler,
+                &FcfsScheduler,
+            ] {
+                assert_eq!(
+                    sched.admit_pick(&sorted, clock, &t),
+                    sched.admit_pick(&unsorted, clock, &t),
+                    "{} at clock {clock_s}",
+                    sched.label()
+                );
+            }
+            assert_eq!(sorted.earliest_future(), unsorted.earliest_future());
+            let a: Vec<usize> = sorted.arrived(clock).map(|(i, _)| i).collect();
+            let b: Vec<usize> = unsorted.arrived(clock).map(|(i, _)| i).collect();
+            assert_eq!(a, b, "arrived sets diverge at clock {clock_s}");
+        }
+    }
+
+    #[test]
+    fn earliest_future_breaks_arrival_ties_by_queue_seq_when_sorted() {
+        // A preempted entry (old queue_seq) re-queued at the front with the
+        // same arrival as its neighbour: the sorted tie-scan must pick the
+        // lower queue_seq exactly like the full scan.
+        let q: VecDeque<Waiting> = vec![
+            waiting(5, 1.0, 9.0, 7),
+            waiting(6, 1.0, 9.0, 3),
+            waiting(7, 4.0, 9.0, 8),
+        ]
+        .into();
+        assert_eq!(QueueView::new(&q, true).earliest_future(), Some(1));
+        assert_eq!(QueueView::new(&q, false).earliest_future(), Some(1));
     }
 
     fn waiting_class(
@@ -446,11 +586,11 @@ mod tests {
         let t = targets();
         // Blind SPF chases the short job; aware SPF honours the deadline.
         assert_eq!(
-            SpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            SpfScheduler.admit_pick(&view(&q), SimClock::from_secs(1.0), &t),
             Some(1)
         );
         assert_eq!(
-            SloSpfScheduler.admit_pick(&q, SimClock::from_secs(1.0), &t),
+            SloSpfScheduler.admit_pick(&view(&q), SimClock::from_secs(1.0), &t),
             Some(0)
         );
         // Idle fallback matches SPF: earliest future arrival.
@@ -460,7 +600,7 @@ mod tests {
         ]
         .into();
         assert_eq!(
-            SloSpfScheduler.admit_pick(&future, SimClock::ZERO, &t),
+            SloSpfScheduler.admit_pick(&view(&future), SimClock::ZERO, &t),
             Some(1)
         );
     }

@@ -247,6 +247,12 @@ impl ServerSim {
         self.core.peak_batch
     }
 
+    /// Progressing scheduler iterations executed so far — the fleet's
+    /// stall detector and the event-cost denominator in benches.
+    pub fn iterations(&self) -> u64 {
+        self.core.iterations
+    }
+
     /// Submits a request (its `arrival_s` must not precede the clock of the
     /// latest enqueue; the cluster enforces global ordering). The length
     /// prediction defaults to the request's true response length on this
@@ -279,6 +285,22 @@ impl ServerSim {
     /// `step`, named for the engine's event loop.
     pub(crate) fn iteration(&mut self) -> bool {
         self.core.iteration()
+    }
+
+    /// Completions not yet offered to a driver's follow-up hook (advances
+    /// the watermark).
+    pub(crate) fn take_new_completions(&mut self) -> std::ops::Range<usize> {
+        self.core.take_new_completions()
+    }
+
+    /// Marks all completions to date as already offered.
+    pub(crate) fn reset_completion_watermark(&mut self) {
+        self.core.reset_completion_watermark();
+    }
+
+    /// Releases every parked session cache (drain-time KV spill).
+    pub(crate) fn release_parked(&mut self) {
+        self.core.release_parked();
     }
 
     /// The `(time_ordinal, rank)` of this server's next iteration event,

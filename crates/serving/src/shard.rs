@@ -1,0 +1,208 @@
+//! Request sharding for the fleet layer.
+//!
+//! A [`Sharder`] decides, at dispatch time, which of the fleet's *active*
+//! replicas absorbs a request — replacing the cluster router's
+//! route-every-request scan over global server state with an O(1) (or
+//! O(log n)) function of a stable *shard key*. Because the decision
+//! depends only on the key and the active-replica count, sharded dispatch
+//! is trivially deterministic and per-replica simulation can proceed in
+//! parallel between telemetry epochs (see [`fleet`](crate::fleet)).
+//!
+//! Two policies:
+//!
+//! * [`RoundRobinSharder`] — cycles over the active set. Perfectly
+//!   balanced (±1 request) but key-oblivious: requests sharing a system
+//!   prompt scatter across replicas, so every replica stores its own copy
+//!   of the prefix and the pool's dedup win evaporates.
+//! * [`JumpHashSharder`] — Lamping–Veach jump consistent hashing over the
+//!   session/prefix-group key ([`shard_key`]). Same-key requests land on
+//!   the same replica (prefix dedup survives sharding), and growing the
+//!   active set from `n` to `n + 1` remaps only ~`1/(n + 1)` of the keys —
+//!   the property that makes autoscaling cheap for a stateful cache.
+
+use crate::SimRequest;
+
+/// SplitMix64 finalizer — the bijective avalanche step. Jump hashing needs
+/// well-mixed keys; raw session ids and small prefix-group integers are
+/// anything but.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Lamping–Veach jump consistent hash: maps `key` to a bucket in
+/// `[0, buckets)`. For any `key`, going from `n` to `n + 1` buckets either
+/// keeps the bucket or moves it to the *new* bucket `n` — so exactly
+/// `~1/(n + 1)` of the key space remaps on growth, and shrinking by
+/// removing the highest bucket remaps only the keys that lived there.
+///
+/// Returns 0 when `buckets == 0` (callers guarantee a non-empty active
+/// set; this keeps the function total without panicking).
+pub fn jump_hash(key: u64, buckets: usize) -> usize {
+    if buckets <= 1 {
+        return 0;
+    }
+    let mut k = key;
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < buckets as i64 {
+        b = j;
+        k = k.wrapping_mul(2862933555777941757).wrapping_add(1);
+        // (b + 1) * (2^31 / (floor(k / 2^33) + 1)) — the paper's float
+        // step; exact for all operand magnitudes that can occur here.
+        j = ((b + 1) as f64 * ((1u64 << 31) as f64 / ((k >> 33).wrapping_add(1) as f64))) as i64;
+    }
+    b as usize
+}
+
+/// The stable dispatch key of a request: the unit of locality sharding
+/// must preserve. Conversations pin to their session (follow-up turns must
+/// find their parked KV), single-shot prefix traffic pins to its system
+/// prompt (so the prefix stays deduplicated on one replica), and
+/// everything else spreads by request id.
+pub fn shard_key(req: &SimRequest) -> u64 {
+    match (req.session, req.prefix_len) {
+        (Some(s), _) => mix64(s.session ^ 0xA11C_E5E5_5E55_10B5),
+        (None, p) if p > 0 => mix64(req.prefix_group ^ 0x9F1C_0DE0_F1EE_75A1),
+        _ => mix64(req.id),
+    }
+}
+
+/// A dispatch policy over the fleet's active replica list. `active_len` is
+/// the current number of active replicas (≥ 1); the return value is an
+/// index into that list. Implementations must be deterministic functions
+/// of their own state and the arguments — never of wall clock or thread
+/// schedule.
+pub trait Sharder: std::fmt::Debug + Send {
+    /// Policy name for tables and benches.
+    fn label(&self) -> &'static str;
+
+    /// Picks the active-list slot for `key`. Must return a value in
+    /// `[0, active_len)` for any `active_len >= 1`.
+    fn shard(&mut self, key: u64, active_len: usize) -> usize;
+}
+
+/// Key-oblivious round-robin: request `k` goes to slot `k mod n`. Balanced
+/// to ±1 by construction, but destroys key locality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinSharder {
+    next: u64,
+}
+
+impl Sharder for RoundRobinSharder {
+    fn label(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn shard(&mut self, _key: u64, active_len: usize) -> usize {
+        if active_len == 0 {
+            return 0;
+        }
+        let slot = (self.next % active_len as u64) as usize;
+        self.next = self.next.wrapping_add(1);
+        slot
+    }
+}
+
+/// Stateless jump-consistent-hash sharding over [`shard_key`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JumpHashSharder;
+
+impl Sharder for JumpHashSharder {
+    fn label(&self) -> &'static str {
+        "consistent_hash"
+    }
+
+    fn shard(&mut self, key: u64, active_len: usize) -> usize {
+        jump_hash(key, active_len)
+    }
+}
+
+/// Which sharding policy a fleet runs — the config-level knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Key-oblivious round-robin over the active set.
+    RoundRobin,
+    /// Jump consistent hashing over session/prefix-group keys.
+    #[default]
+    ConsistentHash,
+}
+
+impl ShardPolicy {
+    /// Both policies in ablation order.
+    pub fn all() -> [ShardPolicy; 2] {
+        [ShardPolicy::RoundRobin, ShardPolicy::ConsistentHash]
+    }
+
+    /// Table/bench label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPolicy::RoundRobin => "round_robin",
+            ShardPolicy::ConsistentHash => "consistent_hash",
+        }
+    }
+
+    /// Builds the policy's sharder state.
+    pub fn sharder(self) -> Box<dyn Sharder> {
+        match self {
+            ShardPolicy::RoundRobin => Box::new(RoundRobinSharder::default()),
+            ShardPolicy::ConsistentHash => Box::new(JumpHashSharder),
+        }
+    }
+}
+
+rkvc_tensor::json_unit_enum!(ShardPolicy { RoundRobin, ConsistentHash });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_hash_is_total_and_in_range() {
+        assert_eq!(jump_hash(42, 0), 0);
+        assert_eq!(jump_hash(42, 1), 0);
+        for key in 0..1000u64 {
+            let b = jump_hash(mix64(key), 7);
+            assert!(b < 7);
+        }
+    }
+
+    #[test]
+    fn shard_key_prefers_session_then_group() {
+        let single = SimRequest::new(1, 0.0, 128, 16);
+        let grouped = SimRequest::new(2, 0.0, 128, 16).with_shared_prefix(9, 64);
+        let grouped2 = SimRequest::new(3, 0.0, 256, 16).with_shared_prefix(9, 64);
+        assert_eq!(shard_key(&grouped), shard_key(&grouped2));
+        assert_ne!(shard_key(&single), shard_key(&grouped));
+        let turn = SimRequest::new(4, 0.0, 128, 16)
+            .with_shared_prefix(9, 64)
+            .with_session(crate::SessionRef {
+                session: 5,
+                turn: 0,
+                carried_tokens: 0,
+                last_turn: false,
+            });
+        let turn2 = SimRequest::new(7, 9.0, 512, 16).with_session(crate::SessionRef {
+            session: 5,
+            turn: 1,
+            carried_tokens: 128,
+            last_turn: true,
+        });
+        // Same session, different group annotations: the session wins so
+        // follow-up turns find their parked KV.
+        assert_eq!(shard_key(&turn), shard_key(&turn2));
+    }
+
+    #[test]
+    fn policies_round_trip_labels_and_build_sharders() {
+        for p in ShardPolicy::all() {
+            let mut s = p.sharder();
+            assert_eq!(s.label(), p.label());
+            assert!(s.shard(123, 4) < 4);
+        }
+        assert_eq!(ShardPolicy::default(), ShardPolicy::ConsistentHash);
+    }
+}

@@ -26,7 +26,12 @@
 //!   `D = (L_un - L_cs)/L_un`, histograms, and KDE.
 //! * [`suite`] — the compression-algorithm suite scaled to TinyLM context
 //!   lengths.
+//! * [`arrivals`] — non-stationary arrival processes (diurnal
+//!   raised-cosine, square-wave bursts) sampled by thinning, feeding the
+//!   serving fleet layer with sorted, SLO-annotated, prefix-grouped
+//!   request streams at 10⁴–10⁶ scale.
 
+pub mod arrivals;
 pub mod length;
 pub mod longbench;
 pub mod prefix;
@@ -35,6 +40,7 @@ pub mod session;
 pub mod sharegpt;
 pub mod suite;
 
+pub use arrivals::{sample_fleet, ArrivalPattern, FleetWorkloadConfig};
 pub use length::{length_difference, LengthStats};
 pub use prefix::{sample_shared_prefix, PrefixRequest, SharedPrefixConfig};
 pub use session::{

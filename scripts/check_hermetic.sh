@@ -33,13 +33,15 @@
 #      passes offline.
 #   4. thread-count invariance — `repro` regenerates fig1, table6,
 #      table8 (the serving-engine cluster experiment), ext_prefix
-#      (the prefix-shared, tiered block-manager experiment), and
-#      ext_slo (the multi-turn session / SLO-aware scheduling sweep)
-#      with RKVC_THREADS=1 and RKVC_THREADS=4, plus fig1, ext_prefix,
-#      and ext_slo at RKVC_THREADS=3 (an odd pool width, catching
-#      chunk-decomposition bugs that powers of two hide); the emitted
-#      JSON must be byte-identical, proving experiment output is a pure
-#      function of the inputs and never of the worker-pool width.
+#      (the prefix-shared, tiered block-manager experiment), ext_slo
+#      (the multi-turn session / SLO-aware scheduling sweep), and
+#      ext_fleet (the sharded, autoscaled replica-fleet sweep, whose
+#      replicas simulate in parallel) with RKVC_THREADS=1 and
+#      RKVC_THREADS=4, plus fig1, ext_prefix, ext_slo, and ext_fleet at
+#      RKVC_THREADS=3 (an odd pool width, catching chunk-decomposition
+#      bugs that powers of two hide); the emitted JSON must be
+#      byte-identical, proving experiment output is a pure function of
+#      the inputs and never of the worker-pool width.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -94,7 +96,7 @@ tmp1=$(mktemp -d)
 tmp3=$(mktemp -d)
 tmp4=$(mktemp -d)
 trap 'rm -rf "$tmp1" "$tmp3" "$tmp4"' EXIT
-for exp in fig1 table6 table8 ext_prefix ext_slo; do
+for exp in fig1 table6 table8 ext_prefix ext_slo ext_fleet; do
     RKVC_THREADS=1 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
         --exp "$exp" --scale quick --out "$tmp1"
     RKVC_THREADS=4 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
@@ -105,15 +107,17 @@ done
 # widths 1/2/4 mask would surface here. ext_prefix joins fig1 because
 # the sharing/tiering engine path is the newest dispatch surface,
 # table6 because its decode loop rides the fused dequant-attention
-# kernels and the register-tiled microkernel, and ext_slo because the
+# kernels and the register-tiled microkernel, ext_slo because the
 # session follow-up injection and SLO-aware admission are the newest
-# event-loop surfaces.
-for exp in fig1 table6 ext_prefix ext_slo; do
+# event-loop surfaces, and ext_fleet because its epoch-barrier replica
+# fan-out is the one place par_chunks_mut runs whole simulators in
+# parallel — the exact surface an odd width would shear.
+for exp in fig1 table6 ext_prefix ext_slo ext_fleet; do
     RKVC_THREADS=3 cargo run --release --offline -q -p rkvc-bench --bin repro -- \
         --exp "$exp" --scale quick --out "$tmp3"
     diff "$tmp1/$exp.json" "$tmp3/$exp.json"
 done
 diff -r "$tmp1" "$tmp4"
-echo "ok: fig1 + table6 + table8 + ext_prefix + ext_slo JSON byte-identical across worker-pool widths (incl. odd width 3)"
+echo "ok: fig1 + table6 + table8 + ext_prefix + ext_slo + ext_fleet JSON byte-identical across worker-pool widths (incl. odd width 3)"
 
 echo "hermetic check passed"
